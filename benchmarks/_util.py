@@ -1,0 +1,32 @@
+"""Shared helper for the experiment benchmarks.
+
+Every benchmark runs one registered experiment exactly once under
+pytest-benchmark timing (``pedantic`` with a single round — the experiments
+are full reproduction runs, not micro-kernels) and asserts that every paper
+claim held.  The regenerated table is attached to the benchmark's
+``extra_info`` so ``--benchmark-json`` output carries the reproduced
+numbers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_result, run_experiment
+from repro.experiments.base import ExperimentResult
+
+
+def run_experiment_benchmark(
+    benchmark, experiment_id: str, seed: int = 0
+) -> ExperimentResult:
+    """Run ``experiment_id`` once under the benchmark timer and verify it."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"seed": seed, "fast": True},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["claims_total"] = len(result.claims)
+    benchmark.extra_info["claims_held"] = sum(c.holds for c in result.claims)
+    assert result.passed, format_result(result)
+    return result

@@ -1,0 +1,14 @@
+"""A1 bench — regenerates the difficulty-variance ablation table.
+
+Shape reproduced: at fixed mean difficulty, the relative EL penalty
+Var(Θ)/E[Θ]² grows monotonically with the spread of the difficulty
+distribution.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_a1_difficulty_variance_sweep(benchmark):
+    result = run_experiment_benchmark(benchmark, "a1")
+    penalties = [row[5] for row in result.rows]
+    assert all(a < b for a, b in zip(penalties, penalties[1:]))

@@ -1,0 +1,16 @@
+"""A2 bench — regenerates the suite-size sweep of the same-suite excess.
+
+Shape reproduced: the absolute excess is zero at n=0, peaks at intermediate
+effort and vanishes again; the relative excess keeps growing with effort.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_a2_suite_size_sweep(benchmark):
+    result = run_experiment_benchmark(benchmark, "a2")
+    excesses = [row[3] for row in result.rows]
+    assert abs(excesses[0]) <= 1e-15
+    peak = max(excesses)
+    assert peak > 0
+    assert excesses[-1] < peak / 10

@@ -1,0 +1,16 @@
+"""A3 bench — regenerates the methodology fault-overlap sweep.
+
+Shape reproduced: both the LM difficulty covariance and the same-suite
+testing covariance rise from near zero (disjoint fault sets) to their
+maxima (identical fault sets).
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_a3_overlap_covariance_sweep(benchmark):
+    result = run_experiment_benchmark(benchmark, "a3")
+    difficulty_covs = [row[2] for row in result.rows]
+    testing_covs = [row[4] for row in result.rows]
+    assert difficulty_covs[-1] > difficulty_covs[0]
+    assert testing_covs[-1] > testing_covs[0]

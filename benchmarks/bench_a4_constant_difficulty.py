@@ -1,0 +1,14 @@
+"""A4 bench — regenerates the vanishing-penalty special cases.
+
+Shape reproduced: constant θ gives the eq. (7) equality branch (exact
+independence); a degenerate suite measure removes the same-suite excess.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_a4_constant_difficulty(benchmark):
+    result = run_experiment_benchmark(benchmark, "a4")
+    constant_row = result.rows[0]
+    # P(both fail) equals the independence prediction
+    assert abs(constant_row[3] - constant_row[4]) <= 1e-15

@@ -1,0 +1,16 @@
+"""A5 bench — regenerates the extreme-variance construction.
+
+Shape reproduced: the same-suite dependence excess attains its theoretical
+maximum 0.25 at ζ(x)=0.5 with ξ(x,T) ∈ {0,1}, doubling the joint failure
+probability relative to conditional independence.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_a5_variance_extreme(benchmark):
+    result = run_experiment_benchmark(benchmark, "a5")
+    row = result.rows[0]
+    assert abs(row[1] - 0.5) <= 1e-15   # zeta
+    assert abs(row[3] - 0.25) <= 1e-15  # Var_T(xi)
+    assert abs(row[4] - 0.5) <= 1e-15   # joint

@@ -1,0 +1,15 @@
+"""A6 bench — regenerates the 1-out-of-N sweep.
+
+Shape reproduced: extra channels help in both regimes, but the
+same-suite / independent-suite pfd ratio grows rapidly with N — shared
+testing caps the value of additional diversity.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_a6_n_version_sweep(benchmark):
+    result = run_experiment_benchmark(benchmark, "a6")
+    ratios = [row[3] for row in result.rows]
+    assert ratios[0] == 1.0
+    assert all(a <= b + 1e-9 for a, b in zip(ratios[1:], ratios[2:]))

@@ -1,0 +1,17 @@
+"""E1 bench — regenerates the Eckhardt–Lee inequality table (eqs. (4)-(7)).
+
+Shape reproduced: P(both fail) = E[Θ]² + Var(Θ) ≥ independence, with the
+penalty growing in the difficulty variance.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e01_el_inequality(benchmark):
+    result = run_experiment_benchmark(benchmark, "e01")
+    # headline shape: the clustered (high-variance) row has a strictly
+    # larger dependence excess than the flat row
+    by_label = {row[0]: row for row in result.rows}
+    clustered = by_label["clustered (high variance)"]
+    flat = by_label["constant (disjoint cover)"]
+    assert clustered[2] - clustered[3] > flat[2] - flat[3]

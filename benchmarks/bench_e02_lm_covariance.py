@@ -1,0 +1,15 @@
+"""E2 bench — regenerates the Littlewood–Miller covariance table (eqs. (8)-(10)).
+
+Shape reproduced: covariance falls monotonically with methodology overlap
+and goes negative under complementary fault placement — the regime where
+forced diversity beats the independence benchmark.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e02_lm_covariance(benchmark):
+    result = run_experiment_benchmark(benchmark, "e02")
+    covariances = {row[0]: row[5] for row in result.rows}
+    assert covariances["full overlap"] > 0
+    assert covariances["no overlap, complementary"] < 0

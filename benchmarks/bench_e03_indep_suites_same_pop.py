@@ -1,0 +1,13 @@
+"""E3 bench — regenerates the eq. (16) table (independent suites, same pop).
+
+Shape reproduced: conditional independence survives testing — the joint
+failure probability factorises as ζ(x)² with zero excess on every demand.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e03_indep_suites_same_pop(benchmark):
+    result = run_experiment_benchmark(benchmark, "e03")
+    for row in result.rows:
+        assert abs(row[3]) <= 1e-12  # excess column identically zero

@@ -1,0 +1,12 @@
+"""E4 bench — regenerates the eq. (17) table (independent suites, forced design).
+
+Shape reproduced: joint = ζ_A(x) ζ_B(x); excess identically zero.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e04_indep_suites_forced_design(benchmark):
+    result = run_experiment_benchmark(benchmark, "e04")
+    for row in result.rows:
+        assert abs(row[3]) <= 1e-12

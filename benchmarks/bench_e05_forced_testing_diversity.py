@@ -1,0 +1,13 @@
+"""E5 bench — regenerates the eq. (18) table (forced testing diversity).
+
+Shape reproduced: two different suite-generation procedures, independent
+draws — conditional independence still holds.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e05_forced_testing_diversity(benchmark):
+    result = run_experiment_benchmark(benchmark, "e05")
+    for row in result.rows:
+        assert abs(row[3]) <= 1e-12

@@ -1,0 +1,12 @@
+"""E6 bench — regenerates the eq. (19) table (forced design + testing diversity).
+
+Shape reproduced: the fully diverse configuration keeps the product form.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e06_forced_both(benchmark):
+    result = run_experiment_benchmark(benchmark, "e06")
+    for row in result.rows:
+        assert abs(row[3]) <= 1e-12

@@ -1,0 +1,17 @@
+"""E7 bench — regenerates the eq. (20) table (same suite, same population).
+
+Shape reproduced: the paper's central result — a shared suite induces a
+strictly positive dependence excess Var_T(ξ(x,T)) over the conditional-
+independence prediction.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e07_same_suite_variance(benchmark):
+    result = run_experiment_benchmark(benchmark, "e07")
+    # at least one reported demand carries a strictly positive excess
+    assert any(row[3] > 1e-9 for row in result.rows)
+    # and joint >= zeta^2 on all reported demands
+    for row in result.rows:
+        assert row[1] >= row[2] - 1e-12

@@ -1,0 +1,15 @@
+"""E8 bench — regenerates the eq. (21) table (same suite, forced design).
+
+Shape reproduced: the excess is Cov_T(ξ_A, ξ_B) — positive under shared
+faults, and *negative* under the alternating-effectiveness construction
+(the paper's open question, answered constructively).
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e08_same_suite_covariance(benchmark):
+    result = run_experiment_benchmark(benchmark, "e08")
+    excesses = [row[3] for row in result.rows]
+    assert any(excess > 1e-9 for excess in excesses)
+    assert any(excess < -1e-9 for excess in excesses)

@@ -1,0 +1,17 @@
+"""E9 bench — regenerates the eqs. (22)-(23) marginal table.
+
+Shape reproduced: P(system fails | same suite) >= P(system fails |
+independent suites), the gap being E_Q[Var_T(ξ(X,T))].
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e09_marginal_same_pop(benchmark):
+    result = run_experiment_benchmark(benchmark, "e09")
+    by_regime = {row[0]: row for row in result.rows}
+    same = by_regime["same suite"]
+    independent = by_regime["independent suites"]
+    assert same[2] >= independent[2]          # system pfd ordering
+    assert same[5] > 0                        # E_Q[Var_T xi] term
+    assert abs(independent[5]) <= 1e-12       # no term without sharing

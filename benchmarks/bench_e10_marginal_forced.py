@@ -1,0 +1,19 @@
+"""E10 bench — regenerates the eqs. (24)-(25) forced-diversity marginal table.
+
+Shape reproduced: the sign of Σ Cov_T(ξ_A,ξ_B)Q(x) decides whether
+independent-suite or same-suite testing yields the more reliable pair —
+both signs exhibited.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e10_marginal_forced(benchmark):
+    result = run_experiment_benchmark(benchmark, "e10")
+    rows = {row[0]: row for row in result.rows}
+    shared_same = rows["shared-fault model, same suite"]
+    shared_independent = rows["shared-fault model, independent suites"]
+    assert shared_same[1] > shared_independent[1]
+    alternating_same = rows["alternating model, same suite"]
+    alternating_independent = rows["alternating model, independent suites"]
+    assert alternating_same[1] < alternating_independent[1]

@@ -1,0 +1,17 @@
+"""E11 bench — regenerates the §4.1 imperfect-testing bounds table.
+
+Shape reproduced: for every (detection, fix) probability pair, version and
+system pfds lie between the perfect-testing lower bound and the untested
+upper bound.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e11_imperfect_oracle_bounds(benchmark):
+    result = run_experiment_benchmark(benchmark, "e11")
+    slack = 0.015
+    for row in result.rows:
+        _, v_low, v_measured, v_high, s_low, s_measured, s_high = row
+        assert v_low - slack <= v_measured <= v_high + slack
+        assert s_low - slack <= s_measured <= s_high + slack

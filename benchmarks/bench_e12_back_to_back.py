@@ -1,0 +1,17 @@
+"""E12 bench — regenerates the §4.2 back-to-back envelope table.
+
+Shape reproduced: optimistic back-to-back = perfect oracle; system pfds
+order perfect <= optimistic <= shared-fault <= pessimistic <= untested;
+for identical channels the pessimistic run leaves the system pfd exactly
+at its untested level.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e12_back_to_back(benchmark):
+    result = run_experiment_benchmark(benchmark, "e12")
+    by_config = {row[0]: row[1] for row in result.rows}
+    assert by_config["b2b optimistic"] <= by_config["b2b shared-fault"] + 1e-12
+    assert by_config["b2b shared-fault"] <= by_config["b2b pessimistic"] + 1e-12
+    assert by_config["b2b pessimistic"] <= by_config["untested"] + 1e-12

@@ -1,0 +1,19 @@
+"""E13 bench — regenerates the §3.4.1 cost-scenario table.
+
+Shape reproduced: at equal generation cost the merged double-length common
+suite beats two independent suites; at equal execution cost independent
+suites win; the merged-suite advantage shrinks with effort (diminishing
+returns).
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e13_cost_tradeoff(benchmark):
+    result = run_experiment_benchmark(benchmark, "e13")
+    for row in result.rows:
+        _n, independent_n, same_n, same_2n, _advantage = row
+        assert same_2n <= independent_n + 1e-15
+        assert independent_n <= same_n + 1e-15
+    advantages = [row[4] for row in result.rows]
+    assert advantages[0] >= advantages[-1]

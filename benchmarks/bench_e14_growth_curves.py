@@ -1,0 +1,17 @@
+"""E14 bench — regenerates the ref.-[5]-style growth curves.
+
+Shape reproduced: version and system pfds fall monotonically with testing
+effort; the same-suite system curve sits above the independent-suite curve
+pointwise; back-to-back sits inside its envelope.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_e14_growth_curves(benchmark):
+    result = run_experiment_benchmark(benchmark, "e14")
+    version = [row[1] for row in result.rows]
+    independent = [row[2] for row in result.rows]
+    same = [row[3] for row in result.rows]
+    assert all(b <= a + 1e-15 for a, b in zip(version, version[1:]))
+    assert all(s >= i - 1e-15 for s, i in zip(same, independent))

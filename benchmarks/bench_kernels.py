@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the computational kernels.
+
+These time the hot paths a user of the library actually pays for: the
+inclusion-exclusion closed forms, the testing closure, the suite-moment
+sweeps and the full-pipeline Monte-Carlo replication loop.  Useful for
+catching performance regressions; they carry no reproduction claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic import BernoulliExactEngine
+from repro.core import SameSuite, TestedPopulationView, marginal_system_pfd
+from repro.demand import DemandSpace, uniform_profile
+from repro.faults import clustered_universe
+from repro.mc import simulate_marginal_system_pfd
+from repro.populations import BernoulliFaultPopulation
+from repro.testing import OperationalSuiteGenerator, apply_testing
+
+
+@pytest.fixture(scope="module")
+def kernel_model():
+    space = DemandSpace(300)
+    profile = uniform_profile(space)
+    universe = clustered_universe(space, n_faults=25, region_size=8, rng=0)
+    population = BernoulliFaultPopulation.uniform(universe, 0.3)
+    generator = OperationalSuiteGenerator(profile, 60)
+    return space, profile, universe, population, generator
+
+
+def test_kernel_exact_zeta(benchmark, kernel_model):
+    _space, profile, universe, population, _generator = kernel_model
+    engine = BernoulliExactEngine(universe, profile)
+    benchmark(engine.zeta, population, 60)
+
+
+def test_kernel_exact_second_moment(benchmark, kernel_model):
+    _space, profile, universe, population, _generator = kernel_model
+    engine = BernoulliExactEngine(universe, profile)
+    benchmark(engine.xi_second_moment, population, 60)
+
+
+def test_kernel_testing_closure(benchmark, kernel_model):
+    _space, _profile, _universe, population, generator = kernel_model
+    version = population.sample(np.random.default_rng(1))
+    suite = generator.sample(np.random.default_rng(2))
+    benchmark(apply_testing, version, suite)
+
+
+def test_kernel_suite_moments_sampled(benchmark, kernel_model):
+    _space, _profile, _universe, population, generator = kernel_model
+    view = TestedPopulationView(population, generator)
+    benchmark.pedantic(
+        view.suite_moments,
+        kwargs={"n_suites": 100, "rng": 3},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_kernel_marginal_analytic(benchmark, kernel_model):
+    _space, profile, _universe, population, generator = kernel_model
+    benchmark.pedantic(
+        marginal_system_pfd,
+        args=(SameSuite(generator), population, profile),
+        kwargs={"n_suites": 100, "rng": 4},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_kernel_mc_replications(benchmark, kernel_model):
+    _space, profile, _universe, population, generator = kernel_model
+    benchmark.pedantic(
+        simulate_marginal_system_pfd,
+        args=(SameSuite(generator), population, profile),
+        kwargs={"n_replications": 50, "rng": 5},
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,15 @@
+"""X1 bench — regenerates the common-clarification extension table (§5).
+
+Shape reproduced: broadcasting a clarification helps but carries the
+eq. (20) dependence penalty relative to per-team resolution; a
+deterministic clarification carries none.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_x1_clarifications(benchmark):
+    result = run_experiment_benchmark(benchmark, "x1")
+    by_label = {row[0]: row for row in result.rows}
+    assert by_label["random which-ambiguity"][4] > 0
+    assert abs(by_label["deterministic"][4]) <= 1e-12

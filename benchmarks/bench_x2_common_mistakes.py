@@ -1,0 +1,18 @@
+"""X2 bench — regenerates the common-mistake extension table (§5).
+
+Shape reproduced: a forced shared fault raises the system pfd; a correct
+oracle can test it away; a blind oracle leaves the Q(R_m) common-mode
+floor intact.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_x2_common_mistakes(benchmark):
+    result = run_experiment_benchmark(benchmark, "x2")
+    values = {row[0]: row[1] for row in result.rows}
+    assert values["untested, with mistake"] > values["untested, clean"]
+    assert (
+        values["tested, mistake + blind oracle (MC)"]
+        >= values["mistake region mass Q(R_m)"] - 1e-9
+    )

@@ -1,0 +1,19 @@
+"""X3 bench — regenerates the combined-activities campaign comparison (§5).
+
+Shape reproduced: at matched effort the commonality-heavy campaign delivers
+a less reliable system than the diversity-preserving one; injecting a
+common mistake is the only step that degrades the system.
+"""
+
+from _util import run_experiment_benchmark
+
+
+def test_x3_combined_campaign(benchmark):
+    result = run_experiment_benchmark(benchmark, "x3")
+    values = {row[0]: row[1] for row in result.rows}
+    assert (
+        values["commonality-heavy"] >= values["diversity-preserving"] - 1e-12
+    )
+    assert (
+        values["commonality-heavy + mistake"] > values["commonality-heavy"]
+    )

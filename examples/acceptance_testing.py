@@ -1,0 +1,69 @@
+"""Acceptance testing of a 2-channel protection system (paper §3.3–3.4).
+
+Scenario: a regulator requires a two-version protection system to pass a
+common acceptance test suite before deployment — "acceptance testing for
+fault-tolerant software, for instance, is based on the same test suite".
+This script quantifies what that shared campaign does to the delivered
+system, demand by demand and marginally, and how large the suite has to be
+before the induced dependence dominates the residual failure probability.
+
+Run:  python examples/acceptance_testing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.analytic import BernoulliExactEngine
+
+
+def main() -> None:
+    space = repro.DemandSpace(150)
+    profile = repro.uniform_profile(space)
+    universe = repro.clustered_universe(
+        space, n_faults=20, region_size=6, concentration=5.0, rng=7
+    )
+    population = repro.BernoulliFaultPopulation.uniform(universe, 0.3)
+    engine = BernoulliExactEngine(universe, profile)
+
+    print("acceptance campaign size vs delivered 1oo2 system pfd (exact):\n")
+    header = (
+        f"{'tests':>6}  {'channel pfd':>12}  {'indep suites':>13}  "
+        f"{'common suite':>13}  {'dependence %':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n_tests in (0, 10, 25, 50, 100, 200, 400, 800):
+        version = engine.version_pfd(population, n_tests)
+        independent = engine.system_pfd_independent_suites(population, n_tests)
+        common = engine.system_pfd_same_suite(population, n_tests)
+        share = 100.0 * (common - independent) / common if common > 0 else 0.0
+        print(
+            f"{n_tests:>6}  {version:>12.6f}  {independent:>13.2e}  "
+            f"{common:>13.2e}  {share:>12.1f}%"
+        )
+
+    print(
+        "\nReading: both regimes improve with testing, but the common-suite "
+        "system converges\ntowards being dominated by testing-induced "
+        "dependence — the better tested the\nsystem, the larger the share "
+        "of its residual risk that the shared campaign causes."
+    )
+
+    # where does the dependence live? the worst demands after a 100-test
+    # campaign
+    variance = engine.xi_variance(population, 100)
+    zeta = engine.zeta(population, 100)
+    worst = np.argsort(variance)[::-1][:5]
+    print("\nworst demands after a 100-test campaign (eq. (20) per demand):")
+    print(f"{'demand':>7}  {'zeta':>9}  {'zeta^2':>9}  {'Var_T(xi)':>10}  {'joint':>9}")
+    for demand in worst:
+        print(
+            f"{int(demand):>7}  {zeta[demand]:>9.5f}  {zeta[demand]**2:>9.2e}  "
+            f"{variance[demand]:>10.2e}  {zeta[demand]**2 + variance[demand]:>9.2e}"
+        )
+
+
+if __name__ == "__main__":
+    main()

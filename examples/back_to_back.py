@@ -1,0 +1,90 @@
+"""Back-to-back testing: what cross-checking buys and what it cannot see.
+
+Paper §4.2: back-to-back testing needs no oracle — the two versions *are*
+each other's oracle — but coincident identical failures are invisible to
+it.  This script traces a version pair through increasing back-to-back
+campaigns under the three output models (optimistic / shared-fault /
+pessimistic) and shows the §4.2 envelope: version reliability always
+improves, while system reliability improvement depends entirely on whether
+coincident failures are distinguishable.
+
+Run:  python examples/back_to_back.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.bounds import back_to_back_envelope
+from repro.growth import back_to_back_growth_curves
+
+
+def main() -> None:
+    space = repro.DemandSpace(120)
+    profile = repro.uniform_profile(space)
+    universe = repro.zipf_sized_universe(
+        space, n_faults=15, max_region_size=20, exponent=1.0, rng=11
+    )
+    population = repro.BernoulliFaultPopulation.uniform(universe, 0.35)
+
+    # the envelope at one campaign size
+    generator = repro.OperationalSuiteGenerator(profile, 60)
+    envelope = back_to_back_envelope(
+        population, generator, profile, n_replications=300, rng=1
+    )
+    print("back-to-back testing, 60-test campaign (300 simulated pairs):\n")
+    rows = [
+        ("untested", envelope.untested_system_pfd, envelope.untested_version_pfd),
+        ("pessimistic outputs", envelope.pessimistic_system_pfd,
+         envelope.pessimistic_version_pfd),
+        ("shared-fault outputs", envelope.shared_fault_system_pfd,
+         envelope.shared_fault_version_pfd),
+        ("optimistic outputs", envelope.optimistic_system_pfd,
+         envelope.optimistic_version_pfd),
+        ("perfect oracle (reference)", envelope.perfect_system_pfd, float("nan")),
+    ]
+    print(f"{'configuration':<28}{'system pfd':>12}{'version pfd':>13}")
+    for label, system, version in rows:
+        print(f"{label:<28}{system:>12.5f}{version:>13.5f}")
+    print(
+        f"\noptimistic == perfect oracle: {envelope.optimistic_matches_perfect} "
+        "(coincident failures always mismatch)"
+    )
+
+    # growth curves: how the gap evolves with campaign size
+    sizes = [0, 10, 25, 50, 100, 200]
+    print("\nsystem pfd vs campaign size (shared-fault output model):")
+    curves = back_to_back_growth_curves(
+        population,
+        profile,
+        sizes,
+        repro.shared_fault_outputs(),
+        n_replications=150,
+        rng=2,
+    )
+    pess = back_to_back_growth_curves(
+        population,
+        profile,
+        sizes,
+        repro.pessimistic_outputs(),
+        n_replications=150,
+        rng=2,
+    )
+    print(f"{'tests':>6}{'shared-fault':>14}{'pessimistic':>13}")
+    for i, n in enumerate(sizes):
+        print(
+            f"{n:>6}{curves['system'].values[i]:>14.5f}"
+            f"{pess['system'].values[i]:>13.5f}"
+        )
+    print(
+        "\nReading: under the pessimistic model the system curve flattens "
+        "well above zero —\nfaults the channels share produce identical "
+        "wrong answers, and no amount of\ncross-checking will ever flag "
+        "them.  That residue is exactly the coincident-\nfailure "
+        "probability the earlier models quantify."
+    )
+
+
+if __name__ == "__main__":
+    main()

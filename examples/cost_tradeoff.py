@@ -1,0 +1,69 @@
+"""The §3.4.1 cost trade-off: one long shared campaign or two short ones?
+
+The paper sketches two budget extremes for testing a two-version system:
+
+* test **generation** dominates the budget — then merge the two generated
+  suites and run all of it on both versions (a 2n common campaign);
+* test **execution** dominates — then each version can afford only n runs,
+  and the question is whether they should share the suite.
+
+This script prices both decisions across effort levels, exactly, and
+locates where the diminishing returns squeeze the merged-campaign
+advantage.
+
+Run:  python examples/cost_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analytic import BernoulliExactEngine
+
+
+def main() -> None:
+    space = repro.DemandSpace(150)
+    profile = repro.uniform_profile(space)
+    universe = repro.clustered_universe(
+        space, n_faults=18, region_size=6, concentration=5.0, rng=5
+    )
+    population = repro.BernoulliFaultPopulation.uniform(universe, 0.3)
+    engine = BernoulliExactEngine(universe, profile)
+
+    print(
+        "system pfd under three spending plans (generation cost = 2 suites "
+        "in every row):\n"
+    )
+    header = (
+        f"{'n':>5}  {'two indep n-suites':>19}  {'common n-suite':>15}  "
+        f"{'merged common 2n':>17}  {'merged advantage':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n in (5, 10, 20, 40, 80, 160, 320):
+        independent_n = engine.system_pfd_independent_suites(population, n)
+        same_n = engine.system_pfd_same_suite(population, n)
+        same_2n = engine.system_pfd_same_suite(population, 2 * n)
+        advantage = independent_n - same_2n
+        print(
+            f"{n:>5}  {independent_n:>19.3e}  {same_n:>15.3e}  "
+            f"{same_2n:>17.3e}  {advantage:>17.3e}"
+        )
+
+    print(
+        "\nReading:\n"
+        "* equal execution budget (column 2 vs 3): independent suites "
+        "always win —\n  sharing the campaign only adds dependence "
+        "(eq. (23)).\n"
+        "* equal generation budget (column 2 vs 4): running the merged "
+        "double-length\n  campaign on both versions wins despite the "
+        "dependence it induces — more\n  faults removed beats diversity "
+        "preserved, exactly as §3.4.1 argues.\n"
+        "* the merged advantage shrinks with n (last column): the law of "
+        "diminishing\n  returns — once the versions are reliable, the "
+        "second half of the long\n  campaign finds almost nothing, and the "
+        "two plans converge."
+    )
+
+
+if __name__ == "__main__":
+    main()

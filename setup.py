@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need to build a wheel; ``setup.py develop`` does not).  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""Brute-force exact enumeration of the paper's defining expectations.
+
+For a finitely enumerable population (``FinitePopulation``) and suite
+measure (``EnumerableSuiteGenerator`` or any generator implementing
+``enumerate``), the probability of simultaneous failure on a demand is the
+literal quadruple sum of eq. (15)::
+
+    P(both fail on x) = Σ_π₁ Σ_π₂ Σ_t₁ Σ_t₂
+        υ(π₁,x,t₁) υ(π₂,x,t₂) S₁(π₁) S₂(π₂) M₁(t₁) M₂(t₂)
+
+with the regime deciding how ``(t₁, t₂)`` are coupled: independent draws
+(product measure), one shared draw (diagonal measure), or draws from two
+different measures.  This module computes those sums *directly from score
+functions* — no use of the ζ/ξ shortcuts — so it provides ground truth
+against which the derived results (16)–(25) in :mod:`repro.core` are tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..demand import UsageProfile
+from ..errors import NotEnumerableError
+from ..populations import VersionPopulation
+from ..testing import SuiteGenerator, TestSuite, apply_testing
+from ..versions import Version
+from ..core.regimes import (
+    ForcedTestingDiversity,
+    IndependentSuites,
+    SameSuite,
+    TestingRegime,
+)
+
+__all__ = ["exact_zeta", "exact_joint_per_demand", "exact_marginal_system_pfd"]
+
+
+def _enumerate_population(
+    population: VersionPopulation,
+) -> List[Tuple[Version, float]]:
+    pairs = list(population.enumerate())
+    if not pairs:
+        raise NotEnumerableError("population enumeration produced no support")
+    return pairs
+
+
+def _enumerate_suites(generator: SuiteGenerator) -> List[Tuple[TestSuite, float]]:
+    pairs = list(generator.enumerate())
+    if not pairs:
+        raise NotEnumerableError("suite enumeration produced no support")
+    return pairs
+
+
+def _tested_masks(
+    population: VersionPopulation, generator: SuiteGenerator
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Post-test failure masks for every (version, suite) support pair.
+
+    Returns ``(masks, version_probs, suite_probs)`` where ``masks`` has
+    shape ``[n_versions, n_suites, n_demands]`` — small by construction
+    since enumeration is for ground-truth models.
+    """
+    version_pairs = _enumerate_population(population)
+    suite_pairs = _enumerate_suites(generator)
+    size = population.space.size
+    masks = np.zeros((len(version_pairs), len(suite_pairs), size), dtype=np.float64)
+    for i, (version, _) in enumerate(version_pairs):
+        for j, (suite, _) in enumerate(suite_pairs):
+            outcome = apply_testing(version, suite)
+            masks[i, j] = outcome.after.failure_mask
+    version_probs = np.array([p for _, p in version_pairs])
+    suite_probs = np.array([p for _, p in suite_pairs])
+    return masks, version_probs, suite_probs
+
+
+def exact_zeta(
+    population: VersionPopulation, generator: SuiteGenerator
+) -> np.ndarray:
+    """Exact ``ζ(x)`` by direct summation over ``℘ × Ξ`` (eq. (14))."""
+    masks, version_probs, suite_probs = _tested_masks(population, generator)
+    return np.einsum("i,j,ijx->x", version_probs, suite_probs, masks)
+
+
+def exact_joint_per_demand(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    population_b: VersionPopulation | None = None,
+) -> np.ndarray:
+    """Exact per-demand ``P(both tested versions fail on x)`` — eq. (15).
+
+    Computed from the raw generative definition under the regime's suite
+    coupling; agreement with
+    :func:`repro.core.joint.joint_failure_probability` validates the
+    paper's derivations as implemented.
+    """
+    population_b = population_b if population_b is not None else population_a
+
+    if isinstance(regime, SameSuite):
+        masks_a, vprobs_a, sprobs = _tested_masks(population_a, regime.generator)
+        if population_b is population_a:
+            masks_b, vprobs_b = masks_a, vprobs_a
+        else:
+            masks_b, vprobs_b, _ = _tested_masks(population_b, regime.generator)
+        # shared suite: average over the diagonal of the suite measure
+        mean_a = np.einsum("i,ijx->jx", vprobs_a, masks_a)
+        mean_b = np.einsum("i,ijx->jx", vprobs_b, masks_b)
+        return np.einsum("j,jx,jx->x", sprobs, mean_a, mean_b)
+
+    if isinstance(regime, IndependentSuites):
+        zeta_a = exact_zeta(population_a, regime.generator)
+        if population_b is population_a:
+            zeta_b = zeta_a
+        else:
+            zeta_b = exact_zeta(population_b, regime.generator)
+        return zeta_a * zeta_b
+
+    if isinstance(regime, ForcedTestingDiversity):
+        zeta_a = exact_zeta(population_a, regime.generator_a)
+        zeta_b = exact_zeta(population_b, regime.generator_b)
+        return zeta_a * zeta_b
+
+    raise TypeError(f"unknown testing regime: {type(regime).__name__}")
+
+
+def exact_marginal_system_pfd(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    profile: UsageProfile,
+    population_b: VersionPopulation | None = None,
+) -> float:
+    """Exact marginal 1-out-of-2 system pfd — eqs. (22)–(25) ground truth."""
+    joint = exact_joint_per_demand(regime, population_a, population_b)
+    return profile.expectation(joint)

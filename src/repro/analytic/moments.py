@@ -1,0 +1,64 @@
+"""Weighted discrete moments.
+
+Thin, well-tested helpers shared by the exact engines and the experiment
+reports.  All take an explicit weight vector (a probability distribution
+over demands) so they work with any usage profile or conditional measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProbabilityError
+
+__all__ = ["weighted_mean", "weighted_var", "weighted_cov", "validate_weights"]
+
+_SUM_TOLERANCE = 1e-9
+
+
+def validate_weights(weights: np.ndarray) -> np.ndarray:
+    """Check that ``weights`` is a probability vector; return as float64."""
+    array = np.asarray(weights, dtype=np.float64)
+    if array.ndim != 1:
+        raise ProbabilityError(f"weights must be 1-D, got shape {array.shape}")
+    if np.any(array < 0.0) or np.any(~np.isfinite(array)):
+        raise ProbabilityError("weights must be finite and non-negative")
+    if abs(float(array.sum()) - 1.0) > _SUM_TOLERANCE:
+        raise ProbabilityError(
+            f"weights must sum to 1, got {float(array.sum()):.12f}"
+        )
+    return array
+
+
+def weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    """``E_w[v]`` for a per-point value vector under probability weights."""
+    weights = validate_weights(weights)
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != weights.shape:
+        raise ProbabilityError(
+            f"values shape {values.shape} does not match weights shape "
+            f"{weights.shape}"
+        )
+    return float(weights @ values)
+
+
+def weighted_var(values: np.ndarray, weights: np.ndarray) -> float:
+    """``Var_w[v]`` — never negative (clipped at the floating-point floor)."""
+    mean = weighted_mean(values, weights)
+    values = np.asarray(values, dtype=np.float64)
+    second = float(validate_weights(weights) @ (values - mean) ** 2)
+    return max(second, 0.0)
+
+
+def weighted_cov(
+    first: np.ndarray, second: np.ndarray, weights: np.ndarray
+) -> float:
+    """``Cov_w[u, v]`` — may take either sign (the LM key quantity)."""
+    weights = validate_weights(weights)
+    u = np.asarray(first, dtype=np.float64)
+    v = np.asarray(second, dtype=np.float64)
+    if u.shape != weights.shape or v.shape != weights.shape:
+        raise ProbabilityError("value vectors must match weights shape")
+    mean_u = float(weights @ u)
+    mean_v = float(weights @ v)
+    return float(weights @ ((u - mean_u) * (v - mean_v)))

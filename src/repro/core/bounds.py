@@ -1,0 +1,340 @@
+"""Section 4 bounds: imperfect testing and back-to-back testing.
+
+§4.1 — with an imperfect oracle and/or imperfect fixing (and no new faults
+introduced), per-demand scores are sandwiched between the perfect-testing
+scores and the untested scores, so every failure probability is too:
+
+    perfect-testing value  ≤  imperfect-testing value  ≤  untested value.
+
+§4.2 — back-to-back testing is bracketed by two output-model extremes:
+the *optimistic* model (coincident failures never identical) reproduces the
+perfect-oracle results exactly, and the *pessimistic* score-level worst
+case leaves the system pfd at its untested value ("back-to-back testing
+does not improve system reliability at all").
+
+These bounds are verified by simulation: the measured quantity must lie in
+the analytic envelope.  :class:`BoundsReport` packages one such check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..demand import UsageProfile
+from ..errors import ModelError
+from ..populations import VersionPopulation
+from ..rng import as_generator, spawn_many
+from ..testing import (
+    BackToBackComparator,
+    FixingPolicy,
+    Oracle,
+    SuiteGenerator,
+    apply_testing,
+    back_to_back_testing,
+)
+from ..types import SeedLike
+from ..versions import (
+    optimistic_outputs,
+    pessimistic_outputs,
+    shared_fault_outputs,
+)
+from .regimes import TestingRegime
+from .marginal import marginal_system_pfd
+from .tested import TestedPopulationView
+
+__all__ = [
+    "BoundsReport",
+    "imperfect_testing_bounds",
+    "imperfect_system_bounds",
+    "BackToBackEnvelope",
+    "back_to_back_envelope",
+]
+
+_DEFAULT_REPLICATIONS = 400
+_DEFAULT_SUITE_SAMPLES = 256
+
+
+@dataclass(frozen=True)
+class BoundsReport:
+    """An analytic envelope together with a measured value.
+
+    Attributes
+    ----------
+    lower:
+        Perfect-testing prediction (best achievable under the §3 model).
+    upper:
+        Untested prediction (testing at its most ineffective).
+    measured:
+        Monte-Carlo estimate of the imperfect-testing quantity.
+    n_replications:
+        Replications behind the measurement.
+    label:
+        What quantity is being bounded.
+    """
+
+    lower: float
+    upper: float
+    measured: float
+    n_replications: int
+    label: str
+
+    def holds(self, slack: float = 0.0) -> bool:
+        """True iff ``lower − slack ≤ measured ≤ upper + slack``.
+
+        ``slack`` absorbs Monte-Carlo noise; scale it to the standard error
+        of the measurement.
+        """
+        return self.lower - slack <= self.measured <= self.upper + slack
+
+    @property
+    def width(self) -> float:
+        """Envelope width ``upper − lower``."""
+        return self.upper - self.lower
+
+
+def imperfect_testing_bounds(
+    population: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    oracle: Oracle,
+    fixing: FixingPolicy,
+    n_replications: int = _DEFAULT_REPLICATIONS,
+    n_suites: int = _DEFAULT_SUITE_SAMPLES,
+    rng: SeedLike = None,
+) -> BoundsReport:
+    """Version-level §4.1 bound: mean post-test pfd under imperfect testing.
+
+    The measured value averages, over random (version, suite) pairs, the
+    pfd of the version after testing with the given imperfect oracle and
+    fixing policy.  The envelope is ``[E_Q[ζ(X)], E_Q[θ(X)]]``.
+    """
+    if n_replications < 1:
+        raise ModelError(f"n_replications must be >= 1, got {n_replications}")
+    population.space.require_same(profile.space)
+    rng = as_generator(rng)
+    bound_stream, sim_stream = spawn_many(rng, 2)
+
+    view = TestedPopulationView(population, generator)
+    lower = view.marginal_pfd(profile, n_suites=n_suites, rng=bound_stream)
+    upper = population.pfd(profile)
+
+    total = 0.0
+    for replication_stream in spawn_many(sim_stream, n_replications):
+        version_stream, suite_stream, test_stream = spawn_many(replication_stream, 3)
+        version = population.sample(version_stream)
+        suite = generator.sample(suite_stream)
+        outcome = apply_testing(version, suite, oracle, fixing, rng=test_stream)
+        total += outcome.after.pfd(profile)
+    measured = total / n_replications
+    return BoundsReport(
+        lower=lower,
+        upper=upper,
+        measured=measured,
+        n_replications=n_replications,
+        label="version pfd under imperfect testing",
+    )
+
+
+def imperfect_system_bounds(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    profile: UsageProfile,
+    oracle: Oracle,
+    fixing: FixingPolicy,
+    population_b: VersionPopulation | None = None,
+    n_replications: int = _DEFAULT_REPLICATIONS,
+    n_suites: int = _DEFAULT_SUITE_SAMPLES,
+    rng: SeedLike = None,
+) -> BoundsReport:
+    """System-level §4.1 bound: 1-out-of-2 pfd under imperfect testing.
+
+    Envelope: perfect-testing system pfd of the regime (eqs. (22)–(25)) as
+    the lower bound, untested system pfd (eq. (6)/(9)) as the upper bound.
+    """
+    if n_replications < 1:
+        raise ModelError(f"n_replications must be >= 1, got {n_replications}")
+    population_b = population_b if population_b is not None else population_a
+    population_a.space.require_same(profile.space)
+    rng = as_generator(rng)
+    bound_stream, sim_stream = spawn_many(rng, 2)
+
+    lower = marginal_system_pfd(
+        regime,
+        population_a,
+        profile,
+        population_b,
+        n_suites=n_suites,
+        rng=bound_stream,
+    ).system_pfd
+    theta_a = population_a.difficulty()
+    theta_b = population_b.difficulty()
+    upper = profile.expectation(theta_a * theta_b)
+
+    total = 0.0
+    for replication_stream in spawn_many(sim_stream, n_replications):
+        streams = spawn_many(replication_stream, 5)
+        version_a = population_a.sample(streams[0])
+        version_b = population_b.sample(streams[1])
+        suite_a, suite_b = regime.draw_suites(streams[2])
+        outcome_a = apply_testing(version_a, suite_a, oracle, fixing, rng=streams[3])
+        outcome_b = apply_testing(version_b, suite_b, oracle, fixing, rng=streams[4])
+        joint_mask = outcome_a.after.failure_mask & outcome_b.after.failure_mask
+        total += float(profile.probabilities[joint_mask].sum())
+    measured = total / n_replications
+    return BoundsReport(
+        lower=lower,
+        upper=upper,
+        measured=measured,
+        n_replications=n_replications,
+        label=f"system pfd under imperfect testing ({regime.label})",
+    )
+
+
+@dataclass(frozen=True)
+class BackToBackEnvelope:
+    """Back-to-back testing outcomes under the three output models (§4.2).
+
+    All quantities are means over the same replications (version pair and
+    suite draws are shared across modes, so differences are purely due to
+    the output model).
+
+    Attributes
+    ----------
+    untested_system_pfd:
+        Mean system pfd before any testing (the §4.2 pessimistic bound on
+        what back-to-back testing achieves for the system).
+    perfect_system_pfd:
+        Mean system pfd after same-suite testing with a perfect oracle.
+    optimistic_system_pfd / pessimistic_system_pfd / shared_fault_system_pfd:
+        Mean system pfd after back-to-back testing under each output model.
+    optimistic_version_pfd / pessimistic_version_pfd / shared_fault_version_pfd:
+        Mean per-channel (averaged over the two channels) post-test pfd.
+    untested_version_pfd:
+        Mean per-channel pfd before testing.
+    n_replications:
+        Number of (version pair, suite) replications.
+    """
+
+    untested_system_pfd: float
+    perfect_system_pfd: float
+    optimistic_system_pfd: float
+    pessimistic_system_pfd: float
+    shared_fault_system_pfd: float
+    untested_version_pfd: float
+    optimistic_version_pfd: float
+    pessimistic_version_pfd: float
+    shared_fault_version_pfd: float
+    n_replications: int
+
+    @property
+    def optimistic_matches_perfect(self) -> bool:
+        """§4.2: the optimistic model must reproduce perfect-oracle results.
+
+        Under "coincident failures are never identical" every failure
+        produces a mismatch, so detection coincides with a perfect oracle;
+        the equality is exact, not statistical, because the comparison uses
+        shared draws.
+        """
+        return abs(self.optimistic_system_pfd - self.perfect_system_pfd) <= 1e-12
+
+    @property
+    def ordering_holds(self) -> bool:
+        """Envelope ordering: perfect ≤ {shared-fault, pessimistic} ≤ untested.
+
+        Detection under the pessimistic model is a subset of detection
+        under shared-fault, which is a subset of optimistic detection, so
+        post-test system pfds are ordered the opposite way (more detection,
+        lower pfd) — all within the untested/perfect envelope.
+        """
+        tol = 1e-12
+        return (
+            self.perfect_system_pfd
+            <= self.optimistic_system_pfd + tol
+            <= self.shared_fault_system_pfd + tol
+            <= self.pessimistic_system_pfd + tol
+            <= self.untested_system_pfd + tol
+        )
+
+
+def back_to_back_envelope(
+    population_a: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    population_b: VersionPopulation | None = None,
+    fixing: FixingPolicy | None = None,
+    n_replications: int = _DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+) -> BackToBackEnvelope:
+    """Simulate §4.2: back-to-back testing under all three output models.
+
+    Every replication draws one version pair and one shared suite, then
+    runs back-to-back testing three times (optimistic, pessimistic,
+    shared-fault comparators) plus a perfect-oracle same-suite run, all on
+    identical inputs, so the envelope comparisons are paired.
+    """
+    if n_replications < 1:
+        raise ModelError(f"n_replications must be >= 1, got {n_replications}")
+    population_b = population_b if population_b is not None else population_a
+    population_a.space.require_same(profile.space)
+    rng = as_generator(rng)
+
+    comparators = {
+        "optimistic": BackToBackComparator(optimistic_outputs()),
+        "pessimistic": BackToBackComparator(pessimistic_outputs()),
+        "shared": BackToBackComparator(shared_fault_outputs()),
+    }
+    sums = {
+        "untested_system": 0.0,
+        "perfect_system": 0.0,
+        "optimistic_system": 0.0,
+        "pessimistic_system": 0.0,
+        "shared_system": 0.0,
+        "untested_version": 0.0,
+        "optimistic_version": 0.0,
+        "pessimistic_version": 0.0,
+        "shared_version": 0.0,
+    }
+
+    def system_pfd(first, second) -> float:
+        mask = first.failure_mask & second.failure_mask
+        return float(profile.probabilities[mask].sum())
+
+    for replication_stream in spawn_many(rng, n_replications):
+        streams = spawn_many(replication_stream, 3)
+        version_a = population_a.sample(streams[0])
+        version_b = population_b.sample(streams[1])
+        suite = generator.sample(streams[2])
+
+        sums["untested_system"] += system_pfd(version_a, version_b)
+        sums["untested_version"] += 0.5 * (
+            version_a.pfd(profile) + version_b.pfd(profile)
+        )
+
+        perfect_a = apply_testing(version_a, suite).after
+        perfect_b = apply_testing(version_b, suite).after
+        sums["perfect_system"] += system_pfd(perfect_a, perfect_b)
+
+        for mode, comparator in comparators.items():
+            outcome_a, outcome_b = back_to_back_testing(
+                version_a, version_b, suite, comparator, fixing
+            )
+            sums[f"{mode}_system"] += system_pfd(outcome_a.after, outcome_b.after)
+            sums[f"{mode}_version"] += 0.5 * (
+                outcome_a.after.pfd(profile) + outcome_b.after.pfd(profile)
+            )
+
+    scale = 1.0 / n_replications
+    return BackToBackEnvelope(
+        untested_system_pfd=sums["untested_system"] * scale,
+        perfect_system_pfd=sums["perfect_system"] * scale,
+        optimistic_system_pfd=sums["optimistic_system"] * scale,
+        pessimistic_system_pfd=sums["pessimistic_system"] * scale,
+        shared_fault_system_pfd=sums["shared_system"] * scale,
+        untested_version_pfd=sums["untested_version"] * scale,
+        optimistic_version_pfd=sums["optimistic_version"] * scale,
+        pessimistic_version_pfd=sums["pessimistic_version"] * scale,
+        shared_fault_version_pfd=sums["shared_version"] * scale,
+        n_replications=n_replications,
+    )

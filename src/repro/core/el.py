@@ -1,0 +1,161 @@
+"""The Eckhardt–Lee model (paper §1, eqs. (1)–(7)).
+
+Given the difficulty function ``θ(x)`` of a version population and the usage
+profile ``Q``, the EL model describes the joint failure behaviour of two
+versions selected independently from that population:
+
+* on a fixed demand ``x`` the versions fail independently — eq. (4):
+  ``P(both fail on x) = θ(x)²``;
+* on a random demand ``X`` they do not — eq. (6):
+  ``P(both fail on X) = E[Θ²] = E[Θ]² + Var(Θ)``;
+* the excess over independence is exactly ``Var(Θ)``, zero only when the
+  difficulty function is constant (eq. (7) equality condition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..demand import UsageProfile
+from ..errors import IncompatibleSpaceError, ProbabilityError
+from ..populations import VersionPopulation
+
+__all__ = ["ELModel"]
+
+_CONST_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class ELModel:
+    """The Eckhardt–Lee diversity model over a concrete difficulty function.
+
+    Parameters
+    ----------
+    difficulty:
+        Per-demand failure probability ``θ(x)`` of a randomly developed
+        version (eq. (1)); values in ``[0, 1]``.
+    profile:
+        Usage measure ``Q`` over the same demand space.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.demand import DemandSpace, uniform_profile
+    >>> space = DemandSpace(2)
+    >>> model = ELModel(np.array([0.1, 0.3]), uniform_profile(space))
+    >>> round(model.prob_fail(), 4)
+    0.2
+    >>> round(model.prob_both_fail(), 4)  # E[Θ²] = (0.01 + 0.09) / 2
+    0.05
+    >>> model.prob_both_fail() > model.prob_fail() ** 2
+    True
+    """
+
+    difficulty: np.ndarray
+    profile: UsageProfile
+    _theta: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        theta = np.asarray(self.difficulty, dtype=np.float64)
+        if theta.shape != (self.profile.space.size,):
+            raise IncompatibleSpaceError(
+                f"difficulty length {theta.shape} does not match demand "
+                f"space size {self.profile.space.size}"
+            )
+        if np.any(theta < 0.0) or np.any(theta > 1.0) or np.any(~np.isfinite(theta)):
+            raise ProbabilityError("difficulty values must lie in [0, 1]")
+        object.__setattr__(self, "difficulty", theta)
+        object.__setattr__(self, "_theta", theta)
+
+    @classmethod
+    def from_population(
+        cls, population: VersionPopulation, profile: UsageProfile
+    ) -> "ELModel":
+        """Build the model from an exactly-computable population."""
+        population.space.require_same(profile.space)
+        return cls(population.difficulty(), profile)
+
+    @classmethod
+    def from_difficulty(
+        cls, difficulty: Sequence[float] | np.ndarray, profile: UsageProfile
+    ) -> "ELModel":
+        """Build the model from a raw difficulty vector."""
+        return cls(np.asarray(difficulty, dtype=np.float64), profile)
+
+    # ------------------------------------------------------------------
+    # scalar quantities of the paper
+    # ------------------------------------------------------------------
+    def prob_fail(self) -> float:
+        """``P(Π fails on X) = E[Θ]`` — eq. (2)."""
+        return self.profile.expectation(self._theta)
+
+    def prob_both_fail_on(self, demand: int) -> float:
+        """``P(both fail on x) = θ(x)²`` — eq. (4), fixed demand."""
+        index = self.profile.space.validate_demand(demand)
+        return float(self._theta[index] ** 2)
+
+    def prob_both_fail(self) -> float:
+        """``P(both fail on X) = E[Θ²]`` — eq. (6), random demand."""
+        return self.profile.expectation(self._theta**2)
+
+    def variance(self) -> float:
+        """``Var(Θ)`` — the excess over independence in eq. (6)."""
+        return self.profile.variance(self._theta)
+
+    def independence_prediction(self) -> float:
+        """``E[Θ]²`` — what naive independence would predict."""
+        return self.prob_fail() ** 2
+
+    def conditional_prob_fail_given_failed(self) -> float:
+        """``P(Π₂ fails | Π₁ failed) = Var(Θ)/E[Θ] + E[Θ]`` — eq. (7).
+
+        Raises
+        ------
+        ProbabilityError
+            If ``E[Θ] = 0`` (a certainly-correct population has no failures
+            to condition on).
+        """
+        mean = self.prob_fail()
+        if mean <= 0.0:
+            raise ProbabilityError(
+                "conditional probability undefined: P(fail) is zero"
+            )
+        return self.variance() / mean + mean
+
+    def independence_excess_ratio(self) -> float:
+        """``Var(Θ) / E[Θ]²`` — relative penalty over independence.
+
+        The paper's headline: this is strictly positive unless ``θ`` is
+        constant over the support of ``Q``, so assuming independent version
+        failures is optimistic by exactly this factor.
+        """
+        mean = self.prob_fail()
+        if mean <= 0.0:
+            return 0.0
+        return self.variance() / mean**2
+
+    def prob_all_fail(self, n_versions: int) -> float:
+        """``P(all n fail on X) = E[Θⁿ]`` — the 1-out-of-n generalisation.
+
+        The EL argument extends verbatim: conditionally on ``X = x`` the
+        ``n`` versions fail independently with probability ``θ(x)ⁿ``.
+        """
+        if n_versions < 1:
+            raise ProbabilityError(f"n_versions must be >= 1, got {n_versions}")
+        return self.profile.expectation(self._theta**n_versions)
+
+    def is_constant_difficulty(self, tolerance: float = _CONST_TOLERANCE) -> bool:
+        """True iff ``θ(x)`` is constant over the support of ``Q``.
+
+        The only case in which eq. (7) holds with equality — "it seems
+        likely that this will never be the case" (paper §1) — but the
+        library supports constructing it (ablation A4).
+        """
+        support = self.profile.support
+        if support.size == 0:
+            return True
+        values = self._theta[support]
+        return bool(values.max() - values.min() <= tolerance)

@@ -1,0 +1,234 @@
+"""Testing regimes as first-class objects.
+
+The paper's §3 case analysis enumerates how the two channels' test suites
+are related:
+
+* :class:`IndependentSuites` — each channel tested on its own draw from the
+  same measure ``M`` (§3.1);
+* :class:`ForcedTestingDiversity` — each channel tested on a draw from its
+  *own* measure ``M_TA`` / ``M_TB`` (§3.2);
+* :class:`SameSuite` — both channels tested on one shared draw (§3.3), the
+  acceptance-testing / back-to-back situation that induces dependence.
+
+A regime knows how to (a) draw the pair of suites for one replication of the
+generative process — used by the Monte-Carlo layer — and (b) compute the
+per-demand joint failure probability of eqs. (16)–(21) from population
+moments — used by the analytic layer.  Keeping both on one object guarantees
+the two layers describe the same experiment.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..populations import VersionPopulation
+from ..rng import as_generator, spawn_many
+from ..testing import SuiteGenerator, TestSuite
+from ..types import SeedLike
+from .tested import TestedPopulationView, cross_suite_moments
+
+__all__ = [
+    "TestingRegime",
+    "IndependentSuites",
+    "SameSuite",
+    "ForcedTestingDiversity",
+]
+
+_DEFAULT_SUITE_SAMPLES = 512
+
+
+class TestingRegime(abc.ABC):
+    """How the two channels' test suites are generated and shared."""
+
+    __test__ = False  # prevent pytest collection (library class)
+
+    @abc.abstractmethod
+    def draw_suites(self, rng: SeedLike = None) -> Tuple[TestSuite, TestSuite]:
+        """Draw the suite pair ``(t₁, t₂)`` for one replication."""
+
+    @abc.abstractmethod
+    def joint_per_demand(
+        self,
+        population_a: VersionPopulation,
+        population_b: VersionPopulation,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Per-demand ``P(both tested versions fail on x)`` under this regime.
+
+        Implements the matching equation of the paper — (16)–(19) for the
+        independent-draw regimes, (20)/(21) for the shared-suite regime.
+        Pass the same population twice for the single-methodology setting.
+        """
+
+    @property
+    @abc.abstractmethod
+    def shares_suite(self) -> bool:
+        """True iff both channels receive the same suite realisation."""
+
+    @property
+    @abc.abstractmethod
+    def label(self) -> str:
+        """Short human-readable regime name for reports."""
+
+
+class IndependentSuites(TestingRegime):
+    """Both channels tested on independent draws from one measure ``M``.
+
+    Paper §3.1: conditional independence of version failures survives
+    testing — eq. (16) (same population) / eq. (17) (forced design
+    diversity).
+    """
+
+    def __init__(self, generator: SuiteGenerator) -> None:
+        self._generator = generator
+
+    @property
+    def generator(self) -> SuiteGenerator:
+        """The shared suite measure ``M``."""
+        return self._generator
+
+    @property
+    def shares_suite(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return "independent suites"
+
+    def draw_suites(self, rng: SeedLike = None) -> Tuple[TestSuite, TestSuite]:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        return self._generator.sample(stream_a), self._generator.sample(stream_b)
+
+    def joint_per_demand(
+        self,
+        population_a: VersionPopulation,
+        population_b: VersionPopulation,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        zeta_a = TestedPopulationView(population_a, self._generator).zeta(
+            n_suites=n_suites, rng=stream_a
+        )
+        if population_b is population_a:
+            zeta_b = zeta_a
+        else:
+            zeta_b = TestedPopulationView(population_b, self._generator).zeta(
+                n_suites=n_suites, rng=stream_b
+            )
+        return zeta_a * zeta_b
+
+
+class SameSuite(TestingRegime):
+    """Both channels tested on one shared suite draw.
+
+    Paper §3.3: "the use of a common test suite has induced dependence in
+    their failure behaviour" — eq. (20) (same population, excess
+    ``Var_T(ξ)``) / eq. (21) (forced design diversity, excess
+    ``Cov_T(ξ_A, ξ_B)``).
+    """
+
+    def __init__(self, generator: SuiteGenerator) -> None:
+        self._generator = generator
+
+    @property
+    def generator(self) -> SuiteGenerator:
+        """The suite measure ``M`` both channels share."""
+        return self._generator
+
+    @property
+    def shares_suite(self) -> bool:
+        return True
+
+    @property
+    def label(self) -> str:
+        return "same suite"
+
+    def draw_suites(self, rng: SeedLike = None) -> Tuple[TestSuite, TestSuite]:
+        suite = self._generator.sample(as_generator(rng))
+        return suite, suite
+
+    def joint_per_demand(
+        self,
+        population_a: VersionPopulation,
+        population_b: VersionPopulation,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        if population_b is population_a:
+            moments = TestedPopulationView(
+                population_a, self._generator
+            ).suite_moments(n_suites=n_suites, rng=rng)
+            return moments.second_moment
+        cross = cross_suite_moments(
+            population_a,
+            population_b,
+            self._generator,
+            n_suites=n_suites,
+            rng=rng,
+        )
+        return cross.cross_moment
+
+
+class ForcedTestingDiversity(TestingRegime):
+    """Each channel tested on an independent draw from its own measure.
+
+    Paper §3.2: two generation procedures ``M_TA`` and ``M_TB``;
+    conditional independence is again preserved — eq. (18) / eq. (19).
+    """
+
+    def __init__(
+        self, generator_a: SuiteGenerator, generator_b: SuiteGenerator
+    ) -> None:
+        generator_a.space.require_same(generator_b.space)
+        self._generator_a = generator_a
+        self._generator_b = generator_b
+
+    @property
+    def generator_a(self) -> SuiteGenerator:
+        """Channel A's suite measure ``M_TA``."""
+        return self._generator_a
+
+    @property
+    def generator_b(self) -> SuiteGenerator:
+        """Channel B's suite measure ``M_TB``."""
+        return self._generator_b
+
+    @property
+    def shares_suite(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        return "forced testing diversity"
+
+    def draw_suites(self, rng: SeedLike = None) -> Tuple[TestSuite, TestSuite]:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        return (
+            self._generator_a.sample(stream_a),
+            self._generator_b.sample(stream_b),
+        )
+
+    def joint_per_demand(
+        self,
+        population_a: VersionPopulation,
+        population_b: VersionPopulation,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        zeta_a = TestedPopulationView(population_a, self._generator_a).zeta(
+            n_suites=n_suites, rng=stream_a
+        )
+        zeta_b = TestedPopulationView(population_b, self._generator_b).zeta(
+            n_suites=n_suites, rng=stream_b
+        )
+        return zeta_a * zeta_b

@@ -1,0 +1,38 @@
+"""Score functions — the paper's ``υ`` notation made executable.
+
+Definition (11) of the paper::
+
+    υ(π, x, t) = 1 if π, tested on t, fails on x
+                 0 otherwise
+
+with ``υ(π, x, ∅) = υ(π, x)`` the before-testing score of Eckhardt and Lee.
+Under perfect detection and fixing the fundamental monotonicity holds:
+``υ(π, x, ∅) ≥ υ(π, x, t)`` — testing can only flip scores from 1 to 0.
+These helpers exist so the model layer can speak the paper's language while
+the heavy lifting stays vectorised in the substrate classes.
+"""
+
+from __future__ import annotations
+
+from ..testing import TestSuite, apply_testing
+from ..versions import Version
+
+__all__ = ["score_before_testing", "score_after_perfect_testing"]
+
+
+def score_before_testing(version: Version, demand: int) -> int:
+    """``υ(π, x, ∅)`` — 1 iff the untested version fails on the demand."""
+    return version.score(demand)
+
+
+def score_after_perfect_testing(
+    version: Version, suite: TestSuite, demand: int
+) -> int:
+    """``υ(π, x, t)`` under a perfect oracle and perfect fixing.
+
+    Equivalent to testing the version set-wise (every fault triggered by
+    the suite is removed) and scoring the survivor.  Guaranteed to be at
+    most :func:`score_before_testing` for the same arguments.
+    """
+    outcome = apply_testing(version, suite)
+    return outcome.after.score(demand)

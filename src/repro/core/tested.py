@@ -1,0 +1,284 @@
+"""Tested-population quantities — the paper's §3 definitions (12)–(14).
+
+For a version population with measure ``S``, a suite measure ``M`` and
+perfect detection/fixing:
+
+* ``ς(π, x) = Σ_Ξ υ(π, x, t) M(t)``  — eq. (12): failure probability of a
+  *particular* version on ``x`` under a random suite;
+* ``ξ(x, t) = Σ_℘ υ(π, x, t) S(π)``  — eq. (13): failure probability of a
+  random version on ``x`` after testing with a *particular* suite;
+* ``η(π, t) = Σ_F υ(π, x, t) Q(x)``  — per-version post-test unreliability;
+* ``ζ(x) = E_{S,M}[υ(Π, x, T)]``      — eq. (14): the tested counterpart of
+  the difficulty function, with ``θ(x) ≥ ζ(x)`` demand-wise.
+
+The same machinery yields the suite-moment vectors the joint-failure results
+need: ``E_T[ξ(x,T)²]`` (eq. (20)) and ``E_T[ξ_A(x,T) ξ_B(x,T)]`` (eq. (21)).
+:class:`TestedPopulationView` evaluates all of these exactly when the suite
+measure is enumerable and by suite-sampling otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..demand import UsageProfile
+from ..errors import ModelError, NotEnumerableError
+from ..populations import VersionPopulation
+from ..rng import as_generator
+from ..testing import SuiteGenerator, TestSuite, apply_testing
+from ..types import SeedLike
+from ..versions import Version
+
+__all__ = ["SuiteMoments", "TestedPopulationView", "cross_suite_moments"]
+
+_DEFAULT_SUITE_SAMPLES = 512
+
+
+@dataclass(frozen=True)
+class SuiteMoments:
+    """First and second moments of ``ξ(x, T)`` over the suite measure.
+
+    Attributes
+    ----------
+    zeta:
+        ``ζ(x) = E_T[ξ(x,T)]`` per demand — eq. (14).
+    second_moment:
+        ``E_T[ξ(x,T)²]`` per demand — the same-suite joint probability of
+        eq. (20).
+    n_suites:
+        Number of suites integrated (support size when exact, sample count
+        when estimated).
+    exact:
+        True when computed by enumeration of the suite measure.
+    """
+
+    zeta: np.ndarray
+    second_moment: np.ndarray
+    n_suites: int
+    exact: bool
+
+    @property
+    def variance(self) -> np.ndarray:
+        """``Var_T(ξ(x,T))`` per demand — the dependence induced by a common suite."""
+        return np.maximum(self.second_moment - self.zeta**2, 0.0)
+
+
+@dataclass(frozen=True)
+class CrossSuiteMoments:
+    """Joint moments of ``(ξ_A(x,T), ξ_B(x,T))`` under one shared suite draw.
+
+    Attributes
+    ----------
+    zeta_a, zeta_b:
+        Per-methodology tested difficulty functions.
+    cross_moment:
+        ``E_T[ξ_A(x,T) ξ_B(x,T)]`` per demand — eq. (21) joint probability.
+    n_suites, exact:
+        As in :class:`SuiteMoments`.
+    """
+
+    zeta_a: np.ndarray
+    zeta_b: np.ndarray
+    cross_moment: np.ndarray
+    n_suites: int
+    exact: bool
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """``Cov_T(ξ_A(x,T), ξ_B(x,T))`` per demand — may take either sign."""
+        return self.cross_moment - self.zeta_a * self.zeta_b
+
+
+class TestedPopulationView(object):
+    """A version population viewed through a testing process.
+
+    Parameters
+    ----------
+    population:
+        The development measure ``S`` (must compute ``ξ(x, t)`` exactly;
+        both provided populations do).
+    generator:
+        The suite measure ``M``.
+
+    Notes
+    -----
+    Exactness policy: methods integrate over the suite measure by
+    enumeration when ``generator.enumerate()`` is available, and otherwise
+    fall back to i.i.d. suite sampling with ``n_suites`` draws (an rng is
+    then required for reproducibility).  The returned objects record which
+    path was taken.
+    """
+
+    __test__ = False  # prevent pytest collection (library class)
+
+    def __init__(
+        self, population: VersionPopulation, generator: SuiteGenerator
+    ) -> None:
+        population.space.require_same(generator.space)
+        self._population = population
+        self._generator = generator
+
+    @property
+    def population(self) -> VersionPopulation:
+        """The underlying development measure ``S``."""
+        return self._population
+
+    @property
+    def generator(self) -> SuiteGenerator:
+        """The underlying suite measure ``M``."""
+        return self._generator
+
+    # ------------------------------------------------------------------
+    # the paper's per-object quantities
+    # ------------------------------------------------------------------
+    def xi(self, suite: TestSuite) -> np.ndarray:
+        """``ξ(x, t)`` for a fixed suite — eq. (13), exact."""
+        return self._population.tested_difficulty(suite.unique_demands)
+
+    def varsigma(
+        self,
+        version: Version,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """``ς(π, x)`` for a fixed version — eq. (12), per demand.
+
+        Exact when the suite measure is enumerable, else a suite-sampling
+        estimate with ``n_suites`` draws.
+        """
+        try:
+            pairs = list(self._generator.enumerate())
+        except NotEnumerableError:
+            pairs = None
+        accumulator = np.zeros(self._population.space.size, dtype=np.float64)
+        if pairs is not None:
+            for suite, probability in pairs:
+                outcome = apply_testing(version, suite)
+                accumulator += probability * outcome.after.failure_mask
+            return accumulator
+        if n_suites < 1:
+            raise ModelError(f"n_suites must be >= 1, got {n_suites}")
+        generator = as_generator(rng)
+        for suite in self._generator.sample_many(n_suites, generator):
+            outcome = apply_testing(version, suite)
+            accumulator += outcome.after.failure_mask
+        return accumulator / n_suites
+
+    def eta(self, version: Version, suite: TestSuite, profile: UsageProfile) -> float:
+        """``η(π, t)`` — post-test unreliability of one version, one suite."""
+        outcome = apply_testing(version, suite)
+        return outcome.after.pfd(profile)
+
+    def suite_moments(
+        self,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> SuiteMoments:
+        """``ζ(x)`` and ``E_T[ξ(x,T)²]`` in one pass over the suite measure."""
+        try:
+            pairs = list(self._generator.enumerate())
+        except NotEnumerableError:
+            pairs = None
+        size = self._population.space.size
+        first = np.zeros(size, dtype=np.float64)
+        second = np.zeros(size, dtype=np.float64)
+        if pairs is not None:
+            for suite, probability in pairs:
+                xi = self.xi(suite)
+                first += probability * xi
+                second += probability * xi**2
+            return SuiteMoments(first, second, len(pairs), exact=True)
+        if n_suites < 1:
+            raise ModelError(f"n_suites must be >= 1, got {n_suites}")
+        generator = as_generator(rng)
+        for suite in self._generator.sample_many(n_suites, generator):
+            xi = self.xi(suite)
+            first += xi
+            second += xi**2
+        return SuiteMoments(
+            first / n_suites, second / n_suites, n_suites, exact=False
+        )
+
+    def zeta(
+        self,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """``ζ(x)`` — eq. (14), the tested difficulty function."""
+        return self.suite_moments(n_suites=n_suites, rng=rng).zeta
+
+    def efficiency(
+        self,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """``θ(x) − ζ(x)`` per demand — the paper's testing-efficiency gap.
+
+        Non-negative everywhere (testing cannot make a random version worse
+        under perfect detection/fixing); identically zero for a useless
+        suite measure.
+        """
+        theta = self._population.difficulty()
+        zeta = self.zeta(n_suites=n_suites, rng=rng)
+        return theta - zeta
+
+    def marginal_pfd(
+        self,
+        profile: UsageProfile,
+        n_suites: int = _DEFAULT_SUITE_SAMPLES,
+        rng: SeedLike = None,
+    ) -> float:
+        """``E_Q[ζ(X)]`` — mean post-test unreliability of a random version."""
+        return profile.expectation(self.zeta(n_suites=n_suites, rng=rng))
+
+
+def cross_suite_moments(
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    generator: SuiteGenerator,
+    n_suites: int = _DEFAULT_SUITE_SAMPLES,
+    rng: SeedLike = None,
+) -> CrossSuiteMoments:
+    """Moments of ``(ξ_A(x,T), ξ_B(x,T))`` under one shared suite draw.
+
+    The eq. (21) ingredients for the same-suite, forced-design-diversity
+    regime: both methodologies' tested difficulties are evaluated on the
+    *same* suite realisation, which is exactly what couples the channels.
+    """
+    population_a.space.require_same(generator.space)
+    population_b.space.require_same(generator.space)
+    try:
+        pairs = list(generator.enumerate())
+    except NotEnumerableError:
+        pairs = None
+    size = generator.space.size
+    first_a = np.zeros(size, dtype=np.float64)
+    first_b = np.zeros(size, dtype=np.float64)
+    cross = np.zeros(size, dtype=np.float64)
+    if pairs is not None:
+        for suite, probability in pairs:
+            xi_a = population_a.tested_difficulty(suite.unique_demands)
+            xi_b = population_b.tested_difficulty(suite.unique_demands)
+            first_a += probability * xi_a
+            first_b += probability * xi_b
+            cross += probability * xi_a * xi_b
+        return CrossSuiteMoments(first_a, first_b, cross, len(pairs), exact=True)
+    if n_suites < 1:
+        raise ModelError(f"n_suites must be >= 1, got {n_suites}")
+    rng = as_generator(rng)
+    for suite in generator.sample_many(n_suites, rng):
+        xi_a = population_a.tested_difficulty(suite.unique_demands)
+        xi_b = population_b.tested_difficulty(suite.unique_demands)
+        first_a += xi_a
+        first_b += xi_b
+        cross += xi_a * xi_b
+    return CrossSuiteMoments(
+        first_a / n_suites,
+        first_b / n_suites,
+        cross / n_suites,
+        n_suites,
+        exact=False,
+    )

@@ -1,0 +1,105 @@
+"""Partitions of the demand space.
+
+Partition testing draws demands per equivalence class rather than from the
+raw operational profile.  A :class:`DemandPartition` is a labelling of every
+demand with a block index; test generators use it to guarantee coverage of
+every block, and fault generators use it to create locality (faults whose
+failure regions respect block boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import IncompatibleSpaceError, ModelError
+from .space import DemandSpace
+
+__all__ = ["DemandPartition"]
+
+
+@dataclass(frozen=True)
+class DemandPartition:
+    """A partition of a demand space into contiguous-indexed blocks.
+
+    Parameters
+    ----------
+    space:
+        The demand space being partitioned.
+    labels:
+        Length-``space.size`` int array; ``labels[x]`` is the block index of
+        demand ``x``.  Block indices must be ``0 .. n_blocks-1`` with every
+        block non-empty.
+    """
+
+    space: DemandSpace
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if labels.shape != (self.space.size,):
+            raise IncompatibleSpaceError(
+                f"labels length {labels.shape} does not match demand space "
+                f"size {self.space.size}"
+            )
+        if labels.min(initial=0) < 0:
+            raise ModelError("block labels must be non-negative")
+        n_blocks = int(labels.max(initial=-1)) + 1
+        present = np.unique(labels)
+        if present.size != n_blocks:
+            missing = sorted(set(range(n_blocks)) - set(present.tolist()))
+            raise ModelError(f"blocks {missing} are empty; relabel contiguously")
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks in the partition."""
+        return int(self.labels.max()) + 1
+
+    def block(self, index: int) -> np.ndarray:
+        """Demand indices belonging to block ``index``."""
+        if not 0 <= index < self.n_blocks:
+            raise ModelError(f"block {index} out of range 0..{self.n_blocks - 1}")
+        return np.flatnonzero(self.labels == index).astype(np.int64)
+
+    def blocks(self) -> List[np.ndarray]:
+        """All blocks, as a list of demand-index arrays."""
+        return [self.block(i) for i in range(self.n_blocks)]
+
+    def block_of(self, demand: int) -> int:
+        """Block index containing ``demand``."""
+        return int(self.labels[self.space.validate_demand(demand)])
+
+    @classmethod
+    def equal_blocks(cls, space: DemandSpace, n_blocks: int) -> "DemandPartition":
+        """Split the space into ``n_blocks`` nearly equal contiguous blocks."""
+        if not 1 <= n_blocks <= space.size:
+            raise ModelError(
+                f"n_blocks must be in 1..{space.size}, got {n_blocks}"
+            )
+        labels = (np.arange(space.size, dtype=np.int64) * n_blocks) // space.size
+        return cls(space, labels)
+
+    @classmethod
+    def from_blocks(
+        cls, space: DemandSpace, blocks: Sequence[Sequence[int]]
+    ) -> "DemandPartition":
+        """Build a partition from explicit demand-index blocks.
+
+        Raises
+        ------
+        ModelError
+            If the blocks overlap or do not cover the space.
+        """
+        labels = np.full(space.size, -1, dtype=np.int64)
+        for index, block in enumerate(blocks):
+            demands = space.validate_demands(block)
+            if np.any(labels[demands] != -1):
+                raise ModelError(f"block {index} overlaps an earlier block")
+            labels[demands] = index
+        if np.any(labels == -1):
+            uncovered = np.flatnonzero(labels == -1).tolist()
+            raise ModelError(f"demands {uncovered} not covered by any block")
+        return cls(space, labels)

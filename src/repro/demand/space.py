@@ -1,0 +1,115 @@
+"""Finite demand space ``F``.
+
+A *demand* is one complete stimulus presented to the software (the paper is
+explicit that a demand may bundle many raw inputs).  The models only ever
+need a finite, indexable demand space together with measures over it, so the
+space is represented by its size; demands are the integers ``0 .. size-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import IncompatibleSpaceError, ModelError
+from ..types import as_index_array
+
+__all__ = ["DemandSpace"]
+
+
+@dataclass(frozen=True)
+class DemandSpace:
+    """A finite space of demands, indexed ``0 .. size-1``.
+
+    Parameters
+    ----------
+    size:
+        Number of distinct demands.  Must be positive.  Real demand spaces
+        are astronomically large; for modelling purposes what matters is the
+        induced distribution of difficulty across demands, which a few
+        hundred to a few thousand demands capture faithfully.
+
+    Examples
+    --------
+    >>> space = DemandSpace(100)
+    >>> len(space)
+    100
+    >>> 99 in space
+    True
+    >>> 100 in space
+    False
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ModelError(f"demand space size must be positive, got {self.size}")
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, demand: object) -> bool:
+        if not isinstance(demand, (int, np.integer)):
+            return False
+        return 0 <= int(demand) < self.size
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    @property
+    def demands(self) -> np.ndarray:
+        """All demand indices as an int64 array."""
+        return np.arange(self.size, dtype=np.int64)
+
+    def validate_demand(self, demand: int) -> int:
+        """Return ``demand`` if it lies in this space, else raise.
+
+        Raises
+        ------
+        IncompatibleSpaceError
+            If ``demand`` is outside ``0 .. size-1``.
+        """
+        if demand not in self:
+            raise IncompatibleSpaceError(
+                f"demand {demand!r} outside demand space of size {self.size}"
+            )
+        return int(demand)
+
+    def validate_demands(self, demands: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Canonicalise a collection of demand indices against this space.
+
+        Returns a sorted, duplicate-free int64 array.
+
+        Raises
+        ------
+        IncompatibleSpaceError
+            If any index lies outside the space.
+        """
+        array = as_index_array(demands)
+        if array.size and (array[0] < 0 or array[-1] >= self.size):
+            bad = array[(array < 0) | (array >= self.size)]
+            raise IncompatibleSpaceError(
+                f"demands {bad.tolist()} outside demand space of size {self.size}"
+            )
+        return array
+
+    def indicator(self, demands: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Return a boolean membership vector of length ``size``.
+
+        The dense indicator form is what the vectorised analytics operate
+        on (difficulty functions, failure regions, suites all become masks).
+        """
+        mask = np.zeros(self.size, dtype=bool)
+        mask[self.validate_demands(demands)] = True
+        return mask
+
+    def require_same(self, other: "DemandSpace") -> None:
+        """Raise unless ``other`` is the same space (same size)."""
+        if not isinstance(other, DemandSpace) or other.size != self.size:
+            raise IncompatibleSpaceError(
+                f"demand spaces differ: size {self.size} vs "
+                f"{getattr(other, 'size', None)!r}"
+            )

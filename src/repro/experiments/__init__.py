@@ -1,0 +1,63 @@
+"""The paper-reproduction experiment harness.
+
+One module per experiment (``e01`` … ``e14`` for the paper's numbered
+results and claims, ``a1`` … ``a5`` for the ablations listed in DESIGN.md).
+Every experiment builds its models, computes the analytic predictions,
+validates them against independent ground truth (exact enumeration and/or
+full-pipeline Monte Carlo), and returns an
+:class:`~repro.experiments.base.ExperimentResult` whose *claims* encode the
+paper's qualitative statements.
+
+Run from the command line::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments e07 e09    # selected experiments
+    python -m repro.experiments --full     # larger replication counts
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("e07", seed=0)
+    print(result.passed)
+"""
+
+from .base import Claim, ExperimentResult
+from .registry import all_experiment_ids, get_runner, run_experiment
+from .report import format_result, format_summary
+
+# importing the experiment modules registers them
+from . import (  # noqa: F401  (registration side effect)
+    e01_el_inequality,
+    e02_lm_covariance,
+    e03_indep_suites_same_pop,
+    e04_indep_suites_forced_design,
+    e05_forced_testing_diversity,
+    e06_forced_both,
+    e07_same_suite_variance,
+    e08_same_suite_covariance,
+    e09_marginal_same_pop,
+    e10_marginal_forced,
+    e11_imperfect_bounds,
+    e12_back_to_back,
+    e13_cost_tradeoff,
+    e14_growth_curves,
+    a1_difficulty_variance,
+    a2_suite_size_sweep,
+    a3_overlap_covariance,
+    a4_constant_difficulty,
+    a5_variance_extreme,
+    a6_n_version_sweep,
+    x1_clarifications,
+    x2_common_mistakes,
+    x3_combined_campaign,
+)
+
+__all__ = [
+    "Claim",
+    "ExperimentResult",
+    "run_experiment",
+    "get_runner",
+    "all_experiment_ids",
+    "format_result",
+    "format_summary",
+]

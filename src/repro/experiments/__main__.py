@@ -1,0 +1,56 @@
+"""CLI entry point: ``python -m repro.experiments [ids…] [options]``.
+
+Runs the requested reproduction experiments (all by default), prints each
+result table, and exits non-zero if any paper claim failed to hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .registry import all_experiment_ids, run_experiment
+from .report import format_result, format_summary
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the experiment CLI; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the results of Popov & Littlewood (DSN 2004).",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (default: all); e.g. e07 a2",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root seed (default 0)"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the large replication counts (slower, tighter CIs)",
+    )
+    parser.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only the one-line-per-experiment summary",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.ids or all_experiment_ids()
+    results = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, seed=args.seed, fast=not args.full)
+        results.append(result)
+        if not args.summary_only:
+            print(format_result(result))
+            print()
+    print(format_summary(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

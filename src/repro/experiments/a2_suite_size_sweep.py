@@ -1,0 +1,85 @@
+"""A2 — ablation: the suite-dependence penalty over testing effort.
+
+The same-suite excess ``E_Q[Var_T(ξ(X,T))]`` is zero at zero effort (no
+testing — nothing to share), zero in the exhaustive limit (every suite
+removes everything), and positive in between: shared testing hurts most at
+intermediate effort.  The sweep also tracks the *relative* penalty — excess
+as a fraction of the independent-suite system pfd — which keeps growing
+with effort, showing that dependence matters more, not less, for
+well-tested systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analytic import BernoulliExactEngine
+from .base import Claim, ExperimentResult
+from .models import standard_scenario
+from .registry import register
+
+
+@register("a2")
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run A2 and return its result table and claims."""
+    scenario = standard_scenario(seed)
+    engine = BernoulliExactEngine(scenario.universe, scenario.profile)
+    population = scenario.population
+    sizes = [0, 2, 5, 10, 20, 40, 80, 200, 500]
+
+    rows = []
+    excesses = []
+    ratios = []
+    for n in sizes:
+        independent = engine.system_pfd_independent_suites(population, n)
+        same = engine.system_pfd_same_suite(population, n)
+        excess = same - independent
+        excesses.append(excess)
+        ratio = excess / independent if independent > 0 else 0.0
+        ratios.append(ratio)
+        rows.append([n, independent, same, excess, ratio])
+
+    peak_index = int(np.argmax(excesses))
+    claims = [
+        Claim(
+            "no excess without testing (n=0)",
+            abs(excesses[0]) <= 1e-15,
+        ),
+        Claim(
+            "the absolute excess vanishes again at large effort",
+            excesses[-1] < excesses[peak_index] / 10.0,
+            f"peak {excesses[peak_index]:.6f} at n={sizes[peak_index]}, "
+            f"final {excesses[-1]:.2e}",
+        ),
+        Claim(
+            "the excess peaks at intermediate effort",
+            0 < peak_index < len(sizes) - 1,
+            f"peak at n={sizes[peak_index]}",
+        ),
+        Claim(
+            "excess is non-negative at every effort level (eq. (23))",
+            all(excess >= -1e-15 for excess in excesses),
+        ),
+        Claim(
+            "the relative penalty grows with effort: dependence dominates "
+            "the failure probability of well-tested pairs",
+            ratios[-1] > ratios[1],
+            f"ratio at n={sizes[1]}: {ratios[1]:.3f}; at n={sizes[-1]}: "
+            f"{ratios[-1]:.3f}",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="a2",
+        title="Same-suite dependence excess across testing effort",
+        paper_reference="eqs. (22)-(23); section 3.4.1",
+        columns=[
+            "suite size",
+            "system (indep)",
+            "system (same)",
+            "absolute excess",
+            "relative excess",
+        ],
+        rows=rows,
+        claims=claims,
+        notes="all values exact (inclusion-exclusion closed forms)",
+    )

@@ -1,0 +1,68 @@
+"""Common result types for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["Claim", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One qualitative statement from the paper, checked against data.
+
+    Attributes
+    ----------
+    description:
+        The claim in plain words (quoting/paraphrasing the paper).
+    holds:
+        Whether the reproduction supports it.
+    detail:
+        The numbers behind the verdict, for the report.
+    """
+
+    description: str
+    holds: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """The output of one reproduction experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id, e.g. ``"e07"``.
+    title:
+        One-line experiment description.
+    paper_reference:
+        Which equation/section of the paper this reproduces.
+    columns:
+        Header of the result table.
+    rows:
+        Table body; cells are formatted by the reporter (floats get
+        6 significant digits).
+    claims:
+        The qualitative checks.
+    notes:
+        Free-form remarks (model sizes, replication counts, substitutions).
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]]
+    claims: List[Claim]
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """True iff every claim holds."""
+        return all(claim.holds for claim in self.claims)
+
+    def claim_failures(self) -> List[Claim]:
+        """The claims that did not hold (empty when :attr:`passed`)."""
+        return [claim for claim in self.claims if not claim.holds]

@@ -1,0 +1,90 @@
+"""E13 — the §3.4.1 cost scenarios.
+
+Two extremes from the paper:
+
+* **Generation expensive, execution cheap** — with two generated suites in
+  hand, merge them and run all ``2n`` tests on *both* versions.  "Clearly,
+  with the longer test not only the individual reliability of the versions
+  is going to be better but so is the system reliability" — the merged
+  common suite beats two independent ``n``-suites despite inducing
+  dependence.
+* **Execution expensive** — each version can only run ``n`` tests; then
+  independent suites beat the shared suite (E9's result restated as the
+  equal-execution-cost comparison).
+
+Also checks the diminishing-returns remark: the advantage of doubling the
+test length shrinks as reliability grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analytic import BernoulliExactEngine
+from .base import Claim, ExperimentResult
+from .models import standard_scenario
+from .registry import register
+
+
+@register("e13")
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run E13 and return its result table and claims."""
+    scenario = standard_scenario(seed)
+    engine = BernoulliExactEngine(scenario.universe, scenario.profile)
+    population = scenario.population
+
+    suite_sizes = [5, 10, 20, 40, 80] if fast else [5, 10, 20, 40, 80, 160, 320]
+    rows = []
+    claims = []
+    advantages = []
+    for n in suite_sizes:
+        independent_n = engine.system_pfd_independent_suites(population, n)
+        same_n = engine.system_pfd_same_suite(population, n)
+        same_2n = engine.system_pfd_same_suite(population, 2 * n)
+        # a same-suite run of the merged 2n tests is what the paper's
+        # cheap-execution scenario buys at the same *generation* cost as
+        # two independent n-suites
+        advantage = independent_n - same_2n
+        advantages.append(advantage)
+        rows.append([n, independent_n, same_n, same_2n, advantage])
+        claims.append(
+            Claim(
+                f"equal generation cost (n={n}): merged 2n common suite "
+                "beats two independent n-suites",
+                same_2n <= independent_n + 1e-15,
+                f"same(2n)={same_2n:.6f} <= indep(n)={independent_n:.6f}",
+            )
+        )
+        claims.append(
+            Claim(
+                f"equal execution cost (n={n}): independent n-suites beat "
+                "the common n-suite",
+                independent_n <= same_n + 1e-15,
+                f"indep(n)={independent_n:.6f} <= same(n)={same_n:.6f}",
+            )
+        )
+    claims.append(
+        Claim(
+            "diminishing returns: the absolute advantage of the merged "
+            "double-length suite shrinks as testing effort grows",
+            advantages[0] > advantages[-1] - 1e-15,
+            f"advantage at n={suite_sizes[0]}: {advantages[0]:.6f}; at "
+            f"n={suite_sizes[-1]}: {advantages[-1]:.6f}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id="e13",
+        title="Cost scenarios: merged double-length common suite vs "
+        "independent suites",
+        paper_reference="section 3.4.1 (cost-benefit discussion)",
+        columns=[
+            "n",
+            "independent n-suites",
+            "common n-suite",
+            "common 2n-suite",
+            "indep(n) - same(2n)",
+        ],
+        rows=rows,
+        claims=claims,
+        notes="all values exact (inclusion-exclusion closed forms)",
+    )

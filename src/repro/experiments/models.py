@@ -1,0 +1,180 @@
+"""Shared model scenarios for the experiment suite.
+
+Every experiment needs concrete realisations of the paper's abstract
+measures.  Centralising them keeps the experiments comparable (same demand
+space scale, same fault shapes) and documents the substitutions once:
+
+* ``standard_scenario`` — one methodology, clustered faults (difficulty
+  variation), uniform usage, operational test generation;
+* ``forced_design_scenario`` — two methodologies with a controllable
+  shared-fault overlap (drives every covariance in the paper);
+* ``tiny_enumerable_scenario`` — a deliberately small model whose
+  population and suite measure are exactly enumerable, used for
+  ground-truth validation of the derived formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..demand import DemandSpace, UsageProfile, uniform_profile, zipf_profile
+from ..faults import FaultUniverse, clustered_universe, overlapping_pair
+from ..populations import BernoulliFaultPopulation, FinitePopulation
+from ..testing import (
+    EnumerableSuiteGenerator,
+    OperationalSuiteGenerator,
+    TestSuite,
+    WeightedDebugGenerator,
+)
+from ..versions import Version
+
+__all__ = [
+    "StandardScenario",
+    "ForcedDesignScenario",
+    "TinyEnumerableScenario",
+    "standard_scenario",
+    "forced_design_scenario",
+    "tiny_enumerable_scenario",
+]
+
+
+@dataclass(frozen=True)
+class StandardScenario:
+    """Single-methodology scenario used by most experiments."""
+
+    space: DemandSpace
+    profile: UsageProfile
+    universe: FaultUniverse
+    population: BernoulliFaultPopulation
+    generator: OperationalSuiteGenerator
+
+
+def standard_scenario(
+    seed: int = 0,
+    n_demands: int = 80,
+    n_faults: int = 14,
+    region_size: int = 5,
+    presence_prob: float = 0.3,
+    suite_size: int = 30,
+) -> StandardScenario:
+    """Clustered faults, uniform usage, operational suites.
+
+    Clustered regions give the difficulty function genuine variation —
+    without it the EL penalty (and with it most of the paper) vanishes.
+    """
+    space = DemandSpace(n_demands)
+    profile = uniform_profile(space)
+    universe = clustered_universe(
+        space, n_faults=n_faults, region_size=region_size, rng=seed
+    )
+    population = BernoulliFaultPopulation.uniform(universe, presence_prob)
+    generator = OperationalSuiteGenerator(profile, suite_size)
+    return StandardScenario(space, profile, universe, population, generator)
+
+
+@dataclass(frozen=True)
+class ForcedDesignScenario:
+    """Two-methodology scenario with controlled fault overlap."""
+
+    space: DemandSpace
+    profile: UsageProfile
+    universe: FaultUniverse
+    population_a: BernoulliFaultPopulation
+    population_b: BernoulliFaultPopulation
+    generator: OperationalSuiteGenerator
+    n_shared: int
+
+
+def forced_design_scenario(
+    seed: int = 0,
+    n_demands: int = 80,
+    n_shared: int = 4,
+    n_unique_each: int = 6,
+    region_size: int = 5,
+    presence_prob: float = 0.35,
+    suite_size: int = 30,
+    disjoint_unique_regions: bool = False,
+    usage_zipf_exponent: float = 0.0,
+) -> ForcedDesignScenario:
+    """Methodologies A and B sharing exactly ``n_shared`` faults.
+
+    ``disjoint_unique_regions=True`` places A's and B's unique faults on
+    opposite halves of the demand space — the construction for negative
+    difficulty covariance.  A Zipf usage exponent > 0 concentrates usage,
+    amplifying whatever covariance the fault placement creates.
+    """
+    space = DemandSpace(n_demands)
+    if usage_zipf_exponent > 0.0:
+        profile = zipf_profile(space, usage_zipf_exponent)
+    else:
+        profile = uniform_profile(space)
+    universe, ids_a, ids_b = overlapping_pair(
+        space,
+        n_shared=n_shared,
+        n_unique_each=n_unique_each,
+        region_size=region_size,
+        rng=seed,
+        disjoint_unique_regions=disjoint_unique_regions,
+    )
+    probs_a = np.zeros(len(universe))
+    probs_a[ids_a] = presence_prob
+    probs_b = np.zeros(len(universe))
+    probs_b[ids_b] = presence_prob
+    population_a = BernoulliFaultPopulation(universe, probs_a)
+    population_b = BernoulliFaultPopulation(universe, probs_b)
+    generator = OperationalSuiteGenerator(profile, suite_size)
+    return ForcedDesignScenario(
+        space,
+        profile,
+        universe,
+        population_a,
+        population_b,
+        generator,
+        n_shared,
+    )
+
+
+@dataclass(frozen=True)
+class TinyEnumerableScenario:
+    """Fully enumerable model: exact ground truth for every expectation."""
+
+    space: DemandSpace
+    profile: UsageProfile
+    universe: FaultUniverse
+    population: FinitePopulation
+    generator: EnumerableSuiteGenerator
+
+
+def tiny_enumerable_scenario(seed: int = 0) -> TinyEnumerableScenario:
+    """Six demands, three faults, four versions, four suites.
+
+    Small enough to sum every expectation exactly, rich enough that the
+    difficulty function varies, suites differ in effectiveness, and the
+    same-suite excess is strictly positive.
+    """
+    space = DemandSpace(6)
+    profile = uniform_profile(space)
+    universe = FaultUniverse.from_regions(
+        space, [[0, 1], [2, 3], [3, 4]]
+    )
+    versions = [
+        Version.correct(universe),
+        Version(universe, np.array([0])),
+        Version(universe, np.array([1, 2])),
+        Version.with_all_faults(universe),
+    ]
+    population = FinitePopulation(
+        universe, versions, [0.4, 0.3, 0.2, 0.1]
+    )
+    suites = [
+        TestSuite.of(space, [0]),
+        TestSuite.of(space, [2]),
+        TestSuite.of(space, [4, 5]),
+        TestSuite.of(space, [5]),
+    ]
+    generator = EnumerableSuiteGenerator(
+        space, suites, [0.25, 0.25, 0.25, 0.25]
+    )
+    return TinyEnumerableScenario(space, profile, universe, population, generator)

@@ -1,0 +1,76 @@
+"""Experiment registry.
+
+Experiment modules register a runner ``(seed, fast) -> ExperimentResult``
+under their id at import time; the CLI, the benchmark suite and the test
+suite all look experiments up here, so there is exactly one definition of
+each experiment in the codebase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ModelError
+from .base import ExperimentResult
+
+__all__ = ["register", "get_runner", "run_experiment", "all_experiment_ids"]
+
+Runner = Callable[[int, bool], ExperimentResult]
+
+_REGISTRY: Dict[str, Runner] = {}
+
+
+def register(experiment_id: str) -> Callable[[Runner], Runner]:
+    """Class/function decorator registering a runner under ``experiment_id``."""
+
+    def decorator(runner: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ModelError(f"experiment {experiment_id!r} already registered")
+        _REGISTRY[experiment_id] = runner
+        return runner
+
+    return decorator
+
+
+def get_runner(experiment_id: str) -> Runner:
+    """Look up a registered runner.
+
+    Raises
+    ------
+    ModelError
+        For unknown ids (listing the known ones).
+    """
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ModelError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, seed: int = 0, fast: bool = True
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Parameters
+    ----------
+    experiment_id:
+        Registry id (``"e01"`` … ``"e14"``, ``"a1"`` … ``"a5"``).
+    seed:
+        Root seed; the same seed reproduces the same tables exactly.
+    fast:
+        True keeps replication counts small (seconds); False runs the
+        larger counts used for EXPERIMENTS.md.
+    """
+    return get_runner(experiment_id)(seed, fast)
+
+
+def all_experiment_ids() -> List[str]:
+    """All registered ids, e-experiments first, each group in order."""
+    ids = sorted(_REGISTRY)
+    e_ids = [i for i in ids if i.startswith("e")]
+    a_ids = [i for i in ids if i.startswith("a")]
+    other = [i for i in ids if not (i.startswith("e") or i.startswith("a"))]
+    return e_ids + a_ids + other

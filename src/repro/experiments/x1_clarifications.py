@@ -1,0 +1,109 @@
+"""X1 — extension: common clarifications as shared restricted suites (§5).
+
+The paper's conclusion proposes modelling a clarification broadcast to all
+teams as a shared "test suite" over the affected sub-space.  This experiment
+realises that model and checks the predictions that fall out of the §3
+machinery:
+
+* a broadcast clarification improves the system (it is still testing);
+* but it is *shared*, so it carries the eq. (20) dependence penalty
+  relative to teams resolving independently discovered ambiguities;
+* a deterministic clarification (no uncertainty about which ambiguity
+  surfaces) carries no penalty at all — Var over a point measure is zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..extensions import ClarificationProcess, clarification_effect
+from .base import Claim, ExperimentResult
+from .models import standard_scenario
+from .registry import register
+
+
+@register("x1")
+def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
+    """Run X1 and return its result table and claims."""
+    scenario = standard_scenario(seed)
+    space = scenario.space
+    # candidate ambiguities: three disjoint sub-spaces of 12 demands
+    regions = [
+        list(range(0, 12)),
+        list(range(30, 42)),
+        list(range(60, 72)),
+    ]
+    random_process = ClarificationProcess(
+        space, regions, [0.4, 0.3, 0.3]
+    )
+    deterministic_process = ClarificationProcess(space, [regions[0]], [1.0])
+    partial_process = ClarificationProcess(space, regions, [0.2, 0.2, 0.2])
+
+    rows = []
+    claims = []
+    effects = {}
+    for label, process in (
+        ("random which-ambiguity", random_process),
+        ("deterministic", deterministic_process),
+        ("maybe none surfaces", partial_process),
+    ):
+        effect = clarification_effect(
+            process, scenario.population, scenario.profile
+        )
+        effects[label] = effect
+        rows.append(
+            [
+                label,
+                effect.untested_pfd,
+                effect.per_team_pfd,
+                effect.shared_pfd,
+                effect.dependence_penalty,
+            ]
+        )
+        claims.append(
+            Claim(
+                f"[{label}] broadcasting the clarification still helps "
+                "(vs no clarification)",
+                effect.clarification_helps,
+                f"{effect.shared_pfd:.6f} <= {effect.untested_pfd:.6f}",
+            )
+        )
+    claims.append(
+        Claim(
+            "a random shared clarification carries the eq. (20) dependence "
+            "penalty over independent per-team resolution",
+            effects["random which-ambiguity"].dependence_penalty > 1e-9,
+            f"penalty = "
+            f"{effects['random which-ambiguity'].dependence_penalty:.6f}",
+        )
+    )
+    claims.append(
+        Claim(
+            "a deterministic clarification carries no penalty "
+            "(Var over a point measure is zero)",
+            abs(effects["deterministic"].dependence_penalty) <= 1e-12,
+        )
+    )
+    claims.append(
+        Claim(
+            "uncertainty about whether any ambiguity surfaces increases "
+            "the penalty relative to the certain case",
+            effects["maybe none surfaces"].dependence_penalty
+            >= effects["deterministic"].dependence_penalty,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="x1",
+        title="Common clarifications modelled as shared restricted suites",
+        paper_reference="section 5 (conclusion), common-clarification sketch",
+        columns=[
+            "clarification process",
+            "no clarification",
+            "per-team resolution",
+            "broadcast (shared)",
+            "dependence penalty",
+        ],
+        rows=rows,
+        claims=claims,
+        notes="three candidate ambiguities of 12 demands each; all exact",
+    )

@@ -1,0 +1,75 @@
+"""Extensions sketched in the paper's conclusion (§5).
+
+The paper closes by observing that its shared-suite formalism "seems
+applicable to modelling any kind of commonality", naming two instances and
+leaving "detailed modelling ... for the future".  This package provides
+that modelling, as thin, principled adapters over the core machinery:
+
+* :mod:`repro.extensions.clarification` — a **common clarification** sent to
+  all teams is a shared "test suite" restricted to the sub-space of demands
+  the ambiguity affects.  Uncertainty about *which* ambiguity surfaces makes
+  the clarification process a suite measure, and all of eqs. (16)–(25)
+  apply verbatim.
+* :mod:`repro.extensions.mistakes` — a **common mistake** (e.g. a wrong
+  instruction on how to resolve an ambiguity) is the dual event: instead of
+  fixing scores it *sets scores to 1* on the affected demands, in every
+  channel.  Modelled as a shared fault forced into both populations, with
+  an optional *blind oracle* that cannot recognise the mistaken behaviour
+  as failure (the judge shares the misconception).
+* :mod:`repro.extensions.stopping` — the **stopping rules** for operational
+  testing the paper leans on in §2 (its ref. [3], Littlewood & Wright):
+  classical zero-failure demonstration and a conservative Bayesian bound,
+  connecting suite size to demonstrated pfd.
+* :mod:`repro.extensions.campaign` — **combined activities**: ordered
+  campaigns mixing testing stages, back-to-back sessions, clarifications
+  and mistakes over one realised two-channel system, per the paper's
+  closing paragraph ("the effect of applying more than one activity").
+"""
+
+from .clarification import (
+    ClarificationProcess,
+    clarification_effect,
+)
+from .mistakes import (
+    SpecificationMistake,
+    BlindSpotOracle,
+    mistake_effect,
+)
+from .stopping import (
+    bayes_pfd_upper_bound,
+    classical_pfd_upper_bound,
+    tests_needed_for_target,
+)
+from .campaign import (
+    Activity,
+    BackToBackActivity,
+    CampaignStep,
+    CampaignTrajectory,
+    ClarificationActivity,
+    DevelopmentCampaign,
+    IndependentTestingActivity,
+    MistakeActivity,
+    PerTeamClarificationActivity,
+    SharedTestingActivity,
+)
+
+__all__ = [
+    "ClarificationProcess",
+    "clarification_effect",
+    "SpecificationMistake",
+    "BlindSpotOracle",
+    "mistake_effect",
+    "classical_pfd_upper_bound",
+    "bayes_pfd_upper_bound",
+    "tests_needed_for_target",
+    "Activity",
+    "SharedTestingActivity",
+    "IndependentTestingActivity",
+    "BackToBackActivity",
+    "ClarificationActivity",
+    "PerTeamClarificationActivity",
+    "MistakeActivity",
+    "CampaignStep",
+    "CampaignTrajectory",
+    "DevelopmentCampaign",
+]

@@ -1,0 +1,339 @@
+"""Combined development activities (paper §5, closing paragraph).
+
+"In practical software development a combination of different activities is
+utilised which introduce sources of dependence between the channels.  We
+intend to study the effect of applying more than one activity to the
+diverse channels and the interplay between their individual characteristics
+(e.g. efficacy) and mutual diversity."
+
+A :class:`DevelopmentCampaign` is an ordered sequence of *activities*
+applied to a concrete two-channel system: shared or independent testing
+stages, back-to-back sessions, clarification broadcasts, and mistake
+injections.  Running a campaign yields a step-by-step trajectory of channel
+and system reliability, making the interplay the paper asks about directly
+observable; averaging over version pairs gives the population view.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..demand import UsageProfile
+from ..errors import ModelError
+from ..rng import as_generator, spawn_many
+from ..testing import (
+    BackToBackComparator,
+    FixingPolicy,
+    Oracle,
+    SuiteGenerator,
+    apply_testing,
+    back_to_back_testing,
+)
+from ..types import SeedLike
+from ..versions import Version
+from ..populations import VersionPopulation
+from .clarification import ClarificationProcess
+from .mistakes import SpecificationMistake
+
+__all__ = [
+    "Activity",
+    "SharedTestingActivity",
+    "IndependentTestingActivity",
+    "BackToBackActivity",
+    "ClarificationActivity",
+    "PerTeamClarificationActivity",
+    "MistakeActivity",
+    "CampaignStep",
+    "CampaignTrajectory",
+    "DevelopmentCampaign",
+]
+
+
+class Activity(abc.ABC):
+    """One step of a development campaign, acting on a version pair."""
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> str:
+        """Short label for trajectory reports."""
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        version_a: Version,
+        version_b: Version,
+        rng: np.random.Generator,
+    ) -> Tuple[Version, Version]:
+        """Run the activity; return the evolved version pair."""
+
+
+class SharedTestingActivity(Activity):
+    """One suite drawn from ``M`` and run against both channels."""
+
+    def __init__(
+        self,
+        generator: SuiteGenerator,
+        oracle: Oracle | None = None,
+        fixing: FixingPolicy | None = None,
+    ) -> None:
+        self._generator = generator
+        self._oracle = oracle
+        self._fixing = fixing
+
+    @property
+    def kind(self) -> str:
+        return "shared testing"
+
+    def apply(self, version_a, version_b, rng):
+        streams = spawn_many(rng, 3)
+        suite = self._generator.sample(streams[0])
+        after_a = apply_testing(
+            version_a, suite, self._oracle, self._fixing, rng=streams[1]
+        ).after
+        after_b = apply_testing(
+            version_b, suite, self._oracle, self._fixing, rng=streams[2]
+        ).after
+        return after_a, after_b
+
+
+class IndependentTestingActivity(Activity):
+    """Each channel tested on its own draw from ``M``."""
+
+    def __init__(
+        self,
+        generator: SuiteGenerator,
+        oracle: Oracle | None = None,
+        fixing: FixingPolicy | None = None,
+    ) -> None:
+        self._generator = generator
+        self._oracle = oracle
+        self._fixing = fixing
+
+    @property
+    def kind(self) -> str:
+        return "independent testing"
+
+    def apply(self, version_a, version_b, rng):
+        streams = spawn_many(rng, 4)
+        suite_a = self._generator.sample(streams[0])
+        suite_b = self._generator.sample(streams[1])
+        after_a = apply_testing(
+            version_a, suite_a, self._oracle, self._fixing, rng=streams[2]
+        ).after
+        after_b = apply_testing(
+            version_b, suite_b, self._oracle, self._fixing, rng=streams[3]
+        ).after
+        return after_a, after_b
+
+
+class BackToBackActivity(Activity):
+    """A cross-checking session on one shared suite (no external oracle)."""
+
+    def __init__(
+        self,
+        generator: SuiteGenerator,
+        comparator: BackToBackComparator,
+        fixing: FixingPolicy | None = None,
+    ) -> None:
+        self._generator = generator
+        self._comparator = comparator
+        self._fixing = fixing
+
+    @property
+    def kind(self) -> str:
+        return "back-to-back"
+
+    def apply(self, version_a, version_b, rng):
+        streams = spawn_many(rng, 2)
+        suite = self._generator.sample(streams[0])
+        outcome_a, outcome_b = back_to_back_testing(
+            version_a,
+            version_b,
+            suite,
+            self._comparator,
+            self._fixing,
+            rng=streams[1],
+        )
+        return outcome_a.after, outcome_b.after
+
+
+class ClarificationActivity(Activity):
+    """A clarification drawn from the process and broadcast to both teams."""
+
+    def __init__(self, process: ClarificationProcess) -> None:
+        self._process = process
+
+    @property
+    def kind(self) -> str:
+        return "clarification"
+
+    def apply(self, version_a, version_b, rng):
+        suite = self._process.generator.sample(rng)
+        after_a = apply_testing(version_a, suite).after
+        after_b = apply_testing(version_b, suite).after
+        return after_a, after_b
+
+
+class PerTeamClarificationActivity(Activity):
+    """Each team independently discovers and resolves its own ambiguity.
+
+    The diversity-preserving counterfactual to
+    :class:`ClarificationActivity`: two independent draws from the same
+    clarification process, one per channel.
+    """
+
+    def __init__(self, process: ClarificationProcess) -> None:
+        self._process = process
+
+    @property
+    def kind(self) -> str:
+        return "per-team clarification"
+
+    def apply(self, version_a, version_b, rng):
+        streams = spawn_many(rng, 2)
+        suite_a = self._process.generator.sample(streams[0])
+        suite_b = self._process.generator.sample(streams[1])
+        after_a = apply_testing(version_a, suite_a).after
+        after_b = apply_testing(version_b, suite_b).after
+        return after_a, after_b
+
+
+class MistakeActivity(Activity):
+    """A wrong common instruction: the mistake's faults enter both channels."""
+
+    def __init__(self, mistake: SpecificationMistake) -> None:
+        self._mistake = mistake
+
+    @property
+    def kind(self) -> str:
+        return "common mistake"
+
+    def apply(self, version_a, version_b, rng):
+        ids = np.asarray(self._mistake.fault_ids, dtype=np.int64)
+        return version_a.with_faults(ids), version_b.with_faults(ids)
+
+
+@dataclass(frozen=True)
+class CampaignStep:
+    """System state after one campaign activity.
+
+    ``step`` 0 is the initial state with ``kind = "initial"``.
+    """
+
+    step: int
+    kind: str
+    pfd_a: float
+    pfd_b: float
+    system_pfd: float
+    faults_a: int
+    faults_b: int
+
+
+@dataclass(frozen=True)
+class CampaignTrajectory:
+    """The per-step history of one campaign run."""
+
+    steps: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __getitem__(self, index: int) -> CampaignStep:
+        return self.steps[index]
+
+    @property
+    def final(self) -> CampaignStep:
+        """State after the last activity."""
+        return self.steps[-1]
+
+    def system_pfds(self) -> np.ndarray:
+        """System pfd by step."""
+        return np.array([step.system_pfd for step in self.steps])
+
+    def degrading_steps(self) -> List[CampaignStep]:
+        """Steps that made the *system* worse (only mistakes can)."""
+        out = []
+        for previous, current in zip(self.steps, self.steps[1:]):
+            if current.system_pfd > previous.system_pfd + 1e-15:
+                out.append(current)
+        return out
+
+
+class DevelopmentCampaign(object):
+    """An ordered sequence of activities applied to a two-channel system."""
+
+    def __init__(self, activities: Sequence[Activity]) -> None:
+        activities = list(activities)
+        if not activities:
+            raise ModelError("a campaign needs at least one activity")
+        for index, activity in enumerate(activities):
+            if not isinstance(activity, Activity):
+                raise ModelError(f"item {index} is not an Activity")
+        self._activities = activities
+
+    @property
+    def activities(self) -> List[Activity]:
+        """The campaign plan (copy)."""
+        return list(self._activities)
+
+    def run(
+        self,
+        version_a: Version,
+        version_b: Version,
+        profile: UsageProfile,
+        rng: SeedLike = None,
+    ) -> CampaignTrajectory:
+        """Run the campaign on one concrete version pair."""
+        rng = as_generator(rng)
+
+        def snapshot(step: int, kind: str, a: Version, b: Version) -> CampaignStep:
+            joint = a.failure_mask & b.failure_mask
+            return CampaignStep(
+                step=step,
+                kind=kind,
+                pfd_a=a.pfd(profile),
+                pfd_b=b.pfd(profile),
+                system_pfd=float(profile.probabilities[joint].sum()),
+                faults_a=a.n_faults,
+                faults_b=b.n_faults,
+            )
+
+        current_a, current_b = version_a, version_b
+        steps = [snapshot(0, "initial", current_a, current_b)]
+        for index, activity in enumerate(self._activities, start=1):
+            current_a, current_b = activity.apply(
+                current_a, current_b, as_generator(rng)
+            )
+            steps.append(snapshot(index, activity.kind, current_a, current_b))
+        return CampaignTrajectory(tuple(steps))
+
+    def mean_final_system_pfd(
+        self,
+        population_a: VersionPopulation,
+        profile: UsageProfile,
+        population_b: VersionPopulation | None = None,
+        n_replications: int = 200,
+        rng: SeedLike = None,
+    ) -> float:
+        """Average final system pfd over random version pairs."""
+        if n_replications < 1:
+            raise ModelError(
+                f"n_replications must be >= 1, got {n_replications}"
+            )
+        population_b = population_b if population_b is not None else population_a
+        rng = as_generator(rng)
+        total = 0.0
+        for replication in spawn_many(rng, n_replications):
+            streams = spawn_many(replication, 3)
+            version_a = population_a.sample(streams[0])
+            version_b = population_b.sample(streams[1])
+            trajectory = self.run(version_a, version_b, profile, streams[2])
+            total += trajectory.final.system_pfd
+        return total / n_replications

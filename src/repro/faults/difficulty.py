@@ -1,0 +1,100 @@
+"""Difficulty functions derived from fault structure.
+
+Under the Bernoulli population model — each fault ``f`` independently
+present in a random version with probability ``p_f`` — the EL difficulty
+function has the closed form
+
+    theta(x) = P(some fault covering x is present)
+             = 1 - prod_{f : x in R_f} (1 - p_f)                       (eq. (1))
+
+and, for a *fixed* test suite ``t`` under perfect detection and fixing, the
+post-test difficulty (the paper's ``ξ(x, t)``, eq. (13)) is the same product
+restricted to faults whose regions the suite misses:
+
+    xi(x, t) = 1 - prod_{f : x in R_f, R_f ∩ t = ∅} (1 - p_f)
+
+These two functions are the bridge between the concrete fault substrate and
+the abstract measure-theoretic quantities of the paper, and they are exact,
+not sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError, ProbabilityError
+from .universe import FaultUniverse
+
+__all__ = ["difficulty_from_bernoulli", "tested_difficulty_given_suite"]
+
+
+def _validate_presence_probs(
+    universe: FaultUniverse, presence_probs: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    probs = np.asarray(presence_probs, dtype=np.float64)
+    if probs.shape != (len(universe),):
+        raise ModelError(
+            f"presence probability vector length {probs.shape} does not "
+            f"match universe size {len(universe)}"
+        )
+    if np.any(probs < 0.0) or np.any(probs > 1.0) or np.any(~np.isfinite(probs)):
+        raise ProbabilityError("fault presence probabilities must lie in [0, 1]")
+    return probs
+
+
+def difficulty_from_bernoulli(
+    universe: FaultUniverse, presence_probs: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Exact ``theta(x)`` for a Bernoulli fault population.
+
+    Parameters
+    ----------
+    universe:
+        The fault universe.
+    presence_probs:
+        Per-fault inclusion probability ``p_f``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``n_demands`` vector of ``theta(x)``.
+
+    Notes
+    -----
+    Computed in log-space as ``1 - exp(sum log(1-p_f))`` over covering
+    faults, which is vectorised as a matrix product of the coverage matrix
+    with ``log1p(-p)``.  Faults with ``p_f = 1`` force ``theta(x) = 1`` on
+    their region; handled exactly.
+    """
+    probs = _validate_presence_probs(universe, presence_probs)
+    coverage = universe.coverage.astype(np.float64)
+    certain = probs >= 1.0
+    with np.errstate(divide="ignore"):
+        log_miss = np.where(certain, 0.0, np.log1p(-np.where(certain, 0.0, probs)))
+    log_prod = coverage.T @ log_miss
+    theta = 1.0 - np.exp(log_prod)
+    if certain.any():
+        forced = universe.coverage[certain].any(axis=0)
+        theta = np.where(forced, 1.0, theta)
+    return np.clip(theta, 0.0, 1.0)
+
+
+def tested_difficulty_given_suite(
+    universe: FaultUniverse,
+    presence_probs: Sequence[float] | np.ndarray,
+    suite_demands: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Exact ``xi(x, t)`` — difficulty after perfect testing with suite ``t``.
+
+    Only faults whose failure regions the suite misses survive testing;
+    the difficulty restricted to those survivors is again a Bernoulli
+    product.  Demand-wise, ``xi(x, t) <= theta(x)`` always holds, which is
+    the paper's score-monotonicity property lifted to the population level.
+    """
+    probs = _validate_presence_probs(universe, presence_probs)
+    survivors = universe.surviving(suite_demands)
+    restricted = np.zeros_like(probs)
+    restricted[survivors] = probs[survivors]
+    return difficulty_from_bernoulli(universe, restricted)

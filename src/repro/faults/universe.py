@@ -1,0 +1,182 @@
+"""The fault universe: every fault a version might contain.
+
+The Bernoulli population model (``repro.populations.bernoulli``) draws a
+version as a random subset of a :class:`FaultUniverse`.  The universe also
+precomputes the dense fault-by-demand coverage matrix that all vectorised
+analytics (difficulty functions, inclusion-exclusion closed forms, testing
+closure) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..demand import DemandSpace
+from ..errors import IncompatibleSpaceError, ModelError
+from ..types import as_index_array
+from .fault import Fault
+
+__all__ = ["FaultUniverse"]
+
+
+@dataclass(frozen=True)
+class FaultUniverse:
+    """An immutable, indexed collection of faults over one demand space.
+
+    Parameters
+    ----------
+    space:
+        The shared demand space.
+    faults:
+        Faults with identifiers ``0 .. len(faults)-1`` in order.  The
+        constructor enforces the identifier convention so that boolean
+        fault-presence vectors index consistently everywhere.
+    """
+
+    space: DemandSpace
+    faults: tuple
+    _coverage: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        faults = tuple(self.faults)
+        for index, fault in enumerate(faults):
+            if not isinstance(fault, Fault):
+                raise ModelError(f"item {index} is not a Fault: {fault!r}")
+            self.space.require_same(fault.space)
+            if fault.identifier != index:
+                raise ModelError(
+                    f"fault at position {index} has identifier "
+                    f"{fault.identifier}; identifiers must equal positions"
+                )
+        object.__setattr__(self, "faults", faults)
+        if faults:
+            coverage = np.stack([fault.mask for fault in faults])
+        else:
+            coverage = np.zeros((0, self.space.size), dtype=bool)
+        object.__setattr__(self, "_coverage", coverage)
+
+    @classmethod
+    def from_regions(
+        cls, space: DemandSpace, regions: Sequence[Sequence[int] | np.ndarray]
+    ) -> "FaultUniverse":
+        """Build a universe from raw failure regions (identifiers assigned)."""
+        faults = tuple(
+            Fault(space, np.asarray(region), identifier=index)
+            for index, region in enumerate(regions)
+        )
+        return cls(space, faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __getitem__(self, index: int) -> Fault:
+        return self.faults[index]
+
+    @property
+    def coverage(self) -> np.ndarray:
+        """Boolean matrix ``[n_faults, n_demands]``; row ``f`` is fault ``f``'s region."""
+        return self._coverage
+
+    def faults_covering(self, demand: int) -> np.ndarray:
+        """Identifiers of faults whose region contains ``demand``.
+
+        This is the paper's ``O_x`` for the *maximal* version containing
+        every fault; an actual version's ``O_x`` is the intersection with
+        its fault set.
+        """
+        demand = self.space.validate_demand(demand)
+        return np.flatnonzero(self._coverage[:, demand]).astype(np.int64)
+
+    def coverage_counts(self) -> np.ndarray:
+        """Per-demand count of faults covering each demand."""
+        return self._coverage.sum(axis=0).astype(np.int64)
+
+    def triggered_by(self, demands: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Identifiers of faults triggered by any demand in ``demands``.
+
+        Under a perfect oracle and perfect fixing, these are exactly the
+        faults that testing with suite ``demands`` removes from any version
+        containing them.
+        """
+        demands = self.space.validate_demands(demands)
+        if demands.size == 0:
+            return np.empty(0, dtype=np.int64)
+        hit = self._coverage[:, demands].any(axis=1)
+        return np.flatnonzero(hit).astype(np.int64)
+
+    def surviving(self, demands: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Identifiers of faults *not* triggered by the given demands."""
+        demands = self.space.validate_demands(demands)
+        if demands.size == 0:
+            return np.arange(len(self.faults), dtype=np.int64)
+        hit = self._coverage[:, demands].any(axis=1)
+        return np.flatnonzero(~hit).astype(np.int64)
+
+    def region_masses(self, probabilities: np.ndarray) -> np.ndarray:
+        """Usage mass ``Q(R_f)`` of every region under demand probabilities.
+
+        ``(1 - Q(R_f))**n`` is then the survival probability of fault ``f``
+        under an i.i.d. operational suite of ``n`` demands — the basic
+        quantity of the exact reliability-growth formulas.
+        """
+        probs = np.asarray(probabilities, dtype=np.float64)
+        if probs.shape != (self.space.size,):
+            raise IncompatibleSpaceError(
+                f"probability vector length {probs.shape} does not match "
+                f"demand space size {self.space.size}"
+            )
+        return self._coverage @ probs
+
+    def union_mask(self, fault_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Boolean demand mask of the union of the given faults' regions."""
+        ids = as_index_array(fault_ids)
+        if ids.size and (ids[0] < 0 or ids[-1] >= len(self.faults)):
+            raise ModelError(
+                f"fault ids {ids.tolist()} outside universe of size {len(self.faults)}"
+            )
+        if ids.size == 0:
+            return np.zeros(self.space.size, dtype=bool)
+        return self._coverage[ids].any(axis=0)
+
+    def validate_fault_ids(self, fault_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Canonicalise fault identifiers against this universe."""
+        ids = as_index_array(fault_ids)
+        if ids.size and (ids[0] < 0 or ids[-1] >= len(self.faults)):
+            bad = ids[(ids < 0) | (ids >= len(self.faults))]
+            raise ModelError(
+                f"fault ids {bad.tolist()} outside universe of size {len(self.faults)}"
+            )
+        return ids
+
+    def presence_mask(self, fault_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Boolean fault-presence vector from a list of identifiers."""
+        mask = np.zeros(len(self.faults), dtype=bool)
+        mask[self.validate_fault_ids(fault_ids)] = True
+        return mask
+
+    def restrict(self, fault_ids: Sequence[int] | np.ndarray) -> "FaultUniverse":
+        """A new universe containing only the given faults (re-identified)."""
+        ids = self.validate_fault_ids(fault_ids)
+        regions = [self.faults[int(i)].region for i in ids]
+        return FaultUniverse.from_regions(self.space, regions)
+
+    def overlap_matrix(self) -> np.ndarray:
+        """Pairwise region-overlap counts ``[n_faults, n_faults]``."""
+        cov = self._coverage.astype(np.int64)
+        return cov @ cov.T
+
+    def describe(self) -> str:
+        """One-line human summary used by example scripts."""
+        sizes = [fault.size for fault in self.faults] or [0]
+        return (
+            f"FaultUniverse(n_faults={len(self.faults)}, "
+            f"demands={self.space.size}, "
+            f"region sizes min/median/max = {min(sizes)}/"
+            f"{int(np.median(sizes))}/{max(sizes)})"
+        )

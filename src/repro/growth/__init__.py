@@ -1,0 +1,36 @@
+"""Reliability growth under testing.
+
+The paper's dynamic story, quantified: how version pfd and 1-out-of-2
+system pfd fall as testing effort (suite size) grows, under every testing
+regime, including back-to-back testing.  This reproduces the style of the
+paper's reference [5] (Djambazov & Popov, ISSRE'95 — "the effects of
+testing on the reliability of single version and 1-out-of-2 software") and
+provides the quantitative substrate for the §3.4.1 cost-trade-off
+scenarios and the law-of-diminishing-returns observations.
+"""
+
+from .curves import (
+    GrowthCurve,
+    back_to_back_growth_curves,
+    system_growth_curves,
+    version_growth_curve,
+)
+from .stages import StageRecord, TestingTrajectory, run_staged_testing
+from .diminishing import (
+    diminishing_returns_holds,
+    halving_effort,
+    marginal_gains,
+)
+
+__all__ = [
+    "GrowthCurve",
+    "version_growth_curve",
+    "system_growth_curves",
+    "back_to_back_growth_curves",
+    "TestingTrajectory",
+    "StageRecord",
+    "run_staged_testing",
+    "marginal_gains",
+    "halving_effort",
+    "diminishing_returns_holds",
+]

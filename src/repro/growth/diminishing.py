@@ -1,0 +1,58 @@
+"""Diminishing-returns diagnostics on growth curves.
+
+The paper leans on "the law of diminishing returns" in its §3.4.1 cost
+argument — later testing removes less failure probability per test than
+earlier testing, because large (easy) faults go first.  These helpers
+quantify that on any :class:`~repro.growth.curves.GrowthCurve`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .curves import GrowthCurve
+
+__all__ = ["marginal_gains", "halving_effort", "diminishing_returns_holds"]
+
+
+def marginal_gains(curve: GrowthCurve) -> np.ndarray:
+    """pfd reduction per additional test, between consecutive grid points.
+
+    Entry ``i`` is ``(values[i] − values[i+1]) / (sizes[i+1] − sizes[i])`` —
+    the average improvement rate over that effort interval.
+    """
+    if curve.sizes.size < 2:
+        raise ModelError("need at least two effort levels")
+    drops = -np.diff(curve.values)
+    widths = np.diff(curve.sizes).astype(np.float64)
+    return drops / widths
+
+
+def halving_effort(curve: GrowthCurve) -> int:
+    """Smallest grid size at which the pfd has at least halved.
+
+    Returns ``-1`` if the curve never reaches half its initial value —
+    callers decide whether that is an error for their model.
+    """
+    if curve.initial <= 0.0:
+        return int(curve.sizes[0])
+    target = curve.initial / 2.0
+    reached = np.flatnonzero(curve.values <= target)
+    if reached.size == 0:
+        return -1
+    return int(curve.sizes[reached[0]])
+
+
+def diminishing_returns_holds(
+    curve: GrowthCurve, tolerance: float = 1e-12
+) -> bool:
+    """True iff the marginal gain rate never increases along the curve.
+
+    Strict convexity is not guaranteed for arbitrary fault structures at
+    every single step, but exact operational-testing curves for mixed
+    region sizes are convex in the large; the tolerance absorbs
+    floating-point noise and callers can relax it for simulated curves.
+    """
+    gains = marginal_gains(curve)
+    return bool(np.all(np.diff(gains) <= tolerance))

@@ -1,0 +1,111 @@
+"""Sequential estimation with a stopping rule.
+
+The paper (§2) notes that "the size of the test suite ... is determined
+with respect to some stopping rule which gives the tester sufficiently high
+confidence that the goal has been achieved" (citing Littlewood & Wright's
+conservative stopping rules).  The same idea applies to our own Monte-Carlo
+runs: :func:`estimate_until` keeps adding replications in batches until the
+confidence interval is narrow enough, and raises
+:class:`~repro.errors.ConvergenceError` if the budget runs out first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from ..errors import ConvergenceError, ModelError
+from ..rng import as_generator, spawn
+from ..types import SeedLike
+from .estimator import MeanEstimator, ProportionEstimator
+
+__all__ = ["SequentialResult", "estimate_until"]
+
+Estimator = Union[MeanEstimator, ProportionEstimator]
+
+
+@dataclass(frozen=True)
+class SequentialResult:
+    """Outcome of a sequential estimation run.
+
+    Attributes
+    ----------
+    estimator:
+        The final estimator (query ``mean`` and intervals from it).
+    batches:
+        Number of batches executed.
+    converged:
+        True iff the half-width target was met within budget.
+    half_width:
+        Final confidence-interval half-width.
+    """
+
+    estimator: Estimator
+    batches: int
+    converged: bool
+    half_width: float
+
+
+def _half_width(estimator: Estimator, confidence: float) -> float:
+    if isinstance(estimator, ProportionEstimator):
+        low, high = estimator.wilson_interval(confidence)
+    else:
+        low, high = estimator.normal_interval(confidence)
+    return (high - low) / 2.0
+
+
+def estimate_until(
+    run_batch: Callable[[Estimator, object], None],
+    estimator: Estimator,
+    target_half_width: float,
+    confidence: float = 0.99,
+    max_batches: int = 100,
+    rng: SeedLike = None,
+    raise_on_failure: bool = False,
+) -> SequentialResult:
+    """Run estimation batches until the CI half-width meets the target.
+
+    Parameters
+    ----------
+    run_batch:
+        Callback ``run_batch(estimator, rng)`` adding one batch of
+        observations; it receives a fresh child generator per call.
+    estimator:
+        The estimator to fill (may already contain observations).
+    target_half_width:
+        Stop when the CI half-width is at most this.
+    confidence:
+        Confidence level of the interval.
+    max_batches:
+        Budget; on exhaustion either return with ``converged=False`` or
+        raise, per ``raise_on_failure``.
+    rng:
+        Root randomness.
+
+    Raises
+    ------
+    ConvergenceError
+        If the budget is exhausted and ``raise_on_failure`` is set.
+    """
+    if target_half_width <= 0:
+        raise ModelError(
+            f"target_half_width must be > 0, got {target_half_width}"
+        )
+    if max_batches < 1:
+        raise ModelError(f"max_batches must be >= 1, got {max_batches}")
+    rng = as_generator(rng)
+    batches = 0
+    for _ in range(max_batches):
+        run_batch(estimator, spawn(rng))
+        batches += 1
+        if estimator.count >= 2:
+            width = _half_width(estimator, confidence)
+            if width <= target_half_width:
+                return SequentialResult(estimator, batches, True, width)
+    width = _half_width(estimator, confidence) if estimator.count >= 2 else float("inf")
+    if raise_on_failure:
+        raise ConvergenceError(
+            f"half-width {width:.3g} above target {target_half_width:.3g} "
+            f"after {batches} batches"
+        )
+    return SequentialResult(estimator, batches, False, width)

@@ -1,0 +1,151 @@
+"""Streaming estimators with confidence intervals.
+
+:class:`ProportionEstimator` (Bernoulli outcomes — "did both versions fail
+on x?") uses the Wilson score interval, which behaves sensibly at the very
+small probabilities typical of reliability work.  :class:`MeanEstimator`
+(bounded real outcomes — per-replication system pfd) uses Welford's online
+algorithm with a normal-approximation interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from scipy import stats
+
+from ..errors import ModelError
+
+__all__ = ["ProportionEstimator", "MeanEstimator"]
+
+
+def _z_value(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise ModelError(f"confidence must be in (0, 1), got {confidence}")
+    return float(stats.norm.ppf(0.5 + confidence / 2.0))
+
+
+class ProportionEstimator(object):
+    """Streaming estimator of a probability from Bernoulli observations."""
+
+    def __init__(self) -> None:
+        self._successes = 0
+        self._count = 0
+
+    def add(self, outcome: bool) -> None:
+        """Record one Bernoulli observation."""
+        self._count += 1
+        if outcome:
+            self._successes += 1
+
+    def add_many(self, successes: int, count: int) -> None:
+        """Record a batch of ``count`` observations with ``successes`` hits."""
+        if count < 0 or successes < 0 or successes > count:
+            raise ModelError(
+                f"invalid batch: successes={successes}, count={count}"
+            )
+        self._successes += successes
+        self._count += count
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._count
+
+    @property
+    def successes(self) -> int:
+        """Number of positive observations recorded."""
+        return self._successes
+
+    @property
+    def mean(self) -> float:
+        """Point estimate of the probability."""
+        if self._count == 0:
+            raise ModelError("no observations recorded")
+        return self._successes / self._count
+
+    def std_error(self) -> float:
+        """Standard error of the point estimate."""
+        if self._count == 0:
+            raise ModelError("no observations recorded")
+        p = self.mean
+        return math.sqrt(p * (1.0 - p) / self._count)
+
+    def wilson_interval(self, confidence: float = 0.99) -> Tuple[float, float]:
+        """Wilson score interval — robust near 0 and 1.
+
+        Preferred over the normal interval for reliability probabilities,
+        which are frequently close to zero where the normal interval
+        collapses to a point and understates uncertainty.
+        """
+        if self._count == 0:
+            raise ModelError("no observations recorded")
+        z = _z_value(confidence)
+        n = self._count
+        p = self.mean
+        denominator = 1.0 + z * z / n
+        centre = (p + z * z / (2.0 * n)) / denominator
+        spread = (
+            z * math.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) / denominator
+        )
+        return max(0.0, centre - spread), min(1.0, centre + spread)
+
+    def contains(self, value: float, confidence: float = 0.99) -> bool:
+        """True iff ``value`` lies in the Wilson interval."""
+        low, high = self.wilson_interval(confidence)
+        return low <= value <= high
+
+
+@dataclass
+class MeanEstimator:
+    """Welford online mean/variance estimator for bounded real outcomes."""
+
+    _count: int = 0
+    _mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Point estimate of the mean."""
+        if self._count == 0:
+            raise ModelError("no observations recorded")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        if self._count == 0:
+            raise ModelError("no observations recorded")
+        if self._count == 1:
+            return float("inf")
+        return math.sqrt(self.variance / self._count)
+
+    def normal_interval(self, confidence: float = 0.99) -> Tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        z = _z_value(confidence)
+        half = z * self.std_error()
+        return self.mean - half, self.mean + half
+
+    def contains(self, value: float, confidence: float = 0.99) -> bool:
+        """True iff ``value`` lies in the normal interval."""
+        low, high = self.normal_interval(confidence)
+        return low <= value <= high

@@ -1,0 +1,166 @@
+"""Full-pipeline Monte-Carlo experiments.
+
+Each function simulates the complete generative story of the paper — the
+randomness of development (``S``), of test generation (``M``) with the
+regime's coupling, and (optionally) of usage (``Q``) — and estimates the
+probability the analytic layer predicts.  Nothing here reuses the analytic
+shortcuts: versions are actually drawn, actually tested, and actually
+scored, so agreement with :mod:`repro.core` / :mod:`repro.analytic` is a
+genuine end-to-end validation.
+"""
+
+from __future__ import annotations
+
+from ..demand import UsageProfile
+from ..errors import ModelError
+from ..populations import VersionPopulation
+from ..rng import as_generator, spawn_many
+from ..testing import FixingPolicy, Oracle, SuiteGenerator, apply_testing
+from ..types import SeedLike
+from ..core.regimes import TestingRegime
+from .estimator import MeanEstimator, ProportionEstimator
+
+__all__ = [
+    "simulate_untested_joint_on_demand",
+    "simulate_joint_on_demand",
+    "simulate_marginal_system_pfd",
+    "simulate_version_pfd",
+]
+
+_DEFAULT_REPLICATIONS = 2000
+
+
+def _check_replications(n_replications: int) -> None:
+    if n_replications < 1:
+        raise ModelError(f"n_replications must be >= 1, got {n_replications}")
+
+
+def simulate_untested_joint_on_demand(
+    population_a: VersionPopulation,
+    demand: int,
+    population_b: VersionPopulation | None = None,
+    n_replications: int = _DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+) -> ProportionEstimator:
+    """Estimate ``P(both untested versions fail on x)`` — eq. (4) check.
+
+    Draws independent version pairs and scores them on the fixed demand.
+    The analytic prediction is ``θ_A(x) θ_B(x)``.
+    """
+    _check_replications(n_replications)
+    population_b = population_b if population_b is not None else population_a
+    rng = as_generator(rng)
+    estimator = ProportionEstimator()
+    for replication in spawn_many(rng, n_replications):
+        stream_a, stream_b = spawn_many(replication, 2)
+        version_a = population_a.sample(stream_a)
+        version_b = population_b.sample(stream_b)
+        estimator.add(version_a.fails_on(demand) and version_b.fails_on(demand))
+    return estimator
+
+
+def simulate_joint_on_demand(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    demand: int,
+    population_b: VersionPopulation | None = None,
+    n_replications: int = _DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+) -> ProportionEstimator:
+    """Estimate ``P(both tested versions fail on x)`` — eqs. (16)–(21) check.
+
+    Each replication: draw a version pair, draw the suite pair per the
+    regime's coupling, test each channel (perfect testing unless an oracle
+    or fixing policy is supplied), then score both tested versions on the
+    fixed demand.
+    """
+    _check_replications(n_replications)
+    population_b = population_b if population_b is not None else population_a
+    rng = as_generator(rng)
+    estimator = ProportionEstimator()
+    for replication in spawn_many(rng, n_replications):
+        streams = spawn_many(replication, 5)
+        version_a = population_a.sample(streams[0])
+        version_b = population_b.sample(streams[1])
+        suite_a, suite_b = regime.draw_suites(streams[2])
+        tested_a = apply_testing(
+            version_a, suite_a, oracle, fixing, rng=streams[3]
+        ).after
+        tested_b = apply_testing(
+            version_b, suite_b, oracle, fixing, rng=streams[4]
+        ).after
+        estimator.add(tested_a.fails_on(demand) and tested_b.fails_on(demand))
+    return estimator
+
+
+def simulate_marginal_system_pfd(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    profile: UsageProfile,
+    population_b: VersionPopulation | None = None,
+    n_replications: int = _DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+    rao_blackwell: bool = True,
+) -> MeanEstimator:
+    """Estimate the marginal system pfd — eqs. (22)–(25) check.
+
+    With ``rao_blackwell=True`` (default) the random demand is integrated
+    out exactly given the realised tested pair: the per-replication
+    observation is ``Q(joint failure set)``, which estimates the same
+    quantity with strictly smaller variance than drawing ``X`` (a standard
+    conditioning argument).  Set it to ``False`` to simulate the raw 0/1
+    outcome on a drawn demand instead.
+    """
+    _check_replications(n_replications)
+    population_b = population_b if population_b is not None else population_a
+    population_a.space.require_same(profile.space)
+    rng = as_generator(rng)
+    estimator = MeanEstimator()
+    for replication in spawn_many(rng, n_replications):
+        streams = spawn_many(replication, 6)
+        version_a = population_a.sample(streams[0])
+        version_b = population_b.sample(streams[1])
+        suite_a, suite_b = regime.draw_suites(streams[2])
+        tested_a = apply_testing(
+            version_a, suite_a, oracle, fixing, rng=streams[3]
+        ).after
+        tested_b = apply_testing(
+            version_b, suite_b, oracle, fixing, rng=streams[4]
+        ).after
+        joint_mask = tested_a.failure_mask & tested_b.failure_mask
+        if rao_blackwell:
+            estimator.add(float(profile.probabilities[joint_mask].sum()))
+        else:
+            demand = profile.sample(streams[5])
+            estimator.add(float(joint_mask[demand]))
+    return estimator
+
+
+def simulate_version_pfd(
+    population: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    n_replications: int = _DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+) -> MeanEstimator:
+    """Estimate the mean post-test pfd of a single tested version.
+
+    The analytic prediction under perfect testing is ``E_Q[ζ(X)]``.
+    """
+    _check_replications(n_replications)
+    population.space.require_same(profile.space)
+    rng = as_generator(rng)
+    estimator = MeanEstimator()
+    for replication in spawn_many(rng, n_replications):
+        streams = spawn_many(replication, 3)
+        version = population.sample(streams[0])
+        suite = generator.sample(streams[1])
+        tested = apply_testing(version, suite, oracle, fixing, rng=streams[2]).after
+        estimator.add(tested.pfd(profile))
+    return estimator

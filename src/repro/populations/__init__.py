@@ -1,0 +1,30 @@
+"""Version populations — the development measures ``S(·)`` of the paper.
+
+A population answers two questions: *sample a random version* (the product
+of one development effort) and, where possible, *compute exactly* the
+difficulty functions ``theta(x)`` and post-test ``xi(x, t)``.  Two concrete
+measures are provided:
+
+* :class:`BernoulliFaultPopulation` — every fault of a universe is present
+  independently with its own probability.  Difficulty functions have closed
+  forms, making it the workhorse for exact-vs-Monte-Carlo validation.
+* :class:`FinitePopulation` — an explicit list of versions with
+  probabilities; fully enumerable, used for exact enumeration of every
+  moment in small models.
+
+:class:`Methodology` names a population, and :class:`MethodologyPair`
+packages the forced-design-diversity setting of the LM model.
+"""
+
+from .base import VersionPopulation
+from .bernoulli import BernoulliFaultPopulation
+from .finite import FinitePopulation
+from .methodology import Methodology, MethodologyPair
+
+__all__ = [
+    "VersionPopulation",
+    "BernoulliFaultPopulation",
+    "FinitePopulation",
+    "Methodology",
+    "MethodologyPair",
+]

@@ -1,0 +1,101 @@
+"""The population interface.
+
+The abstract contract mirrors how the paper uses the measure ``S(·)``:
+independent draws with replacement (the "urn model" of its ref. [4]), plus
+expectations of score functions over the measure.  Implementations either
+expose exact difficulty functions or raise :class:`NotEnumerableError` and
+leave estimation to the Monte-Carlo layer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..demand import DemandSpace
+from ..errors import NotEnumerableError
+from ..faults import FaultUniverse
+from ..rng import as_generator, spawn_many
+from ..types import SeedLike
+from ..versions import Version
+
+__all__ = ["VersionPopulation"]
+
+
+class VersionPopulation(abc.ABC):
+    """Abstract development measure ``S(·)`` over program versions.
+
+    Concrete populations share a fault universe so that versions drawn from
+    *different* populations (forced diversity) remain comparable demand-wise
+    and can share faults.
+    """
+
+    def __init__(self, universe: FaultUniverse) -> None:
+        self._universe = universe
+
+    @property
+    def universe(self) -> FaultUniverse:
+        """The fault universe versions are composed from."""
+        return self._universe
+
+    @property
+    def space(self) -> DemandSpace:
+        """The demand space of the underlying universe."""
+        return self._universe.space
+
+    @abc.abstractmethod
+    def sample(self, rng: SeedLike = None) -> Version:
+        """Draw one version — one independent development effort."""
+
+    def sample_many(self, count: int, rng: SeedLike = None) -> List[Version]:
+        """Draw ``count`` independent versions (with replacement).
+
+        Independent child streams are used per draw so that the draws stay
+        independent even if a sampler consumes a data-dependent amount of
+        randomness.
+        """
+        generator = as_generator(rng)
+        streams = spawn_many(generator, count)
+        return [self.sample(stream) for stream in streams]
+
+    @abc.abstractmethod
+    def difficulty(self) -> np.ndarray:
+        """Exact ``theta(x) = E_S[υ(Π, x)]`` (eq. (1)), per demand.
+
+        Raises
+        ------
+        NotEnumerableError
+            If the population cannot compute this exactly.
+        """
+
+    @abc.abstractmethod
+    def tested_difficulty(self, suite_demands: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Exact ``xi(x, t) = E_S[υ(Π, x, t)]`` (eq. (13)) for a fixed suite.
+
+        Under perfect detection/fixing a random version tested on ``t``
+        fails on ``x`` iff it contains a fault covering ``x`` whose region
+        ``t`` misses.
+
+        Raises
+        ------
+        NotEnumerableError
+            If the population cannot compute this exactly.
+        """
+
+    def enumerate(self) -> Iterable[Tuple[Version, float]]:
+        """Yield ``(version, probability)`` pairs when finitely enumerable.
+
+        Raises
+        ------
+        NotEnumerableError
+            By default; finite populations override.
+        """
+        raise NotEnumerableError(
+            f"{type(self).__name__} does not support exact enumeration"
+        )
+
+    def pfd(self, profile) -> float:
+        """Marginal untested unreliability ``E_{S,Q}[υ(Π, X)]`` (eq. (2))."""
+        return float(profile.expectation(self.difficulty()))

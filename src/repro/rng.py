@@ -1,0 +1,74 @@
+"""Random-number management for reproducible stochastic experiments.
+
+Every stochastic object in the library takes a :class:`numpy.random.Generator`
+at the point of sampling, never at construction, so that model objects stay
+immutable and a single seed threads deterministically through an entire
+experiment.  The helpers here normalise user-supplied seeds and spawn
+independent child streams for parallel or multi-component simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from .types import SeedLike
+
+__all__ = ["as_generator", "spawn", "spawn_many", "stream"]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    Accepts ``None`` (fresh OS entropy), an ``int``, a
+    :class:`numpy.random.SeedSequence`, or an existing generator (returned
+    unchanged so callers can thread one stream through nested calls).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Spawn one statistically independent child generator from ``rng``.
+
+    Uses the generator's underlying seed sequence spawning where available;
+    falls back to seeding from the parent stream.  Child streams are
+    independent of later draws from the parent.
+    """
+    children = spawn_many(rng, 1)
+    return children[0]
+
+
+def spawn_many(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent child generators from ``rng``.
+
+    Independent streams matter in this library because the paper's regimes
+    differ precisely in which random objects are shared: e.g. the
+    independent-suites regime needs two suite draws that share nothing,
+    while the same-suite regime reuses one draw.  Giving each stochastic
+    component its own child stream keeps those couplings explicit.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def stream(seed: SeedLike = None) -> Iterator[np.random.Generator]:
+    """Yield an unbounded sequence of independent generators.
+
+    Convenient for experiment drivers that need one fresh stream per
+    replication::
+
+        gens = stream(seed=42)
+        for replication in range(1000):
+            rng = next(gens)
+            ...
+    """
+    root = as_generator(seed)
+    while True:
+        yield spawn(root)

@@ -1,0 +1,84 @@
+"""Fault-fixing policies — the repair actions of the testing process.
+
+Given a *detected* failure on demand ``x``, the programmer tries to remove
+the faults causing it (the paper's ``O_x``).  :class:`PerfectFixing`
+implements the §3 assumption — "fixing all faults that cause a failure on
+x" — and :class:`ImperfectFixing` the §4.1 relaxation, where each causing
+fault is removed only with some probability (never introducing new faults,
+matching the paper's simplifying assumption).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProbabilityError
+from ..rng import as_generator
+from ..versions import Version
+
+__all__ = ["FixingPolicy", "PerfectFixing", "ImperfectFixing"]
+
+
+class FixingPolicy(abc.ABC):
+    """Maps a detected failure to the set of fault ids actually removed."""
+
+    @abc.abstractmethod
+    def faults_removed(
+        self, version: Version, demand: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Fault ids removed after a detected failure of ``version`` on ``demand``.
+
+        Only faults in ``version.faults_causing_failure(demand)`` may be
+        returned — fixing acts on the diagnosed causes.  New faults are
+        never introduced (paper §4.1: "Assume, for simplicity, that
+        introducing new faults during testing is impossible").
+        """
+
+
+@dataclass(frozen=True)
+class PerfectFixing(FixingPolicy):
+    """All faults causing the detected failure are removed (§3)."""
+
+    def faults_removed(
+        self, version: Version, demand: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return version.faults_causing_failure(demand)
+
+
+@dataclass(frozen=True)
+class ImperfectFixing(FixingPolicy):
+    """Each causing fault is removed independently with fixed probability.
+
+    Parameters
+    ----------
+    fix_probability:
+        Chance that a diagnosed fault is successfully removed.  ``1.0``
+        recovers :class:`PerfectFixing`; ``0.0`` makes repair inert.
+
+    Notes
+    -----
+    Partial fixing leaves the version's score on the tested demand possibly
+    still 1, so the same demand may trigger detection again later in the
+    suite — the engine re-evaluates scores demand by demand.
+    """
+
+    fix_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fix_probability <= 1.0:
+            raise ProbabilityError(
+                f"fix probability must be in [0, 1], got {self.fix_probability}"
+            )
+
+    def faults_removed(
+        self, version: Version, demand: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        causes = version.faults_causing_failure(demand)
+        if causes.size == 0:
+            return causes
+        generator = as_generator(rng)
+        keep = generator.random(causes.size) < self.fix_probability
+        return causes[keep]

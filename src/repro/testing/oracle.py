@@ -1,0 +1,115 @@
+"""Oracles — the judging mechanism of the testing process.
+
+The paper (§2): "A decision mechanism judges the executions of demands by
+software as acceptable or failed... the judging mechanism can itself be
+fallible."  An :class:`Oracle` decides, per executed demand, whether an
+actual failure is *detected*.  Perfect detection gives the §3 results;
+imperfect detection gives the §4.1 bounds; :class:`BackToBackComparator`
+implements §4.2 where detection is mismatch between two versions' outputs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProbabilityError
+from ..rng import as_generator
+from ..types import SeedLike
+from ..versions import FailureOutputModel, Version
+
+__all__ = ["Oracle", "PerfectOracle", "ImperfectOracle", "BackToBackComparator"]
+
+
+class Oracle(abc.ABC):
+    """Decides whether a failing execution is recognised as a failure."""
+
+    @abc.abstractmethod
+    def detects(
+        self, version: Version, demand: int, rng: np.random.Generator
+    ) -> bool:
+        """True iff a failure of ``version`` on ``demand`` is detected.
+
+        Called only when the version actually fails on the demand; a
+        correct execution is never flagged (the models exclude false
+        positives — flagging correct behaviour would mean "fixing"
+        non-faults, which the no-new-faults assumption rules out).
+        """
+
+
+@dataclass(frozen=True)
+class PerfectOracle(Oracle):
+    """Every failure is detected — the §3 assumption."""
+
+    def detects(
+        self, version: Version, demand: int, rng: np.random.Generator
+    ) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ImperfectOracle(Oracle):
+    """Each failure is detected independently with fixed probability.
+
+    Parameters
+    ----------
+    detection_probability:
+        Chance that a genuine failure is flagged.  ``1.0`` recovers
+        :class:`PerfectOracle`; ``0.0`` makes testing inert, recovering the
+        untested upper bound of §4.1.
+    """
+
+    detection_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.detection_probability <= 1.0:
+            raise ProbabilityError(
+                f"detection probability must be in [0, 1], got "
+                f"{self.detection_probability}"
+            )
+
+    def detects(
+        self, version: Version, demand: int, rng: np.random.Generator
+    ) -> bool:
+        return bool(as_generator(rng).random() < self.detection_probability)
+
+
+@dataclass(frozen=True)
+class BackToBackComparator:
+    """Mismatch-based detection for a version *pair* (§4.2).
+
+    Not an :class:`Oracle` subclass: back-to-back judging needs both
+    versions' behaviour on the demand, so the testing engine calls it with
+    the pair.  The underlying :class:`FailureOutputModel` decides whether
+    coincident failures are distinguishable.
+
+    Notes
+    -----
+    "If at least one version succeeds on a demand then detection of any
+    failures of other versions is guaranteed.  If, however, all versions
+    fail coincidentally ... there is a possibility that all versions fail in
+    exactly the same way in which case there will be no mismatch."
+    """
+
+    output_model: FailureOutputModel
+
+    def mismatch(self, first: Version, second: Version, demand: int) -> bool:
+        """True iff the comparator flags ``demand`` (outputs differ)."""
+        return self.output_model.mismatch(first, second, demand)
+
+    def detected_failures(
+        self, first: Version, second: Version, demand: int
+    ) -> tuple:
+        """Which of the two versions have a *detected* failure on ``demand``.
+
+        Returns a pair of booleans ``(first_detected, second_detected)``.
+        On a mismatch, every version that actually fails on the demand is
+        deemed detected (the disagreement triggers investigation, and under
+        the paper's perfect-fixing follow-up the investigation finds each
+        failing version's faults).  Without a mismatch nothing is detected.
+        """
+        if not self.mismatch(first, second, demand):
+            return False, False
+        return first.fails_on(demand), second.fails_on(demand)

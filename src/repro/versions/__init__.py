@@ -1,0 +1,31 @@
+"""Program-version substrate.
+
+A program version ``π`` is modelled by the set of faults it contains
+(:class:`Version`).  Its score function ``υ(π, x)`` — 1 if it fails on
+demand ``x``, 0 otherwise — is the union of its faults' failure regions.
+:mod:`repro.versions.outputs` adds the output-level model needed by
+back-to-back testing, where detection depends on whether two failing
+versions produce *identical* wrong outputs.
+"""
+
+from .version import Version
+from .outputs import (
+    OPTIMISTIC,
+    PESSIMISTIC,
+    SHARED_FAULT,
+    FailureOutputModel,
+    optimistic_outputs,
+    pessimistic_outputs,
+    shared_fault_outputs,
+)
+
+__all__ = [
+    "Version",
+    "FailureOutputModel",
+    "optimistic_outputs",
+    "pessimistic_outputs",
+    "shared_fault_outputs",
+    "OPTIMISTIC",
+    "PESSIMISTIC",
+    "SHARED_FAULT",
+]

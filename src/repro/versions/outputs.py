@@ -1,0 +1,116 @@
+"""Failure-output models for back-to-back testing.
+
+Back-to-back testing (paper §4.2) detects a failure only when the two
+versions' outputs *differ*.  If exactly one version fails the outputs always
+differ (wrong vs correct).  When both fail coincidentally, detection depends
+on whether the two wrong outputs are identical.  The paper brackets this
+with two extremes and we add the natural intermediate model:
+
+* **optimistic** — coincident failures are never identical: mismatch is
+  guaranteed, so back-to-back behaves exactly like a perfect oracle;
+* **pessimistic** — coincident failures are always identical: no mismatch,
+  so coincident failures are invisible to back-to-back testing;
+* **shared-fault** — outputs are identical iff the same set of faults causes
+  both failures: versions that fail on a demand because they contain the
+  *same* fault produce the same wrong output, while failures from different
+  faults produce different wrong outputs.  This sits between the bounds and
+  is the mechanism by which common faults erode back-to-back detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ModelError
+from .version import Version
+
+__all__ = [
+    "FailureOutputModel",
+    "optimistic_outputs",
+    "pessimistic_outputs",
+    "shared_fault_outputs",
+    "OPTIMISTIC",
+    "PESSIMISTIC",
+    "SHARED_FAULT",
+]
+
+OPTIMISTIC = "optimistic"
+PESSIMISTIC = "pessimistic"
+SHARED_FAULT = "shared-fault"
+
+_MODES = (OPTIMISTIC, PESSIMISTIC, SHARED_FAULT)
+
+
+@dataclass(frozen=True)
+class FailureOutputModel:
+    """Decides whether two coincident failures are identical.
+
+    Parameters
+    ----------
+    mode:
+        One of ``"optimistic"``, ``"pessimistic"``, ``"shared-fault"``.
+
+    Notes
+    -----
+    The model is deliberately deterministic given the versions' fault sets;
+    all randomness in a back-to-back experiment then flows from version and
+    suite selection, keeping the bounds analysis clean.
+    """
+
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ModelError(
+                f"unknown output-model mode {self.mode!r}; expected one of {_MODES}"
+            )
+
+    def identical_failure(
+        self, first: Version, second: Version, demand: int
+    ) -> bool:
+        """True iff both versions fail on ``demand`` with identical outputs.
+
+        Returns ``False`` whenever at least one version succeeds on the
+        demand — identical *correct* outputs are not failures.
+        """
+        if not (first.fails_on(demand) and second.fails_on(demand)):
+            return False
+        if self.mode == OPTIMISTIC:
+            return False
+        if self.mode == PESSIMISTIC:
+            return True
+        causes_first = first.faults_causing_failure(demand)
+        causes_second = second.faults_causing_failure(demand)
+        return bool(np.array_equal(causes_first, causes_second))
+
+    def mismatch(self, first: Version, second: Version, demand: int) -> bool:
+        """True iff a back-to-back comparator flags ``demand``.
+
+        A mismatch occurs when the versions disagree: exactly one fails, or
+        both fail non-identically.
+        """
+        fails_first = first.fails_on(demand)
+        fails_second = second.fails_on(demand)
+        if fails_first != fails_second:
+            return True
+        if not (fails_first and fails_second):
+            return False
+        return not self.identical_failure(first, second, demand)
+
+
+def optimistic_outputs() -> FailureOutputModel:
+    """Coincident failures always distinguishable (upper-bound detection)."""
+    return FailureOutputModel(OPTIMISTIC)
+
+
+def pessimistic_outputs() -> FailureOutputModel:
+    """Coincident failures always identical (lower-bound detection)."""
+    return FailureOutputModel(PESSIMISTIC)
+
+
+def shared_fault_outputs() -> FailureOutputModel:
+    """Identical outputs iff the same faults caused both failures."""
+    return FailureOutputModel(SHARED_FAULT)

@@ -1,0 +1,174 @@
+"""Tests for the inclusion-exclusion closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import BernoulliExactEngine, suite_miss_probability
+from repro.demand import DemandSpace, uniform_profile, zipf_profile
+from repro.errors import ModelError
+from repro.faults import FaultUniverse
+from repro.populations import BernoulliFaultPopulation
+from repro.testing import OperationalSuiteGenerator
+
+
+@pytest.fixture
+def engine(universe, profile):
+    return BernoulliExactEngine(universe, profile)
+
+
+class TestSuiteMissProbability:
+    def test_known_value(self, profile):
+        # region of mass 0.2, suite of 3 -> 0.8^3
+        assert suite_miss_probability(profile, [0, 1], 3) == pytest.approx(0.512)
+
+    def test_zero_tests(self, profile):
+        assert suite_miss_probability(profile, [0], 0) == 1.0
+
+    def test_negative_rejected(self, profile):
+        with pytest.raises(ModelError):
+            suite_miss_probability(profile, [0], -1)
+
+
+class TestZeta:
+    def test_zero_tests_is_theta(self, engine, bernoulli_population):
+        np.testing.assert_allclose(
+            engine.zeta(bernoulli_population, 0),
+            bernoulli_population.difficulty(),
+            atol=1e-12,
+        )
+
+    def test_single_fault_demand_closed_form(self, engine, bernoulli_population):
+        """Demand 0 covered only by fault 0 (p=.5, region mass .2):
+        zeta_n(0) = 0.5 * 0.8^n."""
+        for n in (1, 5, 20):
+            zeta = engine.zeta(bernoulli_population, n)
+            assert zeta[0] == pytest.approx(0.5 * 0.8**n)
+
+    def test_two_fault_demand_inclusion_exclusion(
+        self, engine, bernoulli_population
+    ):
+        """Demand 4 covered by faults 1 (p=.25, R={2,3,4}) and 2 (p=.4,
+        R={4,5}).  E[prod] = 1 - .25*(.7)^n - .4*(.8)^n + .1*(1-Q(R1 u R2))^n
+        with Q(R1 u R2) = .4."""
+        for n in (1, 3, 10):
+            expected_product = (
+                1.0
+                - 0.25 * 0.7**n
+                - 0.4 * 0.8**n
+                + 0.25 * 0.4 * 0.6**n
+            )
+            zeta = engine.zeta(bernoulli_population, n)
+            assert zeta[4] == pytest.approx(1.0 - expected_product)
+
+    def test_monotone_in_effort(self, engine, bernoulli_population):
+        values = [engine.zeta(bernoulli_population, n) for n in (0, 2, 5, 20)]
+        for earlier, later in zip(values, values[1:]):
+            assert np.all(later <= earlier + 1e-15)
+
+    def test_matches_suite_sampling(self, universe, bernoulli_population):
+        """The closed form must agree with Monte-Carlo suite averaging."""
+        space = universe.space
+        profile = zipf_profile(space, 0.8)
+        engine = BernoulliExactEngine(universe, profile)
+        generator = OperationalSuiteGenerator(profile, 5)
+        exact = engine.zeta(bernoulli_population, 5)
+        sampled = np.zeros(10)
+        n_suites = 4000
+        rng = np.random.default_rng(0)
+        for suite in generator.sample_many(n_suites, rng):
+            sampled += bernoulli_population.tested_difficulty(
+                suite.unique_demands
+            )
+        np.testing.assert_allclose(sampled / n_suites, exact, atol=0.02)
+
+
+class TestSecondMoment:
+    def test_bounded_by_zeta(self, engine, bernoulli_population):
+        for n in (0, 3, 10):
+            zeta = engine.zeta(bernoulli_population, n)
+            second = engine.xi_second_moment(bernoulli_population, n)
+            assert np.all(second >= zeta**2 - 1e-15)
+            assert np.all(second <= zeta + 1e-15)  # xi in [0,1]
+
+    def test_variance_nonnegative_and_bounded(self, engine, bernoulli_population):
+        for n in (1, 5, 20):
+            variance = engine.xi_variance(bernoulli_population, n)
+            assert np.all(variance >= 0)
+            assert np.all(variance <= 0.25 + 1e-15)
+
+    def test_single_fault_second_moment(self, engine, bernoulli_population):
+        """For a single covering fault, xi(x,T) = p * Z, so
+        E[xi^2] = p^2 * P(miss)."""
+        for n in (1, 4):
+            second = engine.xi_second_moment(bernoulli_population, n)
+            assert second[0] == pytest.approx(0.25 * 0.8**n)
+
+
+class TestCrossMoment:
+    def test_same_population_reduces_to_second_moment(
+        self, engine, bernoulli_population
+    ):
+        second = engine.xi_second_moment(bernoulli_population, 4)
+        cross = engine.xi_cross_moment(
+            bernoulli_population, bernoulli_population, 4
+        )
+        np.testing.assert_allclose(cross, second, atol=1e-12)
+
+    def test_disjoint_methodologies_on_shared_demand(self, universe, profile):
+        """A has only fault 1, B only fault 2; they meet on demand 4.
+        xi_A(4,T) = pA Z1, xi_B(4,T) = pB Z2, cross = pA pB P(miss both)."""
+        engine = BernoulliExactEngine(universe, profile)
+        pop_a = BernoulliFaultPopulation(universe, [0.0, 0.5, 0.0])
+        pop_b = BernoulliFaultPopulation(universe, [0.0, 0.0, 0.5])
+        n = 3
+        cross = engine.xi_cross_moment(pop_a, pop_b, n)
+        # miss both regions {2,3,4} u {4,5}: mass .4 -> 0.6^3
+        assert cross[4] == pytest.approx(0.25 * 0.6**n)
+
+    def test_covariance_sign_positive_for_shared_fault(self, universe, profile):
+        engine = BernoulliExactEngine(universe, profile)
+        shared = BernoulliFaultPopulation(universe, [0.0, 0.5, 0.0])
+        covariance = engine.xi_covariance(shared, shared, 4)
+        assert covariance[2] > 0  # same fault, same survival event
+
+
+class TestMarginals:
+    def test_version_pfd_integrates_zeta(self, engine, bernoulli_population, profile):
+        assert engine.version_pfd(bernoulli_population, 6) == pytest.approx(
+            profile.expectation(engine.zeta(bernoulli_population, 6))
+        )
+
+    def test_system_orderings(self, engine, bernoulli_population):
+        for n in (0, 5, 15):
+            independent = engine.system_pfd_independent_suites(
+                bernoulli_population, n
+            )
+            same = engine.system_pfd_same_suite(bernoulli_population, n)
+            assert same >= independent - 1e-15
+
+    def test_population_universe_check(self, engine, space):
+        other_universe = FaultUniverse.from_regions(space, [[0]])
+        foreign = BernoulliFaultPopulation.uniform(other_universe, 0.5)
+        with pytest.raises(ModelError):
+            engine.zeta(foreign, 3)
+
+
+class TestMaxCover:
+    def test_cover_cap_enforced(self, profile):
+        space = DemandSpace(10)
+        # 5 faults all covering demand 0
+        universe = FaultUniverse.from_regions(space, [[0, i + 1] for i in range(5)])
+        engine = BernoulliExactEngine(universe, uniform_profile(space), max_cover=3)
+        population = BernoulliFaultPopulation.uniform(universe, 0.5)
+        with pytest.raises(ModelError):
+            engine.zeta(population, 2)
+
+    def test_zero_coefficient_faults_do_not_count(self, profile):
+        space = DemandSpace(10)
+        universe = FaultUniverse.from_regions(space, [[0, i + 1] for i in range(5)])
+        engine = BernoulliExactEngine(universe, uniform_profile(space), max_cover=3)
+        probs = np.zeros(5)
+        probs[0] = 0.5  # only one active fault
+        population = BernoulliFaultPopulation(universe, probs)
+        zeta = engine.zeta(population, 2)  # should not raise
+        assert zeta[0] == pytest.approx(0.5 * 0.8**2)

@@ -1,0 +1,77 @@
+"""Tests for the brute-force enumeration engine."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import (
+    exact_joint_per_demand,
+    exact_marginal_system_pfd,
+    exact_zeta,
+)
+from repro.core import IndependentSuites, SameSuite
+from repro.errors import NotEnumerableError
+from repro.testing import OperationalSuiteGenerator
+
+
+class TestExactZeta:
+    def test_matches_population_path(self, finite_population, enumerable_generator):
+        """Enumerated zeta must equal the per-suite tested_difficulty
+        averaged under M (two different code paths)."""
+        zeta = exact_zeta(finite_population, enumerable_generator)
+        expected = np.zeros(10)
+        for suite, probability in enumerable_generator.enumerate():
+            expected += probability * finite_population.tested_difficulty(
+                suite.unique_demands
+            )
+        np.testing.assert_allclose(zeta, expected, atol=1e-12)
+
+    def test_zeta_below_theta(self, finite_population, enumerable_generator):
+        zeta = exact_zeta(finite_population, enumerable_generator)
+        assert np.all(zeta <= finite_population.difficulty() + 1e-15)
+
+    def test_requires_enumerable(self, finite_population, profile):
+        generator = OperationalSuiteGenerator(profile, 3)
+        with pytest.raises(NotEnumerableError):
+            exact_zeta(finite_population, generator)
+
+
+class TestExactJoint:
+    def test_independent_factorises(self, finite_population, enumerable_generator):
+        joint = exact_joint_per_demand(
+            IndependentSuites(enumerable_generator), finite_population
+        )
+        zeta = exact_zeta(finite_population, enumerable_generator)
+        np.testing.assert_allclose(joint, zeta**2, atol=1e-12)
+
+    def test_same_suite_literal_triple_sum(
+        self, finite_population, enumerable_generator
+    ):
+        """Re-derive the same-suite joint with an explicit python loop over
+        (version_a, version_b, suite) and compare."""
+        from repro.testing import apply_testing
+
+        joint = exact_joint_per_demand(
+            SameSuite(enumerable_generator), finite_population
+        )
+        expected = np.zeros(10)
+        for version_a, pa in finite_population.enumerate():
+            for version_b, pb in finite_population.enumerate():
+                for suite, pt in enumerable_generator.enumerate():
+                    mask_a = apply_testing(version_a, suite).after.failure_mask
+                    mask_b = apply_testing(version_b, suite).after.failure_mask
+                    expected += pa * pb * pt * (mask_a & mask_b)
+        np.testing.assert_allclose(joint, expected, atol=1e-12)
+
+    def test_unknown_regime(self, finite_population):
+        with pytest.raises(TypeError):
+            exact_joint_per_demand(object(), finite_population)
+
+
+class TestExactMarginal:
+    def test_marginal_integrates_joint(
+        self, finite_population, enumerable_generator, profile
+    ):
+        regime = SameSuite(enumerable_generator)
+        joint = exact_joint_per_demand(regime, finite_population)
+        marginal = exact_marginal_system_pfd(regime, finite_population, profile)
+        assert marginal == pytest.approx(profile.expectation(joint))

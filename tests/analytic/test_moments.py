@@ -1,0 +1,83 @@
+"""Tests for the weighted-moment helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import weighted_cov, weighted_mean, weighted_var
+from repro.analytic.moments import validate_weights
+from repro.errors import ProbabilityError
+
+
+UNIFORM4 = np.full(4, 0.25)
+
+
+class TestValidateWeights:
+    def test_valid(self):
+        out = validate_weights(UNIFORM4)
+        assert out.dtype == np.float64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProbabilityError):
+            validate_weights(np.array([0.5, 0.6, -0.1]))
+
+    def test_sum_rejected(self):
+        with pytest.raises(ProbabilityError):
+            validate_weights(np.array([0.5, 0.6]))
+
+    def test_shape_rejected(self):
+        with pytest.raises(ProbabilityError):
+            validate_weights(np.eye(2) / 2)
+
+
+class TestWeightedMean:
+    def test_uniform(self):
+        assert weighted_mean(np.array([1.0, 2, 3, 4]), UNIFORM4) == pytest.approx(2.5)
+
+    def test_point_mass(self):
+        weights = np.array([0.0, 1.0, 0.0])
+        assert weighted_mean(np.array([5.0, 7.0, 9.0]), weights) == 7.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ProbabilityError):
+            weighted_mean(np.ones(3), UNIFORM4)
+
+
+class TestWeightedVar:
+    def test_constant_zero(self):
+        assert weighted_var(np.full(4, 3.3), UNIFORM4) == 0.0
+
+    def test_known_value(self):
+        values = np.array([0.0, 1.0])
+        weights = np.array([0.5, 0.5])
+        assert weighted_var(values, weights) == pytest.approx(0.25)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            weights = rng.random(6)
+            weights /= weights.sum()
+            assert weighted_var(rng.random(6), weights) >= 0.0
+
+
+class TestWeightedCov:
+    def test_self_cov_is_var(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(5)
+        weights = np.full(5, 0.2)
+        assert weighted_cov(values, values, weights) == pytest.approx(
+            weighted_var(values, weights)
+        )
+
+    def test_anti_correlated(self):
+        values = np.array([0.0, 1.0])
+        weights = np.array([0.5, 0.5])
+        assert weighted_cov(values, 1 - values, weights) == pytest.approx(-0.25)
+
+    def test_independent_of_shift(self):
+        rng = np.random.default_rng(3)
+        u = rng.random(6)
+        v = rng.random(6)
+        weights = np.full(6, 1 / 6)
+        assert weighted_cov(u, v, weights) == pytest.approx(
+            weighted_cov(u + 10, v - 3, weights)
+        )

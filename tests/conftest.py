@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandSpace, UsageProfile, uniform_profile, zipf_profile
+from repro.faults import FaultUniverse
+from repro.populations import BernoulliFaultPopulation, FinitePopulation
+from repro.testing import EnumerableSuiteGenerator, OperationalSuiteGenerator, TestSuite
+from repro.versions import Version
+
+
+@pytest.fixture
+def space() -> DemandSpace:
+    """A small demand space shared by most unit tests."""
+    return DemandSpace(10)
+
+
+@pytest.fixture
+def profile(space: DemandSpace) -> UsageProfile:
+    """Uniform usage over the small space."""
+    return uniform_profile(space)
+
+
+@pytest.fixture
+def skewed_profile(space: DemandSpace) -> UsageProfile:
+    """Zipf usage over the small space."""
+    return zipf_profile(space, exponent=1.0)
+
+
+@pytest.fixture
+def universe(space: DemandSpace) -> FaultUniverse:
+    """Three faults with known, partially overlapping regions.
+
+    fault 0: {0, 1}
+    fault 1: {2, 3, 4}
+    fault 2: {4, 5}
+    Demand 4 is covered by faults 1 and 2; demands 6-9 by none.
+    """
+    return FaultUniverse.from_regions(space, [[0, 1], [2, 3, 4], [4, 5]])
+
+
+@pytest.fixture
+def bernoulli_population(universe: FaultUniverse) -> BernoulliFaultPopulation:
+    """Bernoulli population with distinct per-fault probabilities."""
+    return BernoulliFaultPopulation(universe, [0.5, 0.25, 0.4])
+
+
+@pytest.fixture
+def finite_population(universe: FaultUniverse) -> FinitePopulation:
+    """A four-version finite population over the shared universe."""
+    versions = [
+        Version.correct(universe),
+        Version(universe, np.array([0])),
+        Version(universe, np.array([1, 2])),
+        Version.with_all_faults(universe),
+    ]
+    return FinitePopulation(universe, versions, [0.4, 0.3, 0.2, 0.1])
+
+
+@pytest.fixture
+def enumerable_generator(space: DemandSpace) -> EnumerableSuiteGenerator:
+    """Three explicitly enumerated suites with unequal probabilities."""
+    suites = [
+        TestSuite.of(space, [0]),
+        TestSuite.of(space, [2, 4]),
+        TestSuite.of(space, [7]),
+    ]
+    return EnumerableSuiteGenerator(space, suites, [0.5, 0.3, 0.2])
+
+
+@pytest.fixture
+def operational_generator(profile: UsageProfile) -> OperationalSuiteGenerator:
+    """Operational suites of 4 i.i.d. demands."""
+    return OperationalSuiteGenerator(profile, 4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,105 @@
+"""Tests for the post-testing conditional forms on MarginalDecomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import IndependentSuites, SameSuite, marginal_system_pfd
+from repro.errors import ProbabilityError
+from repro.populations import BernoulliFaultPopulation
+from repro.testing import EnumerableSuiteGenerator, TestSuite
+
+
+class TestConditionalForms:
+    def test_conditional_identity(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        decomposition = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        conditional = decomposition.conditional_prob_a_fails_given_b_failed()
+        assert conditional == pytest.approx(
+            decomposition.system_pfd / decomposition.pfd_b
+        )
+        # dependence means conditioning on B's failure raises A's risk
+        assert conditional > decomposition.pfd_a
+
+    def test_amplification_ordering_same_vs_independent(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        """The shared suite amplifies dependence beyond the EL level."""
+        same = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        independent = marginal_system_pfd(
+            IndependentSuites(enumerable_generator),
+            bernoulli_population,
+            profile,
+        )
+        assert (
+            same.dependence_amplification()
+            >= independent.dependence_amplification() - 1e-12
+        )
+        # and even the independent-suite pair is dependent (Var(Theta_T) > 0)
+        assert independent.dependence_amplification() > 1.0
+
+    def test_amplification_one_for_flat_difficulty(self, space, profile):
+        """A constant tested difficulty gives exact independence."""
+        from repro.faults import FaultUniverse
+
+        universe = FaultUniverse.from_regions(
+            space, [[2 * k, 2 * k + 1] for k in range(5)]
+        )
+        population = BernoulliFaultPopulation.uniform(universe, 0.3)
+        # degenerate suite measure touching nothing: tested == untested,
+        # theta constant (every demand covered by exactly one fault)
+        generator = EnumerableSuiteGenerator(
+            space, [TestSuite.empty(space)], [1.0]
+        )
+        decomposition = marginal_system_pfd(
+            SameSuite(generator), population, profile
+        )
+        assert decomposition.dependence_amplification() == pytest.approx(1.0)
+
+    def test_conditional_undefined_when_b_never_fails(self, space, profile):
+        from repro.faults import FaultUniverse
+
+        universe = FaultUniverse.from_regions(space, [[0]])
+        population = BernoulliFaultPopulation(universe, [0.0])
+        generator = EnumerableSuiteGenerator(
+            space, [TestSuite.empty(space)], [1.0]
+        )
+        decomposition = marginal_system_pfd(
+            SameSuite(generator), population, profile
+        )
+        with pytest.raises(ProbabilityError):
+            decomposition.conditional_prob_a_fails_given_b_failed()
+        assert decomposition.dependence_amplification() == 1.0
+
+    def test_amplification_matches_simulation(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        """Direct simulation of the conditional probability agrees."""
+        from repro.rng import as_generator, spawn_many
+        from repro.testing import apply_testing
+
+        decomposition = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        predicted = decomposition.conditional_prob_a_fails_given_b_failed()
+
+        rng = as_generator(17)
+        joint_mass = 0.0
+        b_mass = 0.0
+        n_replications = 3000
+        for replication in spawn_many(rng, n_replications):
+            streams = spawn_many(replication, 3)
+            version_a = bernoulli_population.sample(streams[0])
+            version_b = bernoulli_population.sample(streams[1])
+            suite = enumerable_generator.sample(streams[2])
+            tested_a = apply_testing(version_a, suite).after
+            tested_b = apply_testing(version_b, suite).after
+            joint = tested_a.failure_mask & tested_b.failure_mask
+            joint_mass += float(profile.probabilities[joint].sum())
+            b_mass += tested_b.pfd(profile)
+        simulated = joint_mass / b_mass
+        assert simulated == pytest.approx(predicted, abs=0.05)

@@ -1,0 +1,106 @@
+"""Tests for marginal_system_pfd (eqs. (22)-(25))."""
+
+import numpy as np
+import pytest
+
+from repro.core import IndependentSuites, SameSuite, marginal_system_pfd
+from repro.populations import BernoulliFaultPopulation
+
+
+class TestDecomposition:
+    def test_reconstruction_identity(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        for regime_class in (IndependentSuites, SameSuite):
+            decomposition = marginal_system_pfd(
+                regime_class(enumerable_generator),
+                bernoulli_population,
+                profile,
+            )
+            assert decomposition.reconstructed() == pytest.approx(
+                decomposition.system_pfd
+            )
+
+    def test_independent_suites_no_suite_dependence(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        decomposition = marginal_system_pfd(
+            IndependentSuites(enumerable_generator),
+            bernoulli_population,
+            profile,
+        )
+        assert decomposition.suite_dependence == pytest.approx(0.0, abs=1e-15)
+
+    def test_same_suite_dependence_positive_same_pop(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        decomposition = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        assert decomposition.suite_dependence > 0
+
+    def test_eq23_geq_eq22(self, bernoulli_population, enumerable_generator, profile):
+        same = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        independent = marginal_system_pfd(
+            IndependentSuites(enumerable_generator),
+            bernoulli_population,
+            profile,
+        )
+        assert same.system_pfd >= independent.system_pfd - 1e-15
+
+    def test_channel_pfds_match_zeta(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        from repro.core import TestedPopulationView
+
+        decomposition = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        zeta = TestedPopulationView(
+            bernoulli_population, enumerable_generator
+        ).zeta()
+        assert decomposition.pfd_a == pytest.approx(profile.expectation(zeta))
+        assert decomposition.pfd_a == decomposition.pfd_b
+
+    def test_conditional_independence_pfd_property(
+        self, bernoulli_population, enumerable_generator, profile
+    ):
+        decomposition = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        assert decomposition.conditional_independence_pfd == pytest.approx(
+            decomposition.system_pfd - decomposition.suite_dependence
+        )
+
+    def test_forced_design_covariance_term(
+        self, universe, enumerable_generator, profile
+    ):
+        pop_a = BernoulliFaultPopulation(universe, [0.5, 0.0, 0.3])
+        pop_b = BernoulliFaultPopulation(universe, [0.2, 0.6, 0.0])
+        decomposition = marginal_system_pfd(
+            IndependentSuites(enumerable_generator), pop_a, profile, pop_b
+        )
+        # eq. (24): pfd = E[A]E[B] + Cov
+        assert decomposition.system_pfd == pytest.approx(
+            decomposition.independence_product
+            + decomposition.difficulty_covariance
+        )
+
+    def test_exactness_flag(self, bernoulli_population, enumerable_generator, profile):
+        decomposition = marginal_system_pfd(
+            SameSuite(enumerable_generator), bernoulli_population, profile
+        )
+        assert decomposition.exact
+
+    def test_against_brute_force(self, finite_population, enumerable_generator, profile):
+        from repro.analytic import exact_marginal_system_pfd
+
+        for regime_class in (IndependentSuites, SameSuite):
+            regime = regime_class(enumerable_generator)
+            decomposition = marginal_system_pfd(
+                regime, finite_population, profile
+            )
+            truth = exact_marginal_system_pfd(regime, finite_population, profile)
+            assert decomposition.system_pfd == pytest.approx(truth, abs=1e-12)

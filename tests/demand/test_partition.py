@@ -1,0 +1,69 @@
+"""Tests for DemandPartition."""
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandPartition, DemandSpace
+from repro.errors import IncompatibleSpaceError, ModelError
+
+
+class TestEqualBlocks:
+    def test_block_count(self):
+        partition = DemandPartition.equal_blocks(DemandSpace(10), 5)
+        assert partition.n_blocks == 5
+
+    def test_blocks_cover_space(self):
+        partition = DemandPartition.equal_blocks(DemandSpace(10), 3)
+        covered = np.concatenate(partition.blocks())
+        np.testing.assert_array_equal(np.sort(covered), np.arange(10))
+
+    def test_uneven_split_sizes(self):
+        partition = DemandPartition.equal_blocks(DemandSpace(10), 3)
+        sizes = sorted(block.size for block in partition.blocks())
+        assert sizes == [3, 3, 4]
+
+    def test_single_block(self):
+        partition = DemandPartition.equal_blocks(DemandSpace(4), 1)
+        assert partition.block(0).size == 4
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ModelError):
+            DemandPartition.equal_blocks(DemandSpace(4), 0)
+        with pytest.raises(ModelError):
+            DemandPartition.equal_blocks(DemandSpace(4), 5)
+
+
+class TestFromBlocks:
+    def test_round_trip(self):
+        space = DemandSpace(5)
+        partition = DemandPartition.from_blocks(space, [[0, 1], [2], [3, 4]])
+        assert partition.block_of(0) == 0
+        assert partition.block_of(2) == 1
+        assert partition.block_of(4) == 2
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ModelError):
+            DemandPartition.from_blocks(DemandSpace(4), [[0, 1], [1, 2, 3]])
+
+    def test_uncovered_rejected(self):
+        with pytest.raises(ModelError):
+            DemandPartition.from_blocks(DemandSpace(4), [[0, 1], [2]])
+
+
+class TestValidation:
+    def test_wrong_label_length(self):
+        with pytest.raises(IncompatibleSpaceError):
+            DemandPartition(DemandSpace(4), np.array([0, 0, 1]))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(ModelError):
+            DemandPartition(DemandSpace(3), np.array([0, -1, 1]))
+
+    def test_gap_in_labels_rejected(self):
+        with pytest.raises(ModelError):
+            DemandPartition(DemandSpace(3), np.array([0, 0, 2]))
+
+    def test_block_out_of_range(self):
+        partition = DemandPartition.equal_blocks(DemandSpace(4), 2)
+        with pytest.raises(ModelError):
+            partition.block(2)

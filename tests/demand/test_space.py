@@ -1,0 +1,86 @@
+"""Tests for DemandSpace."""
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandSpace
+from repro.errors import IncompatibleSpaceError, ModelError
+
+
+class TestConstruction:
+    def test_size(self):
+        assert len(DemandSpace(7)) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_size_rejected(self, bad):
+        with pytest.raises(ModelError):
+            DemandSpace(bad)
+
+
+class TestMembership:
+    def test_contains_valid(self):
+        space = DemandSpace(5)
+        assert 0 in space
+        assert 4 in space
+
+    def test_excludes_out_of_range(self):
+        space = DemandSpace(5)
+        assert 5 not in space
+        assert -1 not in space
+
+    def test_non_integer_not_contained(self):
+        assert "x" not in DemandSpace(5)
+        assert 1.5 not in DemandSpace(5)
+
+    def test_numpy_integer_contained(self):
+        assert np.int64(3) in DemandSpace(5)
+
+    def test_iteration(self):
+        assert list(DemandSpace(3)) == [0, 1, 2]
+
+
+class TestValidation:
+    def test_validate_demand_passes(self):
+        assert DemandSpace(4).validate_demand(2) == 2
+
+    def test_validate_demand_rejects(self):
+        with pytest.raises(IncompatibleSpaceError):
+            DemandSpace(4).validate_demand(4)
+
+    def test_validate_demands_canonicalises(self):
+        out = DemandSpace(6).validate_demands([5, 1, 5])
+        np.testing.assert_array_equal(out, [1, 5])
+
+    def test_validate_demands_rejects_out_of_range(self):
+        with pytest.raises(IncompatibleSpaceError):
+            DemandSpace(4).validate_demands([0, 9])
+
+    def test_validate_empty(self):
+        assert DemandSpace(4).validate_demands([]).size == 0
+
+
+class TestIndicator:
+    def test_indicator_marks_members(self):
+        mask = DemandSpace(5).indicator([1, 3])
+        np.testing.assert_array_equal(mask, [False, True, False, True, False])
+
+    def test_indicator_empty(self):
+        assert not DemandSpace(5).indicator([]).any()
+
+
+class TestRequireSame:
+    def test_same_size_passes(self):
+        DemandSpace(4).require_same(DemandSpace(4))
+
+    def test_different_size_raises(self):
+        with pytest.raises(IncompatibleSpaceError):
+            DemandSpace(4).require_same(DemandSpace(5))
+
+    def test_non_space_raises(self):
+        with pytest.raises(IncompatibleSpaceError):
+            DemandSpace(4).require_same("not a space")
+
+
+class TestDemandsProperty:
+    def test_demands_array(self):
+        np.testing.assert_array_equal(DemandSpace(3).demands, [0, 1, 2])

@@ -1,0 +1,31 @@
+"""Tests for the python -m repro.experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        code = main(["a5", "--seed", "0"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "A5" in captured.out.upper()
+        assert "PASS" in captured.out
+
+    def test_summary_only(self, capsys):
+        code = main(["a5", "a4", "--summary-only"])
+        captured = capsys.readouterr()
+        assert code == 0
+        # summary lines only: no per-claim "ok" markers
+        assert "experiment  claims" in captured.out
+        assert captured.out.count("PASS") == 2
+
+    def test_unknown_id_raises(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            main(["nope"])
+
+    def test_seed_changes_tables_not_verdicts(self, capsys):
+        assert main(["a5", "--seed", "3", "--summary-only"]) == 0

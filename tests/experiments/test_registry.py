@@ -1,0 +1,68 @@
+"""Tests for the experiment registry and result types."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments import all_experiment_ids, get_runner, run_experiment
+from repro.experiments.base import Claim, ExperimentResult
+from repro.experiments.registry import register
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        ids = all_experiment_ids()
+        expected = {f"e{n:02d}" for n in range(1, 15)} | {
+            "a1",
+            "a2",
+            "a3",
+            "a4",
+            "a5",
+        }
+        assert expected <= set(ids)
+
+    def test_e_ids_listed_before_a_ids(self):
+        ids = all_experiment_ids()
+        first_a = min(i for i, x in enumerate(ids) if x.startswith("a"))
+        last_e = max(i for i, x in enumerate(ids) if x.startswith("e"))
+        assert last_e < first_a
+
+    def test_unknown_id_raises_with_listing(self):
+        with pytest.raises(ModelError, match="e01"):
+            get_runner("zz")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ModelError):
+            register("e01")(lambda seed, fast: None)
+
+    def test_runner_is_callable(self):
+        runner = get_runner("a5")
+        result = runner(0, True)
+        assert isinstance(result, ExperimentResult)
+
+
+class TestResultTypes:
+    def test_passed_requires_all_claims(self):
+        good = Claim("x", True)
+        bad = Claim("y", False, "detail")
+        result = ExperimentResult(
+            experiment_id="t",
+            title="t",
+            paper_reference="t",
+            columns=["a"],
+            rows=[[1]],
+            claims=[good, bad],
+        )
+        assert not result.passed
+        assert result.claim_failures() == [bad]
+
+    def test_all_claims_pass(self):
+        result = ExperimentResult(
+            experiment_id="t",
+            title="t",
+            paper_reference="t",
+            columns=["a"],
+            rows=[],
+            claims=[Claim("x", True)],
+        )
+        assert result.passed
+        assert result.claim_failures() == []

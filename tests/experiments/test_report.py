@@ -1,0 +1,56 @@
+"""Tests for the text reporter."""
+
+from repro.experiments.base import Claim, ExperimentResult
+from repro.experiments.report import format_result, format_summary
+
+
+def _result(passed: bool) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="e99",
+        title="A demo experiment",
+        paper_reference="eq. (0)",
+        columns=["name", "value", "ok"],
+        rows=[["row one", 0.123456789, True], ["tiny", 1.2e-7, False]],
+        claims=[Claim("the demo claim", passed, "42")],
+        notes="demo notes",
+    )
+
+
+class TestFormatResult:
+    def test_contains_title_and_status(self):
+        text = format_result(_result(True))
+        assert "A demo experiment" in text
+        assert "(PASS)" in text
+        assert "eq. (0)" in text
+        assert "demo notes" in text
+
+    def test_fail_status(self):
+        text = format_result(_result(False))
+        assert "(FAIL)" in text
+        assert "FAIL the demo claim" in text
+
+    def test_float_formatting(self):
+        text = format_result(_result(True))
+        assert "0.123457" in text       # 6 decimal places
+        assert "1.2000e-07" in text     # scientific for tiny values
+
+    def test_bool_formatting(self):
+        text = format_result(_result(True))
+        assert "yes" in text
+        assert "no" in text
+
+    def test_columns_aligned(self):
+        text = format_result(_result(True))
+        lines = [l for l in text.splitlines() if "row one" in l or "tiny" in l]
+        assert len(lines) == 2
+
+
+class TestFormatSummary:
+    def test_one_line_per_result(self):
+        results = [_result(True), _result(False)]
+        text = format_summary(results)
+        assert text.count("e99") == 2
+        assert "PASS" in text
+        assert "FAIL" in text
+        assert "1/1" in text
+        assert "0/1" in text

@@ -1,0 +1,130 @@
+"""Tests for the combined-activities campaign simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.extensions import (
+    BackToBackActivity,
+    ClarificationActivity,
+    ClarificationProcess,
+    DevelopmentCampaign,
+    IndependentTestingActivity,
+    MistakeActivity,
+    PerTeamClarificationActivity,
+    SharedTestingActivity,
+    SpecificationMistake,
+)
+from repro.testing import BackToBackComparator, OperationalSuiteGenerator
+from repro.versions import Version, shared_fault_outputs
+
+
+@pytest.fixture
+def generator(profile):
+    return OperationalSuiteGenerator(profile, 4)
+
+
+@pytest.fixture
+def version_pair(universe):
+    return (
+        Version(universe, np.array([0, 1])),
+        Version(universe, np.array([1, 2])),
+    )
+
+
+class TestConstruction:
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ModelError):
+            DevelopmentCampaign([])
+
+    def test_non_activity_rejected(self, generator):
+        with pytest.raises(ModelError):
+            DevelopmentCampaign([SharedTestingActivity(generator), "tea break"])
+
+
+class TestRun:
+    def test_trajectory_structure(self, generator, version_pair, profile):
+        campaign = DevelopmentCampaign(
+            [SharedTestingActivity(generator), IndependentTestingActivity(generator)]
+        )
+        a, b = version_pair
+        trajectory = campaign.run(a, b, profile, rng=0)
+        assert len(trajectory) == 3
+        assert trajectory[0].kind == "initial"
+        assert trajectory[1].kind == "shared testing"
+        assert trajectory[2].kind == "independent testing"
+
+    def test_testing_activities_never_degrade(
+        self, generator, version_pair, profile, space
+    ):
+        comparator = BackToBackComparator(shared_fault_outputs())
+        process = ClarificationProcess(space, [[0, 1], [4, 5]], [0.5, 0.5])
+        campaign = DevelopmentCampaign(
+            [
+                SharedTestingActivity(generator),
+                BackToBackActivity(generator, comparator),
+                ClarificationActivity(process),
+                PerTeamClarificationActivity(process),
+                IndependentTestingActivity(generator),
+            ]
+        )
+        a, b = version_pair
+        trajectory = campaign.run(a, b, profile, rng=1)
+        assert not trajectory.degrading_steps()
+        pfds = trajectory.system_pfds()
+        assert np.all(np.diff(pfds) <= 1e-15)
+
+    def test_mistake_degrades(self, generator, version_pair, profile, universe):
+        mistake = SpecificationMistake((2,))
+        campaign = DevelopmentCampaign(
+            [SharedTestingActivity(generator), MistakeActivity(mistake)]
+        )
+        a = Version(universe, np.array([0]))
+        b = Version(universe, np.array([1]))
+        trajectory = campaign.run(a, b, profile, rng=2)
+        degrading = trajectory.degrading_steps()
+        assert len(degrading) == 1
+        assert degrading[0].kind == "common mistake"
+        # both channels now contain the mistake fault
+        assert trajectory.final.faults_a >= 1
+        assert trajectory.final.faults_b >= 1
+
+    def test_mistake_injects_into_both(self, version_pair, profile, universe):
+        mistake = SpecificationMistake((2,))
+        activity = MistakeActivity(mistake)
+        a = Version(universe, np.array([0]))
+        b = Version.correct(universe)
+        after_a, after_b = activity.apply(a, b, np.random.default_rng(0))
+        assert 2 in after_a.fault_ids.tolist()
+        assert 2 in after_b.fault_ids.tolist()
+
+    def test_deterministic_under_seed(self, generator, version_pair, profile):
+        campaign = DevelopmentCampaign([SharedTestingActivity(generator)])
+        a, b = version_pair
+        first = campaign.run(a, b, profile, rng=5)
+        second = campaign.run(a, b, profile, rng=5)
+        assert first.final == second.final
+
+
+class TestMeanFinalPfd:
+    def test_shared_worse_than_independent(
+        self, bernoulli_population, generator, profile
+    ):
+        shared = DevelopmentCampaign([SharedTestingActivity(generator)])
+        independent = DevelopmentCampaign(
+            [IndependentTestingActivity(generator)]
+        )
+        shared_pfd = shared.mean_final_system_pfd(
+            bernoulli_population, profile, n_replications=400, rng=3
+        )
+        independent_pfd = independent.mean_final_system_pfd(
+            bernoulli_population, profile, n_replications=400, rng=3
+        )
+        assert shared_pfd >= independent_pfd - 0.01
+
+    def test_replication_validation(self, bernoulli_population, generator, profile):
+        campaign = DevelopmentCampaign([SharedTestingActivity(generator)])
+        with pytest.raises(ModelError):
+            campaign.mean_final_system_pfd(
+                bernoulli_population, profile, n_replications=0
+            )

@@ -1,0 +1,91 @@
+"""Tests for the common-clarification extension."""
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandSpace, uniform_profile
+from repro.errors import ModelError, ProbabilityError
+from repro.extensions import ClarificationProcess, clarification_effect
+from repro.faults import FaultUniverse
+from repro.populations import BernoulliFaultPopulation
+
+
+@pytest.fixture
+def model():
+    space = DemandSpace(20)
+    profile = uniform_profile(space)
+    universe = FaultUniverse.from_regions(
+        space, [[0, 1, 2], [5, 6], [10, 11, 12], [15]]
+    )
+    population = BernoulliFaultPopulation.uniform(universe, 0.5)
+    return space, profile, population
+
+
+class TestConstruction:
+    def test_length_mismatch(self, model):
+        space, _profile, _population = model
+        with pytest.raises(ModelError):
+            ClarificationProcess(space, [[0]], [0.5, 0.5])
+
+    def test_probabilities_over_one(self, model):
+        space, _profile, _population = model
+        with pytest.raises(ProbabilityError):
+            ClarificationProcess(space, [[0], [1]], [0.8, 0.8])
+
+    def test_subunit_mass_adds_empty_suite(self, model):
+        space, _profile, _population = model
+        process = ClarificationProcess(space, [[0, 1]], [0.4])
+        pairs = list(process.generator.enumerate())
+        assert len(pairs) == 2
+        total = sum(p for _, p in pairs)
+        assert total == pytest.approx(1.0)
+        empty = [s for s, _ in pairs if len(s) == 0]
+        assert len(empty) == 1
+
+    def test_full_mass_no_empty_suite(self, model):
+        space, _profile, _population = model
+        process = ClarificationProcess(space, [[0], [1]], [0.5, 0.5])
+        assert len(list(process.generator.enumerate())) == 2
+
+
+class TestEffect:
+    def test_deterministic_has_no_penalty(self, model):
+        space, profile, population = model
+        process = ClarificationProcess(space, [[0, 1, 2]], [1.0])
+        effect = clarification_effect(process, population, profile)
+        assert effect.dependence_penalty == pytest.approx(0.0, abs=1e-12)
+        assert effect.shared_pfd == pytest.approx(effect.per_team_pfd)
+
+    def test_random_has_positive_penalty(self, model):
+        space, profile, population = model
+        process = ClarificationProcess(
+            space, [[0, 1, 2], [10, 11, 12]], [0.5, 0.5]
+        )
+        effect = clarification_effect(process, population, profile)
+        assert effect.dependence_penalty > 0
+
+    def test_clarification_always_helps(self, model):
+        space, profile, population = model
+        process = ClarificationProcess(
+            space, [[0, 1, 2], [5, 6]], [0.3, 0.3]
+        )
+        effect = clarification_effect(process, population, profile)
+        assert effect.clarification_helps
+        assert effect.per_team_pfd <= effect.untested_pfd + 1e-15
+
+    def test_clarifying_everything_fixes_everything(self, model):
+        space, profile, population = model
+        process = ClarificationProcess(space, [list(range(20))], [1.0])
+        effect = clarification_effect(process, population, profile)
+        assert effect.shared_pfd == pytest.approx(0.0)
+
+    def test_forced_diversity_channels(self, model):
+        space, profile, population = model
+        other = BernoulliFaultPopulation(
+            population.universe, [0.0, 0.5, 0.5, 0.5]
+        )
+        process = ClarificationProcess(
+            space, [[0, 1, 2], [10, 11, 12]], [0.5, 0.5]
+        )
+        effect = clarification_effect(process, population, profile, other)
+        assert 0.0 <= effect.shared_pfd <= effect.untested_pfd + 1e-15

@@ -1,0 +1,100 @@
+"""Tests for the common-mistake extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.extensions import (
+    BlindSpotOracle,
+    SpecificationMistake,
+    mistake_effect,
+)
+from repro.extensions.mistakes import BlindSpotFixing
+from repro.testing import OperationalSuiteGenerator, TestSuite, apply_testing
+from repro.versions import Version
+
+
+class TestSpecificationMistake:
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            SpecificationMistake(())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            SpecificationMistake((-1,))
+
+    def test_apply_forces_presence(self, bernoulli_population):
+        mistake = SpecificationMistake((1,))
+        mistaken = mistake.apply_to(bernoulli_population)
+        assert mistaken.presence_probs[1] == 1.0
+        # other faults untouched
+        assert mistaken.presence_probs[0] == pytest.approx(0.5)
+
+    def test_region_mask(self, bernoulli_population):
+        mistake = SpecificationMistake((0,))
+        mask = mistake.region_mask(bernoulli_population)
+        np.testing.assert_array_equal(np.flatnonzero(mask), [0, 1])
+
+
+class TestBlindSpotOracle:
+    def test_blind_to_solely_blind_failures(self, universe, rng):
+        oracle = BlindSpotOracle((1,))
+        version = Version(universe, np.array([1]))
+        assert not oracle.detects(version, 2, rng)
+
+    def test_sees_failures_with_visible_contribution(self, universe, rng):
+        oracle = BlindSpotOracle((1,))
+        version = Version(universe, np.array([1, 2]))
+        # demand 4 covered by faults 1 (blind) and 2 (visible)
+        assert oracle.detects(version, 4, rng)
+
+    def test_sees_purely_visible_failures(self, universe, rng):
+        oracle = BlindSpotOracle((1,))
+        version = Version(universe, np.array([0]))
+        assert oracle.detects(version, 0, rng)
+
+
+class TestBlindSpotFixing:
+    def test_never_removes_blind_faults(self, universe, rng):
+        fixing = BlindSpotFixing((1,))
+        version = Version(universe, np.array([1, 2]))
+        removed = fixing.faults_removed(version, 4, rng)
+        np.testing.assert_array_equal(removed, [2])
+
+    def test_blind_testing_leaves_mistake(self, universe, space, rng):
+        mistake = SpecificationMistake((1,))
+        version = Version(universe, np.array([0, 1, 2]))
+        suite = TestSuite(space, space.demands)  # exhaustive
+        outcome = apply_testing(
+            version,
+            suite,
+            mistake.blind_oracle(),
+            mistake.blind_fixing(),
+            rng=rng,
+        )
+        assert outcome.after.fault_ids.tolist() == [1]
+
+
+class TestMistakeEffect:
+    def test_floor_and_orderings(self, universe, profile):
+        from repro.populations import BernoulliFaultPopulation
+
+        population = BernoulliFaultPopulation(universe, [0.5, 0.25, 0.4])
+        generator = OperationalSuiteGenerator(profile, 6)
+        mistake = SpecificationMistake((0,))
+        effect = mistake_effect(
+            mistake,
+            population,
+            generator,
+            profile,
+            n_replications=60,
+            n_suites=300,
+            rng=1,
+        )
+        assert effect.floor_respected
+        assert effect.mistaken_correct_oracle_pfd >= effect.clean_pfd - 1e-9
+        assert (
+            effect.mistaken_blind_oracle_pfd
+            >= effect.mistaken_correct_oracle_pfd - 0.02
+        )
+        assert effect.mistake_region_mass == pytest.approx(0.2)

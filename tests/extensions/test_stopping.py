@@ -1,0 +1,93 @@
+"""Tests for the operational-testing stopping rules."""
+
+import pytest
+
+from repro.errors import ModelError, ProbabilityError
+from repro.extensions import (
+    bayes_pfd_upper_bound,
+    classical_pfd_upper_bound,
+    tests_needed_for_target,
+)
+
+
+class TestClassicalBound:
+    def test_textbook_value(self):
+        # ~2302 failure-free demands demonstrate 1e-3 at 90%
+        bound = classical_pfd_upper_bound(2302, 0.90)
+        assert bound == pytest.approx(1e-3, rel=0.01)
+
+    def test_single_test_weak_bound(self):
+        assert classical_pfd_upper_bound(1, 0.90) == pytest.approx(0.9)
+
+    def test_monotone_in_tests(self):
+        bounds = [
+            classical_pfd_upper_bound(n, 0.95) for n in (10, 100, 1000)
+        ]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_monotone_in_confidence(self):
+        assert classical_pfd_upper_bound(100, 0.99) > classical_pfd_upper_bound(
+            100, 0.5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            classical_pfd_upper_bound(0, 0.9)
+        with pytest.raises(ProbabilityError):
+            classical_pfd_upper_bound(10, 1.0)
+
+
+class TestBayesBound:
+    def test_uniform_prior_close_to_classical(self):
+        classical = classical_pfd_upper_bound(1000, 0.9)
+        bayes = bayes_pfd_upper_bound(1000, 0.9)
+        assert bayes == pytest.approx(classical, rel=0.01)
+
+    def test_uniform_prior_identity(self):
+        """Beta(1, 1+n) c-quantile equals the classical bound with n+1
+        tests — the uniform prior is worth exactly one failure-free test."""
+        for n in (10, 100, 1000):
+            assert bayes_pfd_upper_bound(n, 0.9) == pytest.approx(
+                classical_pfd_upper_bound(n + 1, 0.9)
+            )
+
+    def test_pessimistic_prior_loosens(self):
+        for n in (10, 100):
+            assert bayes_pfd_upper_bound(
+                n, 0.9, prior_a=5.0
+            ) > bayes_pfd_upper_bound(n, 0.9, prior_a=1.0)
+
+    def test_zero_tests_is_prior_quantile(self):
+        assert bayes_pfd_upper_bound(0, 0.9) == pytest.approx(0.9)
+
+    def test_informative_prior_tightens(self):
+        weak = bayes_pfd_upper_bound(100, 0.9, prior_a=1.0, prior_b=1.0)
+        strong = bayes_pfd_upper_bound(100, 0.9, prior_a=1.0, prior_b=1000.0)
+        assert strong < weak
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            bayes_pfd_upper_bound(-1, 0.9)
+        with pytest.raises(ModelError):
+            bayes_pfd_upper_bound(10, 0.9, prior_a=0.0)
+
+
+class TestTestsNeeded:
+    def test_textbook_value(self):
+        assert tests_needed_for_target(1e-3, 0.90) == pytest.approx(2302, abs=1)
+
+    def test_round_trip_with_bound(self):
+        n = tests_needed_for_target(0.01, 0.95)
+        assert classical_pfd_upper_bound(n, 0.95) <= 0.01 + 1e-12
+        assert classical_pfd_upper_bound(n - 1, 0.95) > 0.01
+
+    def test_harder_targets_cost_more(self):
+        assert tests_needed_for_target(1e-4, 0.9) > tests_needed_for_target(
+            1e-3, 0.9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ProbabilityError):
+            tests_needed_for_target(0.0, 0.9)
+        with pytest.raises(ProbabilityError):
+            tests_needed_for_target(0.5, 1.5)

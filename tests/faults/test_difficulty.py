@@ -1,0 +1,100 @@
+"""Tests for the Bernoulli difficulty closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, ProbabilityError
+from repro.faults import (
+    difficulty_from_bernoulli,
+    tested_difficulty_given_suite,
+)
+
+
+class TestDifficultyFromBernoulli:
+    def test_known_values(self, universe):
+        theta = difficulty_from_bernoulli(universe, [0.5, 0.25, 0.4])
+        # demand 0: only fault 0 -> 0.5
+        assert theta[0] == pytest.approx(0.5)
+        # demand 2: only fault 1 -> 0.25
+        assert theta[2] == pytest.approx(0.25)
+        # demand 4: faults 1 and 2 -> 1 - 0.75*0.6 = 0.55
+        assert theta[4] == pytest.approx(0.55)
+        # demand 9: uncovered -> 0
+        assert theta[9] == 0.0
+
+    def test_zero_probabilities(self, universe):
+        theta = difficulty_from_bernoulli(universe, [0.0, 0.0, 0.0])
+        np.testing.assert_allclose(theta, 0.0)
+
+    def test_certain_fault(self, universe):
+        theta = difficulty_from_bernoulli(universe, [1.0, 0.0, 0.0])
+        assert theta[0] == 1.0
+        assert theta[1] == 1.0
+        assert theta[2] == 0.0
+
+    def test_all_certain(self, universe):
+        theta = difficulty_from_bernoulli(universe, [1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(
+            theta[:6], np.ones(6)
+        )
+
+    def test_wrong_length_rejected(self, universe):
+        with pytest.raises(ModelError):
+            difficulty_from_bernoulli(universe, [0.5])
+
+    def test_out_of_range_rejected(self, universe):
+        with pytest.raises(ProbabilityError):
+            difficulty_from_bernoulli(universe, [0.5, 1.5, 0.2])
+
+    def test_matches_brute_force_enumeration(self, universe, rng):
+        probs = np.array([0.3, 0.6, 0.15])
+        theta = difficulty_from_bernoulli(universe, probs)
+        # brute force over all 8 fault subsets
+        expected = np.zeros(10)
+        for bits in range(8):
+            ids = [i for i in range(3) if bits >> i & 1]
+            probability = 1.0
+            for i in range(3):
+                probability *= probs[i] if i in ids else 1 - probs[i]
+            mask = universe.union_mask(ids)
+            expected += probability * mask
+        np.testing.assert_allclose(theta, expected, atol=1e-12)
+
+
+class TestTestedDifficulty:
+    def test_suite_hitting_fault_removes_it(self, universe):
+        probs = [0.5, 0.25, 0.4]
+        xi = tested_difficulty_given_suite(universe, probs, [0])
+        assert xi[0] == 0.0  # fault 0 triggered and removed
+        assert xi[1] == 0.0
+        assert xi[2] == pytest.approx(0.25)  # fault 1 untouched
+
+    def test_shared_demand_partial_removal(self, universe):
+        # suite {2} triggers fault 1 only; demand 4 still covered by fault 2
+        xi = tested_difficulty_given_suite(universe, [0.5, 0.25, 0.4], [2])
+        assert xi[4] == pytest.approx(0.4)
+
+    def test_empty_suite_is_theta(self, universe):
+        probs = [0.5, 0.25, 0.4]
+        xi = tested_difficulty_given_suite(universe, probs, [])
+        theta = difficulty_from_bernoulli(universe, probs)
+        np.testing.assert_allclose(xi, theta)
+
+    def test_exhaustive_suite_removes_everything(self, universe, space):
+        xi = tested_difficulty_given_suite(
+            universe, [0.5, 0.25, 0.4], list(range(10))
+        )
+        np.testing.assert_allclose(xi, 0.0)
+
+    def test_monotone_in_suite(self, universe):
+        probs = [0.5, 0.25, 0.4]
+        xi_small = tested_difficulty_given_suite(universe, probs, [0])
+        xi_large = tested_difficulty_given_suite(universe, probs, [0, 2])
+        assert np.all(xi_large <= xi_small + 1e-15)
+
+    def test_never_exceeds_theta(self, universe, rng):
+        probs = rng.random(3)
+        theta = difficulty_from_bernoulli(universe, probs)
+        for suite in ([0], [4], [9], [1, 3, 5]):
+            xi = tested_difficulty_given_suite(universe, probs, suite)
+            assert np.all(xi <= theta + 1e-15)

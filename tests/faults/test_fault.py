@@ -1,0 +1,64 @@
+"""Tests for Fault."""
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandSpace
+from repro.errors import ModelError
+from repro.faults import Fault
+
+
+@pytest.fixture
+def fault(space):
+    return Fault(space, np.array([1, 3, 5]), identifier=0)
+
+
+class TestConstruction:
+    def test_region_canonicalised(self, space):
+        fault = Fault(space, np.array([5, 1, 5]), identifier=2)
+        np.testing.assert_array_equal(fault.region, [1, 5])
+
+    def test_empty_region_rejected(self, space):
+        with pytest.raises(ModelError):
+            Fault(space, np.array([], dtype=np.int64), identifier=0)
+
+    def test_negative_identifier_rejected(self, space):
+        with pytest.raises(ModelError):
+            Fault(space, np.array([0]), identifier=-1)
+
+    def test_out_of_space_region_rejected(self, space):
+        with pytest.raises(ModelError):
+            Fault(space, np.array([10]), identifier=0)
+
+
+class TestQueries:
+    def test_size(self, fault):
+        assert fault.size == 3
+
+    def test_covers(self, fault):
+        assert fault.covers(3)
+        assert not fault.covers(2)
+
+    def test_mask(self, fault):
+        expected = np.zeros(10, dtype=bool)
+        expected[[1, 3, 5]] = True
+        np.testing.assert_array_equal(fault.mask, expected)
+
+    def test_triggered_by_hit(self, fault):
+        assert fault.triggered_by([0, 3])
+
+    def test_triggered_by_miss(self, fault):
+        assert not fault.triggered_by([0, 2, 4])
+
+    def test_triggered_by_empty(self, fault):
+        assert not fault.triggered_by([])
+
+    def test_overlap(self, space):
+        a = Fault(space, np.array([0, 1, 2]), identifier=0)
+        b = Fault(space, np.array([2, 3]), identifier=1)
+        assert a.overlap(b) == 1
+
+    def test_overlap_disjoint(self, space):
+        a = Fault(space, np.array([0]), identifier=0)
+        b = Fault(space, np.array([1]), identifier=1)
+        assert a.overlap(b) == 0

@@ -1,0 +1,148 @@
+"""Tests for the growth-curve machinery."""
+
+import numpy as np
+import pytest
+
+from repro.demand import DemandSpace, uniform_profile
+from repro.errors import ModelError
+from repro.faults import zipf_sized_universe
+from repro.growth import (
+    GrowthCurve,
+    back_to_back_growth_curves,
+    system_growth_curves,
+    version_growth_curve,
+)
+from repro.populations import BernoulliFaultPopulation
+from repro.versions import pessimistic_outputs, shared_fault_outputs
+
+
+@pytest.fixture
+def growth_population():
+    space = DemandSpace(60)
+    universe = zipf_sized_universe(
+        space, n_faults=8, max_region_size=12, exponent=1.0, rng=0
+    )
+    return BernoulliFaultPopulation.uniform(universe, 0.4), uniform_profile(space)
+
+
+class TestGrowthCurve:
+    def test_validation_lengths(self):
+        with pytest.raises(ModelError):
+            GrowthCurve("x", np.array([1, 2]), np.array([0.1]), exact=True)
+
+    def test_validation_monotone_sizes(self):
+        with pytest.raises(ModelError):
+            GrowthCurve("x", np.array([2, 1]), np.array([0.1, 0.2]), exact=True)
+
+    def test_properties(self):
+        curve = GrowthCurve(
+            "x", np.array([0, 10]), np.array([0.4, 0.1]), exact=True
+        )
+        assert curve.initial == pytest.approx(0.4)
+        assert curve.final == pytest.approx(0.1)
+        assert curve.total_improvement == pytest.approx(0.3)
+        assert curve.is_nonincreasing()
+
+    def test_dominates(self):
+        sizes = np.array([0, 5])
+        low = GrowthCurve("a", sizes, np.array([0.1, 0.05]), exact=True)
+        high = GrowthCurve("b", sizes, np.array([0.2, 0.1]), exact=True)
+        assert low.dominates(high)
+        assert not high.dominates(low)
+
+    def test_dominates_grid_mismatch(self):
+        a = GrowthCurve("a", np.array([0, 5]), np.array([0.1, 0.05]), exact=True)
+        b = GrowthCurve("b", np.array([0, 6]), np.array([0.1, 0.05]), exact=True)
+        with pytest.raises(ModelError):
+            a.dominates(b)
+
+
+class TestVersionGrowthCurve:
+    def test_monotone_and_starts_at_untested(self, growth_population):
+        population, profile = growth_population
+        curve = version_growth_curve(population, profile, [0, 5, 10, 40])
+        assert curve.exact
+        assert curve.is_nonincreasing()
+        assert curve.initial == pytest.approx(population.pfd(profile))
+
+    def test_size_grid_validation(self, growth_population):
+        population, profile = growth_population
+        with pytest.raises(ModelError):
+            version_growth_curve(population, profile, [])
+        with pytest.raises(ModelError):
+            version_growth_curve(population, profile, [5, 5])
+        with pytest.raises(ModelError):
+            version_growth_curve(population, profile, [-1, 5])
+
+
+class TestSystemGrowthCurves:
+    def test_same_suite_dominated_by_independent(self, growth_population):
+        population, profile = growth_population
+        curves = system_growth_curves(population, profile, [0, 5, 20, 80])
+        assert curves["independent suites"].dominates(
+            curves["same suite"], tolerance=1e-12
+        )
+
+    def test_both_monotone(self, growth_population):
+        population, profile = growth_population
+        curves = system_growth_curves(population, profile, [0, 5, 20, 80])
+        for curve in curves.values():
+            assert curve.is_nonincreasing()
+
+    def test_equal_at_zero_effort(self, growth_population):
+        population, profile = growth_population
+        curves = system_growth_curves(population, profile, [0, 10])
+        assert curves["same suite"].values[0] == pytest.approx(
+            curves["independent suites"].values[0]
+        )
+
+
+class TestBackToBackGrowthCurves:
+    def test_system_curve_monotone(self, growth_population):
+        population, profile = growth_population
+        curves = back_to_back_growth_curves(
+            population,
+            profile,
+            [0, 5, 20],
+            shared_fault_outputs(),
+            n_replications=40,
+            rng=1,
+        )
+        assert curves["system"].is_nonincreasing(tolerance=1e-12)
+        assert curves["version"].is_nonincreasing(tolerance=1e-12)
+        assert not curves["system"].exact
+
+    def test_pessimistic_system_above_shared(self, growth_population):
+        """Less detection -> higher post-test system pfd, pointwise (the
+        replications share draws through the seed)."""
+        population, profile = growth_population
+        shared = back_to_back_growth_curves(
+            population,
+            profile,
+            [0, 10, 30],
+            shared_fault_outputs(),
+            n_replications=40,
+            rng=2,
+        )
+        pessimistic = back_to_back_growth_curves(
+            population,
+            profile,
+            [0, 10, 30],
+            pessimistic_outputs(),
+            n_replications=40,
+            rng=2,
+        )
+        assert np.all(
+            pessimistic["system"].values >= shared["system"].values - 1e-12
+        )
+
+    def test_replication_validation(self, growth_population):
+        population, profile = growth_population
+        with pytest.raises(ModelError):
+            back_to_back_growth_curves(
+                population,
+                profile,
+                [0, 5],
+                shared_fault_outputs(),
+                n_replications=0,
+            )

@@ -1,0 +1,74 @@
+"""Tests for the diminishing-returns diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.growth import (
+    GrowthCurve,
+    diminishing_returns_holds,
+    halving_effort,
+    marginal_gains,
+)
+
+
+def _curve(sizes, values):
+    return GrowthCurve("test", np.array(sizes), np.array(values), exact=True)
+
+
+class TestMarginalGains:
+    def test_known_values(self):
+        curve = _curve([0, 10, 30], [0.4, 0.2, 0.1])
+        gains = marginal_gains(curve)
+        np.testing.assert_allclose(gains, [0.02, 0.005])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ModelError):
+            marginal_gains(_curve([0], [0.4]))
+
+
+class TestHalvingEffort:
+    def test_reached(self):
+        curve = _curve([0, 5, 10], [0.4, 0.3, 0.15])
+        assert halving_effort(curve) == 10
+
+    def test_not_reached(self):
+        curve = _curve([0, 5], [0.4, 0.3])
+        assert halving_effort(curve) == -1
+
+    def test_zero_initial(self):
+        curve = _curve([2, 5], [0.0, 0.0])
+        assert halving_effort(curve) == 2
+
+    def test_exact_half_counts(self):
+        curve = _curve([0, 7], [0.4, 0.2])
+        assert halving_effort(curve) == 7
+
+
+class TestDiminishingReturns:
+    def test_convex_curve_passes(self):
+        sizes = [0, 10, 20, 40]
+        values = [0.4, 0.2, 0.12, 0.05]
+        assert diminishing_returns_holds(_curve(sizes, values))
+
+    def test_accelerating_curve_fails(self):
+        curve = _curve([0, 10, 20], [0.4, 0.38, 0.1])
+        assert not diminishing_returns_holds(curve)
+
+    def test_exact_operational_curve_diminishes(self):
+        """A real exact growth curve on a uniform grid shows diminishing
+        returns."""
+        from repro.demand import DemandSpace, uniform_profile
+        from repro.faults import zipf_sized_universe
+        from repro.growth import version_growth_curve
+        from repro.populations import BernoulliFaultPopulation
+
+        space = DemandSpace(60)
+        universe = zipf_sized_universe(
+            space, n_faults=8, max_region_size=12, exponent=1.0, rng=3
+        )
+        population = BernoulliFaultPopulation.uniform(universe, 0.4)
+        curve = version_growth_curve(
+            population, uniform_profile(space), [0, 20, 40, 60, 80]
+        )
+        assert diminishing_returns_holds(curve, tolerance=1e-9)

@@ -1,0 +1,126 @@
+"""End-to-end cross-validation: three engines, one answer.
+
+For one moderately sized model, the derived formulas (core), the
+inclusion–exclusion closed forms (analytic.bernoulli_exact) and the
+full-pipeline Monte Carlo (mc) must agree on every quantity the paper
+defines.  This is the test that catches any drift between layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytic import BernoulliExactEngine
+from repro.core import (
+    IndependentSuites,
+    SameSuite,
+    TestedPopulationView,
+    joint_failure_probability,
+    marginal_system_pfd,
+)
+from repro.demand import DemandSpace, zipf_profile
+from repro.faults import uniform_random_universe
+from repro.mc import simulate_joint_on_demand, simulate_marginal_system_pfd
+from repro.populations import BernoulliFaultPopulation
+from repro.testing import OperationalSuiteGenerator
+
+SUITE_SIZE = 12
+
+
+@pytest.fixture(scope="module")
+def model():
+    space = DemandSpace(40)
+    profile = zipf_profile(space, 0.7)
+    universe = uniform_random_universe(space, n_faults=8, region_size=4, rng=21)
+    population = BernoulliFaultPopulation.uniform(universe, 0.35)
+    generator = OperationalSuiteGenerator(profile, SUITE_SIZE)
+    engine = BernoulliExactEngine(universe, profile)
+    return space, profile, universe, population, generator, engine
+
+
+class TestZetaThreeWays:
+    def test_closed_form_vs_suite_sampling(self, model):
+        _space, _profile, _universe, population, generator, engine = model
+        closed = engine.zeta(population, SUITE_SIZE)
+        sampled = TestedPopulationView(population, generator).zeta(
+            n_suites=6000, rng=1
+        )
+        np.testing.assert_allclose(sampled, closed, atol=0.02)
+
+
+class TestJointThreeWays:
+    def test_same_suite_demandwise(self, model):
+        _space, _profile, _universe, population, generator, engine = model
+        closed = engine.xi_second_moment(population, SUITE_SIZE)
+        derived = joint_failure_probability(
+            SameSuite(generator), population, n_suites=6000, rng=2
+        )
+        np.testing.assert_allclose(derived.joint, closed, atol=0.02)
+        # full pipeline on the most difficult demand
+        demand = int(np.argmax(closed))
+        estimator = simulate_joint_on_demand(
+            SameSuite(generator),
+            population,
+            demand,
+            n_replications=5000,
+            rng=3,
+        )
+        assert estimator.contains(float(closed[demand]), confidence=0.999)
+
+    def test_independent_demandwise(self, model):
+        _space, _profile, _universe, population, generator, engine = model
+        zeta = engine.zeta(population, SUITE_SIZE)
+        closed = zeta**2
+        demand = int(np.argmax(closed))
+        estimator = simulate_joint_on_demand(
+            IndependentSuites(generator),
+            population,
+            demand,
+            n_replications=5000,
+            rng=4,
+        )
+        assert estimator.contains(float(closed[demand]), confidence=0.999)
+
+
+class TestMarginalThreeWays:
+    @pytest.mark.parametrize("regime_class", [SameSuite, IndependentSuites])
+    def test_marginal_agreement(self, model, regime_class):
+        _space, profile, _universe, population, generator, engine = model
+        regime = regime_class(generator)
+        if regime.shares_suite:
+            closed = engine.system_pfd_same_suite(population, SUITE_SIZE)
+        else:
+            closed = engine.system_pfd_independent_suites(
+                population, SUITE_SIZE
+            )
+        derived = marginal_system_pfd(
+            regime, population, profile, n_suites=6000, rng=5
+        )
+        assert derived.system_pfd == pytest.approx(closed, abs=0.01)
+        estimator = simulate_marginal_system_pfd(
+            regime, population, profile, n_replications=2500, rng=6
+        )
+        assert estimator.contains(closed, confidence=0.999)
+
+    def test_version_pfd_agreement(self, model):
+        from repro.mc import simulate_version_pfd
+
+        _space, profile, _universe, population, generator, engine = model
+        closed = engine.version_pfd(population, SUITE_SIZE)
+        estimator = simulate_version_pfd(
+            population, generator, profile, n_replications=2500, rng=7
+        )
+        assert estimator.contains(closed, confidence=0.999)
+
+
+class TestPaperOrderings:
+    def test_ordering_chain(self, model):
+        """untested EL >= same-suite >= independent-suites >= 0, and all
+        below the untested single-version pfd squared... measured on the
+        one shared model."""
+        _space, profile, _universe, population, generator, engine = model
+        untested = profile.expectation(population.difficulty() ** 2)
+        same = engine.system_pfd_same_suite(population, SUITE_SIZE)
+        independent = engine.system_pfd_independent_suites(
+            population, SUITE_SIZE
+        )
+        assert untested >= same >= independent >= 0.0

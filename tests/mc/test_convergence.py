@@ -1,0 +1,90 @@
+"""Tests for sequential estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ModelError
+from repro.mc import MeanEstimator, ProportionEstimator, estimate_until
+
+
+def _coin_batch(p: float, batch: int):
+    def run(estimator, rng):
+        hits = int(rng.binomial(batch, p))
+        estimator.add_many(hits, batch)
+
+    return run
+
+
+class TestEstimateUntil:
+    def test_converges_on_easy_target(self):
+        result = estimate_until(
+            _coin_batch(0.3, 500),
+            ProportionEstimator(),
+            target_half_width=0.05,
+            rng=0,
+        )
+        assert result.converged
+        assert result.half_width <= 0.05
+        assert result.estimator.mean == pytest.approx(0.3, abs=0.1)
+
+    def test_budget_exhaustion_flag(self):
+        result = estimate_until(
+            _coin_batch(0.5, 4),
+            ProportionEstimator(),
+            target_half_width=1e-6,
+            max_batches=3,
+            rng=1,
+        )
+        assert not result.converged
+        assert result.batches == 3
+
+    def test_budget_exhaustion_raise(self):
+        with pytest.raises(ConvergenceError):
+            estimate_until(
+                _coin_batch(0.5, 4),
+                ProportionEstimator(),
+                target_half_width=1e-6,
+                max_batches=2,
+                rng=2,
+                raise_on_failure=True,
+            )
+
+    def test_mean_estimator_path(self):
+        def run(estimator, rng):
+            for value in rng.normal(2.0, 0.5, size=200):
+                estimator.add(float(value))
+
+        result = estimate_until(
+            run, MeanEstimator(), target_half_width=0.1, rng=3
+        )
+        assert result.converged
+        assert result.estimator.mean == pytest.approx(2.0, abs=0.2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            estimate_until(
+                _coin_batch(0.5, 4), ProportionEstimator(), target_half_width=0.0
+            )
+        with pytest.raises(ModelError):
+            estimate_until(
+                _coin_batch(0.5, 4),
+                ProportionEstimator(),
+                target_half_width=0.1,
+                max_batches=0,
+            )
+
+    def test_deterministic_given_seed(self):
+        a = estimate_until(
+            _coin_batch(0.4, 100),
+            ProportionEstimator(),
+            target_half_width=0.03,
+            rng=4,
+        )
+        b = estimate_until(
+            _coin_batch(0.4, 100),
+            ProportionEstimator(),
+            target_half_width=0.03,
+            rng=4,
+        )
+        assert a.estimator.mean == b.estimator.mean
+        assert a.batches == b.batches

@@ -1,0 +1,105 @@
+"""Tests for FinitePopulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyPopulationError, ModelError, ProbabilityError
+from repro.faults import FaultUniverse
+from repro.populations import FinitePopulation
+from repro.versions import Version
+
+
+class TestConstruction:
+    def test_empty_rejected(self, universe):
+        with pytest.raises(EmptyPopulationError):
+            FinitePopulation(universe, [], [])
+
+    def test_duplicate_versions_rejected(self, universe):
+        a = Version(universe, np.array([0]))
+        b = Version(universe, np.array([0]))
+        with pytest.raises(ModelError):
+            FinitePopulation(universe, [a, b], [0.5, 0.5])
+
+    def test_probabilities_must_sum_to_one(self, universe):
+        a = Version.correct(universe)
+        with pytest.raises(ProbabilityError):
+            FinitePopulation(universe, [a], [0.5])
+
+    def test_negative_probability_rejected(self, universe):
+        a = Version.correct(universe)
+        b = Version(universe, np.array([0]))
+        with pytest.raises(ProbabilityError):
+            FinitePopulation(universe, [a, b], [1.5, -0.5])
+
+    def test_length_mismatch_rejected(self, universe):
+        a = Version.correct(universe)
+        with pytest.raises(ModelError):
+            FinitePopulation(universe, [a], [0.5, 0.5])
+
+    def test_foreign_universe_rejected(self, universe, space):
+        other = FaultUniverse.from_regions(space, [[0]])
+        foreign = Version(other, np.array([0]))
+        with pytest.raises(ModelError):
+            FinitePopulation(universe, [foreign], [1.0])
+
+    def test_uniform_over(self, universe):
+        versions = [Version.correct(universe), Version(universe, np.array([1]))]
+        population = FinitePopulation.uniform_over(universe, versions)
+        np.testing.assert_allclose(population.probabilities, 0.5)
+
+
+class TestSampling:
+    def test_sampling_follows_probabilities(self, finite_population):
+        rng = np.random.default_rng(2)
+        counts = {}
+        n = 4000
+        for _ in range(n):
+            version = finite_population.sample(rng)
+            key = version.fault_ids.tobytes()
+            counts[key] = counts.get(key, 0) + 1
+        frequencies = sorted(c / n for c in counts.values())
+        np.testing.assert_allclose(frequencies, [0.1, 0.2, 0.3, 0.4], atol=0.03)
+
+    def test_degenerate_single_version(self, universe, rng):
+        only = Version(universe, np.array([1]))
+        population = FinitePopulation(universe, [only], [1.0])
+        assert population.sample(rng) == only
+
+
+class TestExactQuantities:
+    def test_difficulty_by_hand(self, finite_population):
+        theta = finite_population.difficulty()
+        # demand 0 covered by fault 0: versions {0} (0.3) and all (0.1)
+        assert theta[0] == pytest.approx(0.4)
+        # demand 2 covered by fault 1: versions {1,2} (0.2) and all (0.1)
+        assert theta[2] == pytest.approx(0.3)
+        # demand 9 uncovered
+        assert theta[9] == 0.0
+
+    def test_score_expectation_matches_difficulty(self, finite_population):
+        theta = finite_population.difficulty()
+        for demand in range(10):
+            assert finite_population.score_expectation(demand) == pytest.approx(
+                theta[demand]
+            )
+
+    def test_tested_difficulty_removes_triggered(self, finite_population):
+        # suite {0} triggers fault 0 in every version containing it
+        xi = finite_population.tested_difficulty([0])
+        assert xi[0] == 0.0
+        assert xi[1] == 0.0
+        # fault 1 and 2 untouched
+        assert xi[2] == pytest.approx(0.3)
+
+    def test_tested_difficulty_monotone(self, finite_population):
+        theta = finite_population.difficulty()
+        xi = finite_population.tested_difficulty([4])
+        assert np.all(xi <= theta + 1e-15)
+
+    def test_enumerate_covers_support(self, finite_population):
+        pairs = list(finite_population.enumerate())
+        assert len(pairs) == 4
+        assert sum(p for _, p in pairs) == pytest.approx(1.0)
+
+    def test_len(self, finite_population):
+        assert len(finite_population) == 4

@@ -1,0 +1,82 @@
+"""Tests for Methodology and MethodologyPair."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IncompatibleSpaceError, ModelError
+from repro.populations import (
+    BernoulliFaultPopulation,
+    Methodology,
+    MethodologyPair,
+)
+
+
+@pytest.fixture
+def pair(universe):
+    pop_a = BernoulliFaultPopulation(universe, [0.5, 0.0, 0.5])
+    pop_b = BernoulliFaultPopulation(universe, [0.0, 0.5, 0.5])
+    return MethodologyPair(
+        Methodology("A", pop_a), Methodology("B", pop_b)
+    )
+
+
+class TestMethodology:
+    def test_empty_name_rejected(self, bernoulli_population):
+        with pytest.raises(ModelError):
+            Methodology("", bernoulli_population)
+
+    def test_difficulty_delegates(self, bernoulli_population):
+        methodology = Methodology("A", bernoulli_population)
+        np.testing.assert_allclose(
+            methodology.difficulty(), bernoulli_population.difficulty()
+        )
+
+    def test_sample(self, bernoulli_population, rng):
+        methodology = Methodology("A", bernoulli_population)
+        version = methodology.sample(rng)
+        assert version.universe is bernoulli_population.universe
+
+
+class TestMethodologyPair:
+    def test_same_universe_required(self, universe, space):
+        from repro.faults import FaultUniverse
+
+        other = FaultUniverse.from_regions(space, [[0]])
+        pop_a = BernoulliFaultPopulation.uniform(universe, 0.5)
+        pop_b = BernoulliFaultPopulation.uniform(other, 0.5)
+        with pytest.raises(IncompatibleSpaceError):
+            MethodologyPair(Methodology("A", pop_a), Methodology("B", pop_b))
+
+    def test_homogeneous(self, bernoulli_population):
+        pair = MethodologyPair.homogeneous(Methodology("A", bernoulli_population))
+        assert pair.is_homogeneous
+
+    def test_heterogeneous_flag(self, pair):
+        assert not pair.is_homogeneous
+
+    def test_sample_pair_independent(self, pair):
+        rng = np.random.default_rng(0)
+        pairs = [pair.sample_pair(rng) for _ in range(200)]
+        # methodology A can never contain fault 1; B never fault 0
+        for version_a, version_b in pairs:
+            assert 1 not in version_a.fault_ids.tolist()
+            assert 0 not in version_b.fault_ids.tolist()
+
+    def test_difficulties(self, pair):
+        theta_a, theta_b = pair.difficulties()
+        assert theta_a[0] == pytest.approx(0.5)
+        assert theta_b[0] == 0.0
+        assert theta_b[2] == pytest.approx(0.5)
+
+    def test_difficulty_covariance_positive_for_shared_fault(
+        self, universe, profile
+    ):
+        pop = BernoulliFaultPopulation.uniform(universe, 0.5)
+        pair = MethodologyPair.homogeneous(Methodology("A", pop))
+        assert pair.difficulty_covariance(profile) > 0
+
+    def test_mean_difficulties(self, pair, profile):
+        mean_a, mean_b = pair.mean_difficulties(profile)
+        theta_a, theta_b = pair.difficulties()
+        assert mean_a == pytest.approx(profile.expectation(theta_a))
+        assert mean_b == pytest.approx(profile.expectation(theta_b))

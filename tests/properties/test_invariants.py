@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) for the paper's core invariants.
+
+Strategies build random small models — demand spaces, fault universes,
+Bernoulli populations, suites — and check the inequalities and identities
+that the paper derives for *all* models, not just the experiment scenarios:
+
+* score monotonicity ``υ(π,x,∅) ≥ υ(π,x,t)``;
+* ``θ(x) ≥ ξ(x,t) ≥ 0`` demand-wise;
+* ``E[Θ²] ≥ E[Θ]²`` (EL inequality);
+* same-suite joint ≥ independent-suite joint, per demand and marginally;
+* closed-form ζ equals enumeration-based ζ on enumerable models;
+* back-to-back detection nested across output models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import BernoulliExactEngine
+from repro.core import (
+    ELModel,
+    IndependentSuites,
+    SameSuite,
+    joint_failure_probability,
+)
+from repro.demand import DemandSpace, UsageProfile, uniform_profile
+from repro.faults import FaultUniverse
+from repro.populations import BernoulliFaultPopulation
+from repro.testing import (
+    EnumerableSuiteGenerator,
+    TestSuite,
+    apply_testing,
+    back_to_back_testing,
+    BackToBackComparator,
+)
+from repro.versions import (
+    Version,
+    optimistic_outputs,
+    pessimistic_outputs,
+    shared_fault_outputs,
+)
+
+MAX_DEMANDS = 12
+MAX_FAULTS = 5
+
+
+@st.composite
+def fault_models(draw):
+    """(universe, presence_probs) over a random small demand space."""
+    n_demands = draw(st.integers(min_value=2, max_value=MAX_DEMANDS))
+    space = DemandSpace(n_demands)
+    n_faults = draw(st.integers(min_value=1, max_value=MAX_FAULTS))
+    regions = []
+    for _ in range(n_faults):
+        region = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n_demands - 1),
+                min_size=1,
+                max_size=n_demands,
+            )
+        )
+        regions.append(sorted(region))
+    universe = FaultUniverse.from_regions(space, regions)
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=n_faults,
+            max_size=n_faults,
+        )
+    )
+    return universe, np.array(probs)
+
+
+@st.composite
+def suites_for(draw, space_size: int):
+    demands = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=space_size - 1),
+            min_size=0,
+            max_size=space_size,
+        )
+    )
+    return demands
+
+
+@st.composite
+def enumerable_models(draw):
+    """(universe, population, generator) fully enumerable."""
+    universe, probs = draw(fault_models())
+    population = BernoulliFaultPopulation(universe, probs)
+    space = universe.space
+    n_suites = draw(st.integers(min_value=1, max_value=3))
+    suites = []
+    for _ in range(n_suites):
+        demands = draw(suites_for(space.size))
+        suites.append(TestSuite.of(space, demands))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1.0),
+            min_size=n_suites,
+            max_size=n_suites,
+        )
+    )
+    weight_array = np.array(weights)
+    generator = EnumerableSuiteGenerator(
+        space, suites, weight_array / weight_array.sum()
+    )
+    return universe, population, generator
+
+
+class TestScoreMonotonicity:
+    @given(model=fault_models(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_testing_never_raises_a_score(self, model, data):
+        universe, probs = model
+        version = Version(
+            universe, np.flatnonzero(probs > 0.5).astype(np.int64)
+        )
+        demands = data.draw(suites_for(universe.space.size))
+        suite = TestSuite.of(universe.space, demands)
+        outcome = apply_testing(version, suite)
+        assert np.all(outcome.after.failure_mask <= version.failure_mask)
+
+    @given(model=fault_models(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_longer_suite_never_worse(self, model, data):
+        universe, probs = model
+        version = Version(
+            universe, np.flatnonzero(probs > 0.3).astype(np.int64)
+        )
+        demands = data.draw(suites_for(universe.space.size))
+        extra = data.draw(suites_for(universe.space.size))
+        short = TestSuite.of(universe.space, demands)
+        long = TestSuite.of(universe.space, demands + extra)
+        after_short = apply_testing(version, short).after
+        after_long = apply_testing(version, long).after
+        assert np.all(after_long.failure_mask <= after_short.failure_mask)
+
+
+class TestDifficultyInvariants:
+    @given(model=fault_models(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_xi_bounded_by_theta(self, model, data):
+        universe, probs = model
+        population = BernoulliFaultPopulation(universe, probs)
+        theta = population.difficulty()
+        demands = data.draw(suites_for(universe.space.size))
+        xi = population.tested_difficulty(demands)
+        assert np.all(xi >= -1e-15)
+        assert np.all(xi <= theta + 1e-12)
+        assert np.all(theta <= 1.0 + 1e-15)
+
+    @given(model=fault_models())
+    @settings(max_examples=60, deadline=None)
+    def test_el_inequality(self, model):
+        universe, probs = model
+        population = BernoulliFaultPopulation(universe, probs)
+        el = ELModel.from_population(
+            population, uniform_profile(universe.space)
+        )
+        assert el.prob_both_fail() >= el.independence_prediction() - 1e-12
+
+    @given(model=fault_models())
+    @settings(max_examples=40, deadline=None)
+    def test_difficulty_matches_enumeration(self, model):
+        universe, probs = model
+        population = BernoulliFaultPopulation(universe, probs)
+        theta = np.zeros(universe.space.size)
+        for version, probability in population.enumerate():
+            theta += probability * version.failure_mask
+        np.testing.assert_allclose(
+            theta, population.difficulty(), atol=1e-10
+        )
+
+
+class TestRegimeOrdering:
+    @given(model=enumerable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_same_suite_dominates_independent(self, model):
+        _universe, population, generator = model
+        same = joint_failure_probability(SameSuite(generator), population)
+        independent = joint_failure_probability(
+            IndependentSuites(generator), population
+        )
+        assert np.all(same.joint >= independent.joint - 1e-12)
+
+    @given(model=enumerable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_joint_probabilities_valid(self, model):
+        _universe, population, generator = model
+        for regime in (SameSuite(generator), IndependentSuites(generator)):
+            decomposition = joint_failure_probability(regime, population)
+            assert np.all(decomposition.joint >= -1e-15)
+            assert np.all(decomposition.joint <= 1.0 + 1e-15)
+
+    @given(model=enumerable_models())
+    @settings(max_examples=40, deadline=None)
+    def test_variance_excess_identity(self, model):
+        """Same-suite excess equals Var_T(xi) computed independently."""
+        _universe, population, generator = model
+        decomposition = joint_failure_probability(SameSuite(generator), population)
+        zeta = np.zeros(population.space.size)
+        second = np.zeros(population.space.size)
+        for suite, probability in generator.enumerate():
+            xi = population.tested_difficulty(suite.unique_demands)
+            zeta += probability * xi
+            second += probability * xi**2
+        np.testing.assert_allclose(
+            decomposition.excess, second - zeta**2, atol=1e-10
+        )
+
+
+class TestClosedFormAgainstEnumeration:
+    @given(model=fault_models(), n_tests=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_zeta_closed_form_matches_brute_force(self, model, n_tests):
+        """Inclusion-exclusion zeta equals averaging xi over every possible
+        i.i.d. suite (enumerated demand-by-demand via dynamic programming is
+        overkill; use direct enumeration of suites for tiny spaces)."""
+        universe, probs = model
+        space = universe.space
+        if space.size**n_tests > 3000:
+            return  # keep enumeration tractable
+        profile = uniform_profile(space)
+        population = BernoulliFaultPopulation(universe, probs)
+        engine = BernoulliExactEngine(universe, profile)
+        closed = engine.zeta(population, n_tests)
+        total = np.zeros(space.size)
+        count = 0
+        import itertools
+
+        for combo in itertools.product(range(space.size), repeat=n_tests):
+            total += population.tested_difficulty(list(set(combo)))
+            count += 1
+        np.testing.assert_allclose(closed, total / count, atol=1e-10)
+
+
+class TestBackToBackNesting:
+    @given(model=fault_models(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_detection_nested_outcomes(self, model, data):
+        """Post-test failure masks are ordered: optimistic <= shared-fault
+        <= pessimistic (more detection, fewer residual failures)."""
+        universe, probs = model
+        rng = np.random.default_rng(data.draw(st.integers(0, 10**6)))
+        version_a = Version(
+            universe, np.flatnonzero(rng.random(len(universe)) < 0.5)
+        )
+        version_b = Version(
+            universe, np.flatnonzero(rng.random(len(universe)) < 0.5)
+        )
+        demands = data.draw(suites_for(universe.space.size))
+        suite = TestSuite.of(universe.space, demands)
+        masks = {}
+        for label, outputs in (
+            ("optimistic", optimistic_outputs()),
+            ("shared", shared_fault_outputs()),
+            ("pessimistic", pessimistic_outputs()),
+        ):
+            outcome_a, outcome_b = back_to_back_testing(
+                version_a, version_b, suite, BackToBackComparator(outputs)
+            )
+            masks[label] = (
+                outcome_a.after.failure_mask,
+                outcome_b.after.failure_mask,
+            )
+        for channel in (0, 1):
+            assert np.all(
+                masks["optimistic"][channel] <= masks["shared"][channel]
+            )
+            assert np.all(
+                masks["shared"][channel] <= masks["pessimistic"][channel]
+            )

@@ -1,0 +1,66 @@
+"""Tests of the public API surface: exports resolve and doctests run."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_all_names_resolve(self):
+        for module_name in (
+            "repro.demand",
+            "repro.faults",
+            "repro.versions",
+            "repro.populations",
+            "repro.testing",
+            "repro.core",
+            "repro.analytic",
+            "repro.mc",
+            "repro.growth",
+            "repro.extensions",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_every_module_importable(self):
+        failures = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue
+            try:
+                importlib.import_module(info.name)
+            except Exception as error:  # pragma: no cover - failure reporting
+                failures.append((info.name, error))
+        assert not failures, failures
+
+
+DOCTEST_MODULES = [
+    "repro",
+    "repro.core.el",
+    "repro.core.lm",
+    "repro.demand.space",
+    "repro.populations.bernoulli",
+    "repro.extensions.stopping",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+    assert results.attempted > 0, f"no doctests found in {module_name}"

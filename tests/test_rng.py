@@ -1,0 +1,67 @@
+"""Tests for repro.rng — seed normalisation and stream spawning."""
+
+import numpy as np
+import pytest
+
+from repro.rng import as_generator, spawn, spawn_many, stream
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(7)
+        generator = as_generator(sequence)
+        assert isinstance(generator, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_deterministic_given_parent_seed(self):
+        children_a = spawn_many(as_generator(9), 3)
+        children_b = spawn_many(as_generator(9), 3)
+        for left, right in zip(children_a, children_b):
+            np.testing.assert_array_equal(left.random(4), right.random(4))
+
+    def test_children_are_mutually_different(self):
+        children = spawn_many(as_generator(3), 4)
+        draws = [tuple(child.random(3)) for child in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_single(self):
+        child = spawn(as_generator(5))
+        assert isinstance(child, np.random.Generator)
+
+    def test_spawn_zero(self):
+        assert spawn_many(as_generator(1), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_many(as_generator(1), -1)
+
+
+class TestStream:
+    def test_stream_yields_independent_generators(self):
+        generators = stream(11)
+        first = next(generators)
+        second = next(generators)
+        assert not np.array_equal(first.random(4), second.random(4))
+
+    def test_stream_reproducible(self):
+        a = next(stream(13)).random(4)
+        b = next(stream(13)).random(4)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,23 @@
+"""Tests for repro.types helpers."""
+
+import numpy as np
+
+from repro.types import as_index_array
+
+
+class TestAsIndexArray:
+    def test_sorts_and_dedups(self):
+        out = as_index_array([3, 1, 3, 2, 1])
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_empty(self):
+        out = as_index_array([])
+        assert out.size == 0
+        assert out.dtype == np.int64
+
+    def test_accepts_ndarray(self):
+        out = as_index_array(np.array([[5, 4], [4, 6]]))
+        np.testing.assert_array_equal(out, [4, 5, 6])
+
+    def test_dtype_is_int64(self):
+        assert as_index_array([1]).dtype == np.int64

@@ -1,0 +1,55 @@
+"""Tests for the fixing policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.testing import ImperfectFixing, PerfectFixing
+from repro.versions import Version
+
+
+class TestPerfectFixing:
+    def test_removes_all_causes(self, universe, rng):
+        policy = PerfectFixing()
+        version = Version.with_all_faults(universe)
+        removed = policy.faults_removed(version, 4, rng)
+        np.testing.assert_array_equal(removed, [1, 2])
+
+    def test_nothing_to_remove(self, universe, rng):
+        policy = PerfectFixing()
+        version = Version.correct(universe)
+        assert policy.faults_removed(version, 4, rng).size == 0
+
+
+class TestImperfectFixing:
+    def test_validation(self):
+        with pytest.raises(ProbabilityError):
+            ImperfectFixing(-0.5)
+        with pytest.raises(ProbabilityError):
+            ImperfectFixing(2.0)
+
+    def test_probability_one_is_perfect(self, universe, rng):
+        policy = ImperfectFixing(1.0)
+        version = Version.with_all_faults(universe)
+        np.testing.assert_array_equal(policy.faults_removed(version, 4, rng), [1, 2])
+
+    def test_probability_zero_removes_nothing(self, universe, rng):
+        policy = ImperfectFixing(0.0)
+        version = Version.with_all_faults(universe)
+        assert policy.faults_removed(version, 4, rng).size == 0
+
+    def test_removal_rate(self, universe):
+        policy = ImperfectFixing(0.4)
+        version = Version.with_all_faults(universe)
+        rng = np.random.default_rng(11)
+        total = sum(
+            policy.faults_removed(version, 4, rng).size for _ in range(5000)
+        )
+        # 2 candidate faults per call
+        assert total / (5000 * 2) == pytest.approx(0.4, abs=0.03)
+
+    def test_only_causes_removed(self, universe, rng):
+        policy = ImperfectFixing(1.0)
+        version = Version.with_all_faults(universe)
+        removed = policy.faults_removed(version, 0, rng)
+        np.testing.assert_array_equal(removed, [0])

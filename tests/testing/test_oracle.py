@@ -1,0 +1,75 @@
+"""Tests for oracles and the back-to-back comparator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.testing import BackToBackComparator, ImperfectOracle, PerfectOracle
+from repro.versions import (
+    Version,
+    optimistic_outputs,
+    pessimistic_outputs,
+    shared_fault_outputs,
+)
+
+
+class TestPerfectOracle:
+    def test_always_detects(self, universe, rng):
+        oracle = PerfectOracle()
+        version = Version(universe, np.array([0]))
+        assert all(oracle.detects(version, 0, rng) for _ in range(10))
+
+
+class TestImperfectOracle:
+    def test_validation(self):
+        with pytest.raises(ProbabilityError):
+            ImperfectOracle(-0.1)
+        with pytest.raises(ProbabilityError):
+            ImperfectOracle(1.1)
+
+    def test_extremes(self, universe, rng):
+        version = Version(universe, np.array([0]))
+        always = ImperfectOracle(1.0)
+        never = ImperfectOracle(0.0)
+        assert all(always.detects(version, 0, rng) for _ in range(10))
+        assert not any(never.detects(version, 0, rng) for _ in range(10))
+
+    def test_detection_rate(self, universe):
+        oracle = ImperfectOracle(0.3)
+        version = Version(universe, np.array([0]))
+        rng = np.random.default_rng(7)
+        hits = sum(oracle.detects(version, 0, rng) for _ in range(5000))
+        assert hits / 5000 == pytest.approx(0.3, abs=0.03)
+
+
+class TestBackToBackComparator:
+    def test_detected_failures_requires_mismatch(self, universe):
+        comparator = BackToBackComparator(pessimistic_outputs())
+        via_f1 = Version(universe, np.array([1]))
+        via_f2 = Version(universe, np.array([2]))
+        # both fail on demand 4, pessimistic: silent
+        assert comparator.detected_failures(via_f1, via_f2, 4) == (False, False)
+
+    def test_single_failure_detected(self, universe):
+        comparator = BackToBackComparator(pessimistic_outputs())
+        failing = Version(universe, np.array([0]))
+        correct = Version.correct(universe)
+        assert comparator.detected_failures(failing, correct, 0) == (True, False)
+        assert comparator.detected_failures(correct, failing, 0) == (False, True)
+
+    def test_optimistic_coincident_detects_both(self, universe):
+        comparator = BackToBackComparator(optimistic_outputs())
+        via_f1 = Version(universe, np.array([1]))
+        via_f2 = Version(universe, np.array([2]))
+        assert comparator.detected_failures(via_f1, via_f2, 4) == (True, True)
+
+    def test_shared_fault_coincident_same_cause_silent(self, universe):
+        comparator = BackToBackComparator(shared_fault_outputs())
+        a = Version(universe, np.array([1]))
+        b = Version(universe, np.array([1]))
+        assert comparator.detected_failures(a, b, 3) == (False, False)
+
+    def test_no_failures_nothing_detected(self, universe):
+        comparator = BackToBackComparator(optimistic_outputs())
+        correct = Version.correct(universe)
+        assert comparator.detected_failures(correct, correct, 0) == (False, False)

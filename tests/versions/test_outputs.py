@@ -1,0 +1,102 @@
+"""Tests for the back-to-back failure-output models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.versions import (
+    FailureOutputModel,
+    Version,
+    optimistic_outputs,
+    pessimistic_outputs,
+    shared_fault_outputs,
+)
+
+
+@pytest.fixture
+def versions(universe):
+    """(both-fail-via-shared, both-fail-via-different, one-fails, correct)."""
+    via_f1 = Version(universe, np.array([1]))          # fails on {2,3,4}
+    via_f2 = Version(universe, np.array([2]))          # fails on {4,5}
+    correct = Version.correct(universe)
+    return via_f1, via_f2, correct
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ModelError):
+            FailureOutputModel("sometimes")
+
+    def test_factories(self):
+        assert optimistic_outputs().mode == "optimistic"
+        assert pessimistic_outputs().mode == "pessimistic"
+        assert shared_fault_outputs().mode == "shared-fault"
+
+
+class TestIdenticalFailure:
+    def test_no_identical_failure_when_one_succeeds(self, versions):
+        via_f1, _via_f2, correct = versions
+        for model in (optimistic_outputs(), pessimistic_outputs(), shared_fault_outputs()):
+            assert not model.identical_failure(via_f1, correct, 2)
+
+    def test_optimistic_never_identical(self, universe):
+        version = Version(universe, np.array([1]))
+        assert not optimistic_outputs().identical_failure(version, version, 2)
+
+    def test_pessimistic_always_identical_on_coincident(self, versions):
+        via_f1, via_f2, _ = versions
+        # both fail on demand 4 (via different faults)
+        assert pessimistic_outputs().identical_failure(via_f1, via_f2, 4)
+
+    def test_shared_fault_identical_iff_same_causes(self, universe):
+        model = shared_fault_outputs()
+        same_a = Version(universe, np.array([1]))
+        same_b = Version(universe, np.array([1]))
+        diff = Version(universe, np.array([2]))
+        assert model.identical_failure(same_a, same_b, 3)
+        assert not model.identical_failure(same_a, diff, 4)
+
+
+class TestMismatch:
+    def test_single_failure_always_mismatch(self, versions):
+        via_f1, _via_f2, correct = versions
+        for model in (optimistic_outputs(), pessimistic_outputs(), shared_fault_outputs()):
+            assert model.mismatch(via_f1, correct, 2)
+
+    def test_both_correct_never_mismatch(self, versions):
+        _via_f1, _via_f2, correct = versions
+        for model in (optimistic_outputs(), pessimistic_outputs(), shared_fault_outputs()):
+            assert not model.mismatch(correct, correct, 0)
+
+    def test_coincident_optimistic_mismatch(self, versions):
+        via_f1, via_f2, _ = versions
+        assert optimistic_outputs().mismatch(via_f1, via_f2, 4)
+
+    def test_coincident_pessimistic_silent(self, versions):
+        via_f1, via_f2, _ = versions
+        assert not pessimistic_outputs().mismatch(via_f1, via_f2, 4)
+
+    def test_coincident_shared_fault_depends_on_cause(self, universe):
+        model = shared_fault_outputs()
+        same = Version(universe, np.array([1]))
+        different = Version(universe, np.array([2]))
+        assert not model.mismatch(same, same, 2)   # same cause: identical
+        assert model.mismatch(same, different, 4)  # different causes
+
+    def test_detection_ordering_over_models(self, universe, rng):
+        """Optimistic detects a superset of shared-fault, which detects a
+        superset of pessimistic — on every demand and version pair."""
+        optimistic = optimistic_outputs()
+        shared = shared_fault_outputs()
+        pessimistic = pessimistic_outputs()
+        for _ in range(30):
+            ids_a = np.flatnonzero(rng.random(3) < 0.5)
+            ids_b = np.flatnonzero(rng.random(3) < 0.5)
+            a = Version(universe, ids_a)
+            b = Version(universe, ids_b)
+            for demand in range(10):
+                m_opt = optimistic.mismatch(a, b, demand)
+                m_shared = shared.mismatch(a, b, demand)
+                m_pess = pessimistic.mismatch(a, b, demand)
+                assert (not m_shared) or m_opt
+                assert (not m_pess) or m_shared
