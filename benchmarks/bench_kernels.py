@@ -6,6 +6,9 @@ sweeps and the full-pipeline Monte-Carlo replication loop.  Useful for
 catching performance regressions; they carry no reproduction claims.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -13,7 +16,11 @@ from repro.analytic import BernoulliExactEngine
 from repro.core import SameSuite, TestedPopulationView, marginal_system_pfd
 from repro.demand import DemandSpace, uniform_profile
 from repro.faults import clustered_universe
-from repro.mc import simulate_marginal_system_pfd
+from repro.mc import (
+    apply_testing_batch,
+    simulate_marginal_system_pfd,
+    simulate_marginal_system_pfd_batch,
+)
 from repro.populations import BernoulliFaultPopulation
 from repro.testing import OperationalSuiteGenerator, apply_testing
 
@@ -74,7 +81,74 @@ def test_kernel_mc_replications(benchmark, kernel_model):
     benchmark.pedantic(
         simulate_marginal_system_pfd,
         args=(SameSuite(generator), population, profile),
+        kwargs={"n_replications": 50, "rng": 5, "engine": "scalar"},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_kernel_mc_replications_batch(benchmark, kernel_model):
+    _space, profile, _universe, population, generator = kernel_model
+    benchmark.pedantic(
+        simulate_marginal_system_pfd_batch,
+        args=(SameSuite(generator), population, profile),
         kwargs={"n_replications": 50, "rng": 5},
         rounds=3,
         iterations=1,
+    )
+
+
+def test_kernel_testing_closure_batch(benchmark, kernel_model):
+    _space, _profile, universe, population, generator = kernel_model
+    faults = population.sample_fault_matrix(2000, np.random.default_rng(1))
+    masks = generator.sample_demand_masks(2000, np.random.default_rng(2))
+    benchmark(apply_testing_batch, faults, masks, universe)
+
+
+def test_kernel_mc_batch_speedup(kernel_model):
+    """Acceptance check: batch path >= 10x the scalar replication loop.
+
+    Also asserts the two engines agree — overlapping 95% confidence
+    intervals on the marginal system pfd — so the speedup is not bought
+    with a different estimand.  On shared CI runners (CI env var set) the
+    wall-clock bar drops to 3x so neighbour contention cannot fail an
+    unrelated PR; the 10x acceptance bar applies to local runs.
+    """
+    min_speedup = 3.0 if os.environ.get("CI") else 10.0
+    _space, profile, _universe, population, generator = kernel_model
+    regime = SameSuite(generator)
+    n_replications = 2000
+    # warm both paths (lazy imports, BLAS thread spin-up) before timing
+    simulate_marginal_system_pfd_batch(
+        regime, population, profile, n_replications=10, rng=0
+    )
+    simulate_marginal_system_pfd(
+        regime, population, profile, n_replications=10, rng=0, engine="scalar"
+    )
+    start = time.perf_counter()
+    scalar = simulate_marginal_system_pfd(
+        regime,
+        population,
+        profile,
+        n_replications=n_replications,
+        rng=5,
+        engine="scalar",
+    )
+    scalar_elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    batch = simulate_marginal_system_pfd_batch(
+        regime, population, profile, n_replications=n_replications, rng=5
+    )
+    batch_elapsed = time.perf_counter() - start
+
+    speedup = scalar_elapsed / batch_elapsed
+    assert speedup >= min_speedup, (
+        f"batch path only {speedup:.1f}x faster "
+        f"({scalar_elapsed:.3f}s vs {batch_elapsed:.3f}s)"
+    )
+    scalar_low, scalar_high = scalar.normal_interval(0.95)
+    batch_low, batch_high = batch.normal_interval(0.95)
+    assert scalar_low <= batch_high and batch_low <= scalar_high, (
+        f"engines disagree: scalar CI ({scalar_low:.6f}, {scalar_high:.6f}) "
+        f"vs batch CI ({batch_low:.6f}, {batch_high:.6f})"
     )

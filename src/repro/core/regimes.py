@@ -24,6 +24,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..errors import ModelError
 from ..populations import VersionPopulation
 from ..rng import as_generator, spawn_many
 from ..testing import SuiteGenerator, TestSuite
@@ -48,6 +49,38 @@ class TestingRegime(abc.ABC):
     @abc.abstractmethod
     def draw_suites(self, rng: SeedLike = None) -> Tuple[TestSuite, TestSuite]:
         """Draw the suite pair ``(t₁, t₂)`` for one replication."""
+
+    def draw_suite_masks(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` suite pairs as two ``[count, space]`` mask blocks.
+
+        Row ``r`` of the two returned boolean matrices is the demand mask of
+        the pair ``(t₁, t₂)`` for replication ``r``, preserving the regime's
+        coupling (a shared-suite regime returns the *same* block twice).
+        This is the regime's contribution to the batch Monte-Carlo engine;
+        the default loops :meth:`draw_suites`, concrete regimes override
+        with block draws through their generators.
+        """
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        generator = as_generator(rng)
+        if count == 0:
+            # size the empty blocks from a throwaway draw, matching the
+            # (0, space) shape the concrete overrides return
+            suite_a, _ = self.draw_suites(generator)
+            empty = np.zeros((0, suite_a.space.size), dtype=bool)
+            return empty, empty
+        first = None
+        second = None
+        for row, stream in enumerate(spawn_many(generator, count)):
+            suite_a, suite_b = self.draw_suites(stream)
+            if first is None:
+                first = np.zeros((count, suite_a.space.size), dtype=bool)
+                second = np.zeros((count, suite_a.space.size), dtype=bool)
+            first[row] = suite_a.mask()
+            second[row] = suite_b.mask()
+        return first, second
 
     @abc.abstractmethod
     def joint_per_demand(
@@ -104,6 +137,16 @@ class IndependentSuites(TestingRegime):
         stream_a, stream_b = spawn_many(generator, 2)
         return self._generator.sample(stream_a), self._generator.sample(stream_b)
 
+    def draw_suite_masks(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        return (
+            self._generator.sample_demand_masks(count, stream_a),
+            self._generator.sample_demand_masks(count, stream_b),
+        )
+
     def joint_per_demand(
         self,
         population_a: VersionPopulation,
@@ -153,6 +196,12 @@ class SameSuite(TestingRegime):
     def draw_suites(self, rng: SeedLike = None) -> Tuple[TestSuite, TestSuite]:
         suite = self._generator.sample(as_generator(rng))
         return suite, suite
+
+    def draw_suite_masks(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        masks = self._generator.sample_demand_masks(count, as_generator(rng))
+        return masks, masks
 
     def joint_per_demand(
         self,
@@ -214,6 +263,16 @@ class ForcedTestingDiversity(TestingRegime):
         return (
             self._generator_a.sample(stream_a),
             self._generator_b.sample(stream_b),
+        )
+
+    def draw_suite_masks(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        return (
+            self._generator_a.sample_demand_masks(count, stream_a),
+            self._generator_b.sample_demand_masks(count, stream_b),
         )
 
     def joint_per_demand(

@@ -10,12 +10,12 @@ below provide the standard shapes used in the experiment suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..errors import IncompatibleSpaceError, ProbabilityError
-from ..rng import as_generator
+from ..rng import inverse_cdf_indices
 from ..types import SeedLike
 from .space import DemandSpace
 
@@ -134,17 +134,18 @@ class UsageProfile:
         mean_v = self.expectation(v)
         return self.expectation((u - mean_u) * (v - mean_v))
 
-    def sample(self, rng: SeedLike = None, size: int | None = None) -> np.ndarray | int:
+    def sample(
+        self,
+        rng: SeedLike = None,
+        size: int | Tuple[int, ...] | None = None,
+    ) -> np.ndarray | int:
         """Draw demand indices i.i.d. from ``Q``.
 
-        Returns a scalar int when ``size is None``, else an int64 array.
+        Returns a scalar int when ``size is None``, else an int64 array of
+        the given shape.  Tuple shapes let the batch Monte-Carlo engine draw
+        a whole ``(replications, suite_size)`` block of demands in one call.
         """
-        generator = as_generator(rng)
-        if size is None:
-            u = generator.random()
-            return int(np.searchsorted(self._cdf, u, side="right"))
-        u = generator.random(size)
-        return np.searchsorted(self._cdf, u, side="right").astype(np.int64)
+        return inverse_cdf_indices(self._cdf, rng, size)
 
     @property
     def support(self) -> np.ndarray:

@@ -20,7 +20,7 @@ import numpy as np
 from ..analytic import exact_joint_per_demand
 from ..core import joint_failure_probability
 from ..core.regimes import TestingRegime
-from ..mc import simulate_joint_on_demand
+from ..mc import simulate_joint_on_demand_batch
 from ..populations import VersionPopulation
 from ..rng import as_generator, spawn
 from .base import Claim
@@ -86,7 +86,7 @@ def mc_rows_and_claims(
     rows: List[Sequence[object]] = []
     claims: List[Claim] = []
     for demand in demands:
-        estimator = simulate_joint_on_demand(
+        estimator = simulate_joint_on_demand_batch(
             regime,
             population_a,
             int(demand),

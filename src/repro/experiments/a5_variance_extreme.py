@@ -17,7 +17,7 @@ import numpy as np
 from ..core import SameSuite, joint_failure_probability
 from ..demand import DemandSpace, uniform_profile
 from ..faults import FaultUniverse
-from ..mc import simulate_joint_on_demand
+from ..mc import simulate_joint_on_demand_batch
 from ..populations import BernoulliFaultPopulation
 from ..testing import EnumerableSuiteGenerator, TestSuite
 from .base import Claim, ExperimentResult
@@ -42,7 +42,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
     decomposition = joint_failure_probability(regime, population)
 
     demand = 0
-    estimator = simulate_joint_on_demand(
+    estimator = simulate_joint_on_demand_batch(
         regime,
         population,
         demand,

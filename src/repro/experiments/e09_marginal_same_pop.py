@@ -12,7 +12,7 @@ common suite than when tested on independent suites, by exactly
 from __future__ import annotations
 
 from ..core import IndependentSuites, SameSuite, marginal_system_pfd
-from ..mc import simulate_marginal_system_pfd
+from ..mc import simulate_marginal_system_pfd_batch
 from ..rng import as_generator, spawn
 from .base import Claim, ExperimentResult
 from .models import standard_scenario
@@ -41,7 +41,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
             n_suites=n_suites,
             rng=spawn(rng),
         )
-        estimator = simulate_marginal_system_pfd(
+        estimator = simulate_marginal_system_pfd_batch(
             regime,
             scenario.population,
             scenario.profile,

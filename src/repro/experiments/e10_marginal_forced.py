@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..analytic import exact_marginal_system_pfd
 from ..core import IndependentSuites, SameSuite, marginal_system_pfd
-from ..mc import simulate_marginal_system_pfd
+from ..mc import simulate_marginal_system_pfd_batch
 from ..rng import as_generator, spawn
 from .base import Claim, ExperimentResult
 from .models import forced_design_scenario
@@ -45,7 +45,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
             n_suites=n_suites,
             rng=spawn(rng),
         )
-        estimator = simulate_marginal_system_pfd(
+        estimator = simulate_marginal_system_pfd_batch(
             regime,
             scenario.population_a,
             scenario.profile,

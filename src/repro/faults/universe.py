@@ -39,6 +39,9 @@ class FaultUniverse:
     space: DemandSpace
     faults: tuple
     _coverage: np.ndarray = field(init=False, repr=False, compare=False)
+    _coverage_f64: np.ndarray | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         faults = tuple(self.faults)
@@ -109,6 +112,74 @@ class FaultUniverse:
             return np.empty(0, dtype=np.int64)
         hit = self._coverage[:, demands].any(axis=1)
         return np.flatnonzero(hit).astype(np.int64)
+
+    def _coverage_float(self) -> np.ndarray:
+        """Float64 view of the coverage matrix, cached for the batch kernels.
+
+        Chunked batch runs call :meth:`triggered_matrix` /
+        :meth:`failure_matrix` once per chunk; converting the fixed coverage
+        matrix each time would be pure repeated work.
+        """
+        if self._coverage_f64 is None:
+            object.__setattr__(
+                self, "_coverage_f64", self._coverage.astype(np.float64)
+            )
+        return self._coverage_f64
+
+    def triggered_matrix(self, suite_masks: np.ndarray) -> np.ndarray:
+        """Batched :meth:`triggered_by`: which faults each suite triggers.
+
+        Parameters
+        ----------
+        suite_masks:
+            Boolean matrix ``[n_suites, n_demands]``; row ``r`` is the
+            demand-membership mask of suite ``r``.
+
+        Returns
+        -------
+        Boolean matrix ``[n_suites, n_faults]`` where entry ``(r, f)`` is
+        True iff suite ``r`` exercises at least one demand of fault ``f``'s
+        region.  This is the perfect-oracle testing closure as one matrix
+        product: the hot kernel of the batch Monte-Carlo engine.
+        """
+        masks = np.asarray(suite_masks, dtype=bool)
+        if masks.ndim != 2 or masks.shape[1] != self.space.size:
+            raise IncompatibleSpaceError(
+                f"suite masks of shape {masks.shape} do not match demand "
+                f"space size {self.space.size}"
+            )
+        if not len(self.faults):
+            return np.zeros((masks.shape[0], 0), dtype=bool)
+        # float matmul routes through BLAS, which is far faster than any
+        # boolean reduction over the (suites, faults, demands) cube.
+        hits = masks.astype(np.float64) @ self._coverage_float().T
+        return hits > 0.5
+
+    def failure_matrix(self, presence: np.ndarray) -> np.ndarray:
+        """Per-version failure masks from a batch of fault-presence rows.
+
+        Parameters
+        ----------
+        presence:
+            Boolean matrix ``[n_versions, n_faults]``; row ``r`` marks the
+            faults version ``r`` contains.
+
+        Returns
+        -------
+        Boolean matrix ``[n_versions, n_demands]`` where entry ``(r, x)``
+        is True iff version ``r`` fails on demand ``x`` — the batched form
+        of :attr:`repro.versions.Version.failure_mask`.
+        """
+        rows = np.asarray(presence, dtype=bool)
+        if rows.ndim != 2 or rows.shape[1] != len(self.faults):
+            raise ModelError(
+                f"presence matrix of shape {rows.shape} does not match "
+                f"universe size {len(self.faults)}"
+            )
+        if not len(self.faults):
+            return np.zeros((rows.shape[0], self.space.size), dtype=bool)
+        hits = rows.astype(np.float64) @ self._coverage_float()
+        return hits > 0.5
 
     def surviving(self, demands: Sequence[int] | np.ndarray) -> np.ndarray:
         """Identifiers of faults *not* triggered by the given demands."""

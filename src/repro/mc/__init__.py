@@ -14,6 +14,14 @@ from .experiments import (
     simulate_untested_joint_on_demand,
     simulate_version_pfd,
 )
+from .batch import (
+    apply_testing_batch,
+    batch_supported,
+    simulate_joint_on_demand_batch,
+    simulate_marginal_system_pfd_batch,
+    simulate_untested_joint_on_demand_batch,
+    simulate_version_pfd_batch,
+)
 from .convergence import SequentialResult, estimate_until
 
 __all__ = [
@@ -23,6 +31,12 @@ __all__ = [
     "simulate_untested_joint_on_demand",
     "simulate_marginal_system_pfd",
     "simulate_version_pfd",
+    "apply_testing_batch",
+    "batch_supported",
+    "simulate_joint_on_demand_batch",
+    "simulate_untested_joint_on_demand_batch",
+    "simulate_marginal_system_pfd_batch",
+    "simulate_version_pfd_batch",
     "estimate_until",
     "SequentialResult",
 ]

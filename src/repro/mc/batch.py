@@ -1,0 +1,414 @@
+"""Vectorized batch Monte-Carlo engine.
+
+The scalar drivers in :mod:`repro.mc.experiments` replicate the paper's
+generative story one replication at a time: sample a version, draw a suite,
+test, score.  This module runs the *same* story as matrix kernels over a
+whole block of replications at once:
+
+* an ``(R, F)`` boolean **fault matrix** — row ``r`` marks the faults of
+  version ``r``, drawn in one block from the population
+  (:meth:`~repro.populations.VersionPopulation.sample_fault_matrix`);
+* an ``(R, D)`` boolean **suite mask** block — row ``r`` is the demand
+  membership of replication ``r``'s suite, drawn with the regime's coupling
+  (:meth:`~repro.core.regimes.TestingRegime.draw_suite_masks`);
+* the perfect-oracle **testing closure** as one matrix product against the
+  fault→demand incidence matrix
+  (:meth:`~repro.faults.FaultUniverse.triggered_matrix`);
+* **scoring** as matrix-vector products against the usage profile
+  (:meth:`~repro.faults.FaultUniverse.failure_matrix`).
+
+Chunk results stream into the existing :class:`ProportionEstimator` /
+:class:`MeanEstimator` via their ``add_many`` merges, so confidence-interval
+semantics are unchanged.  Every public function is a drop-in counterpart of
+its scalar namesake and **falls back to the scalar path** whenever an
+imperfect oracle or fixing policy is supplied — those processes are
+order-dependent and cannot be expressed set-wise.
+
+Execution is chunked (``chunk_size``) to bound peak memory, and chunks can
+optionally be sharded across worker processes (``n_jobs``).  Chunk seeds are
+drawn up-front from the root stream and results are merged in chunk order,
+so a given ``(rng, chunk_size)`` pair yields bit-identical estimates for any
+``n_jobs``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from ..demand import UsageProfile
+from ..errors import ModelError
+from ..populations import VersionPopulation
+from ..rng import as_generator, spawn_many
+from ..testing import FixingPolicy, Oracle, SuiteGenerator
+from ..testing.fixing import PerfectFixing
+from ..testing.oracle import PerfectOracle
+from ..types import SeedLike
+from ..core.regimes import TestingRegime
+from . import experiments as _scalar
+from .estimator import MeanEstimator, ProportionEstimator
+
+__all__ = [
+    "apply_testing_batch",
+    "batch_supported",
+    "simulate_untested_joint_on_demand_batch",
+    "simulate_joint_on_demand_batch",
+    "simulate_marginal_system_pfd_batch",
+    "simulate_version_pfd_batch",
+]
+
+_DEFAULT_CHUNK = 8192
+
+
+def batch_supported(
+    oracle: Oracle | None = None, fixing: FixingPolicy | None = None
+) -> bool:
+    """True iff the testing process is expressible as the set-wise closure.
+
+    The batch engine models perfect detection and perfect fixing only —
+    exactly the regime of the paper's §3 results.  Imperfect oracles and
+    fixing policies (§4) depend on execution order and evolve the version
+    demand-by-demand, so they stay on the scalar path.
+    """
+    oracle_ok = oracle is None or isinstance(oracle, PerfectOracle)
+    fixing_ok = fixing is None or isinstance(fixing, PerfectFixing)
+    return oracle_ok and fixing_ok
+
+
+def apply_testing_batch(
+    fault_matrix: np.ndarray,
+    suite_masks: np.ndarray,
+    universe,
+) -> np.ndarray:
+    """Perfect-oracle testing closure over a replication block.
+
+    ``fault_matrix`` is ``(R, F)`` boolean (versions as fault-presence
+    rows), ``suite_masks`` is ``(R, D)`` boolean (suites as demand masks).
+    Returns the ``(R, F)`` post-test fault matrix: row ``r`` keeps exactly
+    the faults of version ``r`` whose failure region suite ``r`` misses —
+    the batched form of :func:`repro.testing.apply_testing` under perfect
+    detection and fixing (the paper's §3 process).
+    """
+    fault_matrix = np.asarray(fault_matrix, dtype=bool)
+    triggered = universe.triggered_matrix(suite_masks)
+    if fault_matrix.shape != triggered.shape:
+        raise ModelError(
+            f"fault matrix {fault_matrix.shape} and suite block "
+            f"{np.asarray(suite_masks).shape} have mismatched replication "
+            "counts or universes"
+        )
+    return fault_matrix & ~triggered
+
+
+# ---------------------------------------------------------------------------
+# chunk kernels — module level so process pools can pickle them
+# ---------------------------------------------------------------------------
+
+
+def _chunk_untested_joint(
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    demand: int,
+    task: Tuple[int, int],
+) -> Tuple[int, int]:
+    """One chunk of eq. (4) replications → ``(successes, count)``."""
+    count, seed = task
+    streams = spawn_many(as_generator(seed), 2)
+    fails_a = population_a.sample_fault_matrix(count, streams[0])[
+        :, population_a.universe.coverage[:, demand]
+    ].any(axis=1)
+    fails_b = population_b.sample_fault_matrix(count, streams[1])[
+        :, population_b.universe.coverage[:, demand]
+    ].any(axis=1)
+    return int(np.count_nonzero(fails_a & fails_b)), count
+
+
+def _chunk_tested_joint(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    demand: int,
+    task: Tuple[int, int],
+) -> Tuple[int, int]:
+    """One chunk of eqs. (16)–(21) replications → ``(successes, count)``."""
+    count, seed = task
+    streams = spawn_many(as_generator(seed), 3)
+    faults_a = population_a.sample_fault_matrix(count, streams[0])
+    faults_b = population_b.sample_fault_matrix(count, streams[1])
+    masks_a, masks_b = regime.draw_suite_masks(count, streams[2])
+    tested_a = apply_testing_batch(faults_a, masks_a, population_a.universe)
+    tested_b = apply_testing_batch(faults_b, masks_b, population_b.universe)
+    fails_a = tested_a[:, population_a.universe.coverage[:, demand]].any(axis=1)
+    fails_b = tested_b[:, population_b.universe.coverage[:, demand]].any(axis=1)
+    return int(np.count_nonzero(fails_a & fails_b)), count
+
+
+def _chunk_marginal(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    profile: UsageProfile,
+    rao_blackwell: bool,
+    task: Tuple[int, int],
+) -> Tuple[int, float, float]:
+    """One chunk of eqs. (22)–(25) replications → ``(n, mean, m2)``."""
+    count, seed = task
+    streams = spawn_many(as_generator(seed), 4)
+    faults_a = population_a.sample_fault_matrix(count, streams[0])
+    faults_b = population_b.sample_fault_matrix(count, streams[1])
+    masks_a, masks_b = regime.draw_suite_masks(count, streams[2])
+    tested_a = apply_testing_batch(faults_a, masks_a, population_a.universe)
+    tested_b = apply_testing_batch(faults_b, masks_b, population_b.universe)
+    joint = population_a.universe.failure_matrix(
+        tested_a
+    ) & population_b.universe.failure_matrix(tested_b)
+    if rao_blackwell:
+        values = joint @ profile.probabilities
+    else:
+        demands = profile.sample(streams[3], size=count)
+        values = joint[np.arange(count), demands].astype(np.float64)
+    return _reduce_values(values)
+
+
+def _chunk_version_pfd(
+    population: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    task: Tuple[int, int],
+) -> Tuple[int, float, float]:
+    """One chunk of post-test version-pfd replications → ``(n, mean, m2)``."""
+    count, seed = task
+    streams = spawn_many(as_generator(seed), 2)
+    faults = population.sample_fault_matrix(count, streams[0])
+    masks = generator.sample_demand_masks(count, streams[1])
+    tested = apply_testing_batch(faults, masks, population.universe)
+    values = population.universe.failure_matrix(tested) @ profile.probabilities
+    return _reduce_values(values)
+
+
+def _reduce_values(values: np.ndarray) -> Tuple[int, float, float]:
+    """Reduce a chunk's observations to Welford ``(n, mean, m2)`` moments."""
+    mean = float(values.mean()) if values.size else 0.0
+    m2 = float(np.square(values - mean).sum()) if values.size else 0.0
+    return int(values.size), mean, m2
+
+
+# ---------------------------------------------------------------------------
+# chunked execution layer
+# ---------------------------------------------------------------------------
+
+
+def _plan_chunks(
+    n_replications: int, chunk_size: int | None, rng
+) -> List[Tuple[int, int]]:
+    """Split the replication budget into ``(count, seed)`` chunk tasks.
+
+    Seeds come off the root stream in chunk order *before* any work runs,
+    and the default chunk size never depends on ``n_jobs`` — together these
+    make results bit-identical for any worker count.  Runs shorter than
+    ``_DEFAULT_CHUNK`` therefore occupy a single chunk by default; pass an
+    explicit ``chunk_size`` to shard them across workers.
+    """
+    if chunk_size is None:
+        chunk_size = _DEFAULT_CHUNK
+    if chunk_size < 1:
+        raise ModelError(f"chunk_size must be >= 1, got {chunk_size}")
+    counts = [
+        min(chunk_size, n_replications - start)
+        for start in range(0, n_replications, chunk_size)
+    ]
+    seeds = rng.integers(0, 2**63 - 1, size=len(counts), dtype=np.int64)
+    return [(count, int(seed)) for count, seed in zip(counts, seeds)]
+
+
+def _run_chunks(
+    kernel: Callable[[Tuple[int, int]], tuple],
+    tasks: List[Tuple[int, int]],
+    n_jobs: int,
+) -> List[tuple]:
+    """Run chunk tasks serially or across a process pool, in task order."""
+    if n_jobs < 1:
+        raise ModelError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs == 1 or len(tasks) == 1:
+        return [kernel(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+        return list(pool.map(kernel, tasks))
+
+
+def _accumulate_proportion(results: List[Tuple[int, int]]) -> ProportionEstimator:
+    estimator = ProportionEstimator()
+    for successes, count in results:
+        estimator.add_many(successes, count)
+    return estimator
+
+
+def _accumulate_mean(results: List[Tuple[int, float, float]]) -> MeanEstimator:
+    estimator = MeanEstimator()
+    for count, mean, m2 in results:
+        estimator.add_moments(count, mean, m2)
+    return estimator
+
+
+# ---------------------------------------------------------------------------
+# public batched drop-in counterparts
+# ---------------------------------------------------------------------------
+
+
+def simulate_untested_joint_on_demand_batch(
+    population_a: VersionPopulation,
+    demand: int,
+    population_b: VersionPopulation | None = None,
+    n_replications: int = _scalar._DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
+) -> ProportionEstimator:
+    """Batched ``P(both untested versions fail on x)`` — eq. (4) check.
+
+    Vectorized drop-in for
+    :func:`repro.mc.simulate_untested_joint_on_demand`: version pairs are
+    drawn as two fault-matrix blocks and scored on the fixed demand by one
+    boolean gather each.  The analytic prediction is ``θ_A(x) θ_B(x)``
+    (and ``E[Θ²] ≥ E[Θ]²``, the Eckhardt–Lee inequality of eqs. (6)–(7)).
+    """
+    _scalar._check_replications(n_replications)
+    population_b = population_b if population_b is not None else population_a
+    demand = population_a.space.validate_demand(demand)
+    root = as_generator(rng)
+    tasks = _plan_chunks(n_replications, chunk_size, root)
+    kernel = partial(_chunk_untested_joint, population_a, population_b, demand)
+    return _accumulate_proportion(_run_chunks(kernel, tasks, n_jobs))
+
+
+def simulate_joint_on_demand_batch(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    demand: int,
+    population_b: VersionPopulation | None = None,
+    n_replications: int = _scalar._DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
+) -> ProportionEstimator:
+    """Batched ``P(both tested versions fail on x)`` — eqs. (16)–(21) check.
+
+    Vectorized drop-in for :func:`repro.mc.simulate_joint_on_demand`.  Each
+    chunk draws a fault-matrix block per channel, a coupled suite-mask block
+    from the regime (shared for :class:`~repro.core.SameSuite`, independent
+    otherwise — precisely the coupling that separates eqs. (20)/(21) from
+    (16)–(19)), applies the set-wise testing closure and scores the fixed
+    demand.  Imperfect oracles or fixing policies fall back to the scalar
+    path, which models their order-dependent dynamics.
+    """
+    if not batch_supported(oracle, fixing):
+        return _scalar.simulate_joint_on_demand(
+            regime,
+            population_a,
+            demand,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            engine="scalar",
+        )
+    _scalar._check_replications(n_replications)
+    population_b = population_b if population_b is not None else population_a
+    demand = population_a.space.validate_demand(demand)
+    root = as_generator(rng)
+    tasks = _plan_chunks(n_replications, chunk_size, root)
+    kernel = partial(
+        _chunk_tested_joint, regime, population_a, population_b, demand
+    )
+    return _accumulate_proportion(_run_chunks(kernel, tasks, n_jobs))
+
+
+def simulate_marginal_system_pfd_batch(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    profile: UsageProfile,
+    population_b: VersionPopulation | None = None,
+    n_replications: int = _scalar._DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+    rao_blackwell: bool = True,
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
+) -> MeanEstimator:
+    """Batched marginal 1-out-of-2 system pfd — eqs. (22)–(25) check.
+
+    Vectorized drop-in for :func:`repro.mc.simulate_marginal_system_pfd`.
+    Per chunk, both channels' post-test failure matrices come from two
+    matrix products; their conjunction is the joint failure mask, and with
+    ``rao_blackwell=True`` the random demand is integrated out exactly by
+    one matrix-vector product against ``Q`` (estimating
+    ``E[Θ_T]² + Var(Θ_T) + E_Q[...]`` of eqs. (22)/(23), resp. the
+    forced-diversity forms (24)/(25)).  Imperfect oracles/fixing fall back
+    to the scalar path.
+    """
+    if not batch_supported(oracle, fixing):
+        return _scalar.simulate_marginal_system_pfd(
+            regime,
+            population_a,
+            profile,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            rao_blackwell=rao_blackwell,
+            engine="scalar",
+        )
+    _scalar._check_replications(n_replications)
+    population_b = population_b if population_b is not None else population_a
+    population_a.space.require_same(profile.space)
+    root = as_generator(rng)
+    tasks = _plan_chunks(n_replications, chunk_size, root)
+    kernel = partial(
+        _chunk_marginal, regime, population_a, population_b, profile, rao_blackwell
+    )
+    return _accumulate_mean(_run_chunks(kernel, tasks, n_jobs))
+
+
+def simulate_version_pfd_batch(
+    population: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    n_replications: int = _scalar._DEFAULT_REPLICATIONS,
+    rng: SeedLike = None,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
+) -> MeanEstimator:
+    """Batched mean post-test pfd of one tested version — ``E_Q[ζ(X)]``.
+
+    Vectorized drop-in for :func:`repro.mc.simulate_version_pfd`,
+    estimating the usage-weighted tested difficulty ``ζ(x)`` of eq. (14):
+    each chunk tests a fault-matrix block against a suite-mask block and
+    scores the survivors against ``Q`` in one matrix-vector product.
+    Imperfect oracles/fixing fall back to the scalar path.
+    """
+    if not batch_supported(oracle, fixing):
+        return _scalar.simulate_version_pfd(
+            population,
+            generator,
+            profile,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            engine="scalar",
+        )
+    _scalar._check_replications(n_replications)
+    population.space.require_same(profile.space)
+    root = as_generator(rng)
+    tasks = _plan_chunks(n_replications, chunk_size, root)
+    kernel = partial(_chunk_version_pfd, population, generator, profile)
+    return _accumulate_mean(_run_chunks(kernel, tasks, n_jobs))

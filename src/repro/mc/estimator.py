@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
+import numpy as np
 from scipy import stats
 
 from ..errors import ModelError
@@ -111,6 +112,44 @@ class MeanEstimator:
         delta = value - self._mean
         self._mean += delta / self._count
         self._m2 += delta * (value - self._mean)
+
+    def add_many(self, values: Sequence[float] | np.ndarray) -> None:
+        """Record a whole batch of observations in one update.
+
+        Uses Chan et al.'s parallel Welford merge, so interleaving
+        :meth:`add` and :meth:`add_many` keeps ``mean`` exactly and
+        ``variance`` up to floating-point reordering identical to feeding
+        every observation through :meth:`add`.  This is how the batch
+        Monte-Carlo engine streams chunk results into the estimator without
+        changing its confidence-interval semantics.
+        """
+        array = np.asarray(values, dtype=np.float64).reshape(-1)
+        if array.size == 0:
+            return
+        batch_mean = float(array.mean())
+        batch_m2 = float(np.square(array - batch_mean).sum())
+        self.add_moments(int(array.size), batch_mean, batch_m2)
+
+    def add_moments(self, count: int, mean: float, m2: float) -> None:
+        """Merge pre-reduced Welford moments of another sample.
+
+        ``count``/``mean``/``m2`` are the observation count, sample mean and
+        sum of squared deviations of a disjoint batch — what a worker
+        process ships back instead of raw observations.  Merging follows
+        Chan et al.'s pairwise update.
+        """
+        if count < 0:
+            raise ModelError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return
+        if self._count == 0:
+            self._count, self._mean, self._m2 = count, mean, m2
+            return
+        total = self._count + count
+        delta = mean - self._mean
+        self._m2 += m2 + delta * delta * self._count * count / total
+        self._mean += delta * count / total
+        self._count = total
 
     @property
     def count(self) -> int:

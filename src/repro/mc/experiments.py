@@ -7,6 +7,19 @@ probability the analytic layer predicts.  Nothing here reuses the analytic
 shortcuts: versions are actually drawn, actually tested, and actually
 scored, so agreement with :mod:`repro.core` / :mod:`repro.analytic` is a
 genuine end-to-end validation.
+
+Each estimator can run on one of two **engines**:
+
+* ``"batch"`` — the vectorized replication engine of
+  :mod:`repro.mc.batch`: whole blocks of versions, suites and scores as
+  matrix kernels.  Only valid for perfect oracles/fixing.
+* ``"scalar"`` — the original per-replication Python loop, required for
+  order-dependent processes (imperfect oracles, imperfect fixing) and kept
+  as the reference implementation the batch path is validated against.
+
+The default ``engine="auto"`` picks the batch path whenever the testing
+process is perfect and falls back to the scalar loop otherwise, so existing
+callers transparently get the fast path.
 """
 
 from __future__ import annotations
@@ -28,11 +41,36 @@ __all__ = [
 ]
 
 _DEFAULT_REPLICATIONS = 2000
+_ENGINES = ("auto", "batch", "scalar")
 
 
 def _check_replications(n_replications: int) -> None:
     if n_replications < 1:
         raise ModelError(f"n_replications must be >= 1, got {n_replications}")
+
+
+def _use_batch(
+    engine: str,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+) -> bool:
+    """Resolve the engine choice for one call."""
+    if engine not in _ENGINES:
+        raise ModelError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "scalar":
+        return False
+    from .batch import batch_supported
+
+    supported = batch_supported(oracle, fixing)
+    if engine == "batch":
+        if not supported:
+            raise ModelError(
+                "engine='batch' cannot model imperfect oracles or fixing "
+                "policies (order-dependent dynamics); use engine='auto' "
+                "for automatic scalar fallback or engine='scalar'"
+            )
+        return True
+    return supported
 
 
 def simulate_untested_joint_on_demand(
@@ -41,12 +79,27 @@ def simulate_untested_joint_on_demand(
     population_b: VersionPopulation | None = None,
     n_replications: int = _DEFAULT_REPLICATIONS,
     rng: SeedLike = None,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> ProportionEstimator:
     """Estimate ``P(both untested versions fail on x)`` — eq. (4) check.
 
     Draws independent version pairs and scores them on the fixed demand.
     The analytic prediction is ``θ_A(x) θ_B(x)``.
     """
+    if _use_batch(engine):
+        from .batch import simulate_untested_joint_on_demand_batch
+
+        return simulate_untested_joint_on_demand_batch(
+            population_a,
+            demand,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
     _check_replications(n_replications)
     population_b = population_b if population_b is not None else population_a
     rng = as_generator(rng)
@@ -68,6 +121,9 @@ def simulate_joint_on_demand(
     rng: SeedLike = None,
     oracle: Oracle | None = None,
     fixing: FixingPolicy | None = None,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> ProportionEstimator:
     """Estimate ``P(both tested versions fail on x)`` — eqs. (16)–(21) check.
 
@@ -76,6 +132,21 @@ def simulate_joint_on_demand(
     or fixing policy is supplied), then score both tested versions on the
     fixed demand.
     """
+    if _use_batch(engine, oracle, fixing):
+        from .batch import simulate_joint_on_demand_batch
+
+        return simulate_joint_on_demand_batch(
+            regime,
+            population_a,
+            demand,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
     _check_replications(n_replications)
     population_b = population_b if population_b is not None else population_a
     rng = as_generator(rng)
@@ -105,6 +176,9 @@ def simulate_marginal_system_pfd(
     oracle: Oracle | None = None,
     fixing: FixingPolicy | None = None,
     rao_blackwell: bool = True,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> MeanEstimator:
     """Estimate the marginal system pfd — eqs. (22)–(25) check.
 
@@ -115,6 +189,22 @@ def simulate_marginal_system_pfd(
     conditioning argument).  Set it to ``False`` to simulate the raw 0/1
     outcome on a drawn demand instead.
     """
+    if _use_batch(engine, oracle, fixing):
+        from .batch import simulate_marginal_system_pfd_batch
+
+        return simulate_marginal_system_pfd_batch(
+            regime,
+            population_a,
+            profile,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            rao_blackwell=rao_blackwell,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
     _check_replications(n_replications)
     population_b = population_b if population_b is not None else population_a
     population_a.space.require_same(profile.space)
@@ -148,11 +238,29 @@ def simulate_version_pfd(
     rng: SeedLike = None,
     oracle: Oracle | None = None,
     fixing: FixingPolicy | None = None,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> MeanEstimator:
     """Estimate the mean post-test pfd of a single tested version.
 
-    The analytic prediction under perfect testing is ``E_Q[ζ(X)]``.
+    The analytic prediction under perfect testing is ``E_Q[ζ(X)]``
+    (eq. (14) integrated over the usage profile).
     """
+    if _use_batch(engine, oracle, fixing):
+        from .batch import simulate_version_pfd_batch
+
+        return simulate_version_pfd_batch(
+            population,
+            generator,
+            profile,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
     _check_replications(n_replications)
     population.space.require_same(profile.space)
     rng = as_generator(rng)

@@ -15,7 +15,7 @@ from typing import Iterable, List, Sequence, Tuple
 import numpy as np
 
 from ..demand import DemandSpace
-from ..errors import NotEnumerableError
+from ..errors import ModelError, NotEnumerableError
 from ..faults import FaultUniverse
 from ..rng import as_generator, spawn_many
 from ..types import SeedLike
@@ -59,6 +59,24 @@ class VersionPopulation(abc.ABC):
         generator = as_generator(rng)
         streams = spawn_many(generator, count)
         return [self.sample(stream) for stream in streams]
+
+    def sample_fault_matrix(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` versions as a boolean fault-presence matrix.
+
+        Returns a ``[count, n_faults]`` matrix whose row ``r`` marks the
+        faults of the ``r``-th independently drawn version — the batch
+        Monte-Carlo engine's representation of a replication block.  The
+        default implementation loops :meth:`sample` (correct for any
+        population); subclasses with vectorisable measures override it with
+        a single array draw.
+        """
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        matrix = np.zeros((count, len(self._universe)), dtype=bool)
+        generator = as_generator(rng)
+        for row, stream in enumerate(spawn_many(generator, count)):
+            matrix[row, self.sample(stream).fault_ids] = True
+        return matrix
 
     @abc.abstractmethod
     def difficulty(self) -> np.ndarray:

@@ -114,6 +114,18 @@ class BernoulliFaultPopulation(VersionPopulation):
         include = generator.random(len(self._universe)) < self._probs
         return Version(self._universe, np.flatnonzero(include).astype(np.int64))
 
+    def sample_fault_matrix(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` versions as one ``[count, n_faults]`` Bernoulli block.
+
+        The whole replication batch is a single uniform draw compared
+        against ``p`` — the vectorised form of eq. (3)'s i.i.d. development
+        measure and the entry point of the batch Monte-Carlo engine.
+        """
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        generator = as_generator(rng)
+        return generator.random((count, len(self._universe))) < self._probs
+
     def difficulty(self) -> np.ndarray:
         """Closed-form ``theta(x)`` (see :func:`difficulty_from_bernoulli`)."""
         return difficulty_from_bernoulli(self._universe, self._probs)

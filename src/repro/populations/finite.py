@@ -15,7 +15,7 @@ import numpy as np
 
 from ..errors import EmptyPopulationError, ModelError, ProbabilityError
 from ..faults import FaultUniverse
-from ..rng import as_generator
+from ..rng import inverse_cdf_indices
 from ..types import SeedLike
 from ..versions import Version
 from .base import VersionPopulation
@@ -76,6 +76,7 @@ class FinitePopulation(VersionPopulation):
         self._versions = versions
         self._probs = probs
         self._cdf = np.cumsum(probs)
+        self._presence_table: np.ndarray | None = None
 
     @classmethod
     def uniform_over(
@@ -102,10 +103,23 @@ class FinitePopulation(VersionPopulation):
 
     def sample(self, rng: SeedLike = None) -> Version:
         """Draw one version according to the selection probabilities."""
-        generator = as_generator(rng)
-        index = int(np.searchsorted(self._cdf, generator.random(), side="right"))
-        index = min(index, len(self._versions) - 1)
-        return self._versions[index]
+        return self._versions[inverse_cdf_indices(self._cdf, rng)]
+
+    def sample_fault_matrix(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` versions as presence rows gathered from the support.
+
+        One inverse-CDF draw selects all ``count`` support indices; the
+        result rows are gathered from a cached ``[support, n_faults]``
+        presence table, so the batch engine never touches Version objects.
+        """
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        if self._presence_table is None:
+            table = np.zeros((len(self._versions), len(self._universe)), dtype=bool)
+            for row, version in enumerate(self._versions):
+                table[row, version.fault_ids] = True
+            self._presence_table = table
+        return self._presence_table[inverse_cdf_indices(self._cdf, rng, count)]
 
     def enumerate(self) -> Iterable[Tuple[Version, float]]:
         """Yield every ``(version, probability)`` pair."""

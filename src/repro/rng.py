@@ -15,7 +15,13 @@ import numpy as np
 
 from .types import SeedLike
 
-__all__ = ["as_generator", "spawn", "spawn_many", "stream"]
+__all__ = [
+    "as_generator",
+    "inverse_cdf_indices",
+    "spawn",
+    "spawn_many",
+    "stream",
+]
 
 
 def as_generator(seed: SeedLike = None) -> np.random.Generator:
@@ -30,6 +36,27 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.SeedSequence):
         return np.random.default_rng(seed)
     return np.random.default_rng(seed)
+
+
+def inverse_cdf_indices(cdf: np.ndarray, rng: SeedLike, size=None):
+    """Draw indices by inverse-CDF sampling, clamped into range.
+
+    ``cdf`` is a cumulative-probability vector; returns a scalar int when
+    ``size is None``, else an int64 array of the given (possibly tuple)
+    shape.  The clamp matters: probability vectors in this library are
+    validated to sum to one only within a tolerance, so ``cdf[-1]`` may sit
+    a hair below 1.0 and an unlucky uniform draw would otherwise index one
+    past the end.  Every inverse-CDF sampler (usage profiles, finite
+    populations, enumerable suite generators) routes through here so the
+    clamp cannot drift out of sync.
+    """
+    generator = as_generator(rng)
+    last = len(cdf) - 1
+    if size is None:
+        index = int(np.searchsorted(cdf, generator.random(), side="right"))
+        return min(index, last)
+    indices = np.searchsorted(cdf, generator.random(size), side="right")
+    return np.minimum(indices, last).astype(np.int64)
 
 
 def spawn(rng: np.random.Generator) -> np.random.Generator:

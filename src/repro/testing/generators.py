@@ -23,7 +23,7 @@ import numpy as np
 
 from ..demand import DemandPartition, DemandSpace, UsageProfile
 from ..errors import ModelError, NotEnumerableError, ProbabilityError
-from ..rng import as_generator, spawn_many
+from ..rng import as_generator, inverse_cdf_indices, spawn_many
 from ..types import SeedLike
 from .suite import TestSuite
 
@@ -38,6 +38,28 @@ __all__ = [
 ]
 
 _SUM_TOLERANCE = 1e-9
+
+
+def _profile_demand_masks(
+    profile: UsageProfile,
+    size: int,
+    space: DemandSpace,
+    count: int,
+    rng: SeedLike,
+) -> np.ndarray:
+    """``count`` i.i.d. profile-drawn suites of ``size`` as demand masks.
+
+    Shared kernel of the operational and debug generators' batched draws:
+    one ``(count, size)`` inverse-CDF block scattered into a boolean
+    ``(count, space)`` membership matrix.
+    """
+    if count < 0:
+        raise ModelError(f"count must be non-negative, got {count}")
+    masks = np.zeros((count, space.size), dtype=bool)
+    if count and size:
+        demands = profile.sample(as_generator(rng), size=(count, size))
+        np.put_along_axis(masks, demands, True, axis=1)
+    return masks
 
 
 class SuiteGenerator(abc.ABC):
@@ -63,6 +85,24 @@ class SuiteGenerator(abc.ABC):
         """
         generator = as_generator(rng)
         return [self.sample(stream) for stream in spawn_many(generator, count)]
+
+    def sample_demand_masks(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` independent suites as demand-membership masks.
+
+        Returns a boolean ``[count, space.size]`` matrix whose row ``r`` is
+        :meth:`TestSuite.mask` of the ``r``-th draw — the suite
+        representation of the batch Monte-Carlo engine, sufficient for all
+        perfect-oracle analyses (where only demand membership matters).
+        The default loops :meth:`sample`; generators with vectorisable
+        measures override it with a single block draw.
+        """
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        masks = np.zeros((count, self._space.size), dtype=bool)
+        generator = as_generator(rng)
+        for row, stream in enumerate(spawn_many(generator, count)):
+            masks[row, self.sample(stream).unique_demands] = True
+        return masks
 
     def enumerate(self) -> Iterable[Tuple[TestSuite, float]]:
         """Yield ``(suite, probability)`` when the measure is enumerable.
@@ -110,6 +150,12 @@ class OperationalSuiteGenerator(SuiteGenerator):
             return TestSuite.empty(self._space)
         demands = self._profile.sample(generator, size=self._size)
         return TestSuite(self._space, demands)
+
+    def sample_demand_masks(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """All ``count`` suites in one ``(count, size)`` i.i.d. profile draw."""
+        return _profile_demand_masks(
+            self._profile, self._size, self._space, count, rng
+        )
 
     def with_size(self, size: int) -> "OperationalSuiteGenerator":
         """Same profile, different suite size — used by growth sweeps."""
@@ -232,6 +278,12 @@ class WeightedDebugGenerator(SuiteGenerator):
         demands = self._debug_profile.sample(generator, size=self._size)
         return TestSuite(self._space, demands)
 
+    def sample_demand_masks(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """All ``count`` suites in one ``(count, size)`` debug-profile draw."""
+        return _profile_demand_masks(
+            self._debug_profile, self._size, self._space, count, rng
+        )
+
 
 class ExhaustiveSuiteGenerator(SuiteGenerator):
     """The degenerate measure putting all mass on the exhaustive suite.
@@ -244,6 +296,12 @@ class ExhaustiveSuiteGenerator(SuiteGenerator):
 
     def sample(self, rng: SeedLike = None) -> TestSuite:
         return TestSuite(self._space, self._space.demands)
+
+    def sample_demand_masks(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Every suite covers every demand — an all-True block."""
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        return np.ones((count, self._space.size), dtype=bool)
 
     def enumerate(self) -> Iterable[Tuple[TestSuite, float]]:
         yield TestSuite(self._space, self._space.demands), 1.0
@@ -284,6 +342,7 @@ class EnumerableSuiteGenerator(SuiteGenerator):
         self._suites = suites
         self._probs = probs
         self._cdf = np.cumsum(probs)
+        self._mask_table: np.ndarray | None = None
 
     @classmethod
     def uniform_over(
@@ -319,10 +378,15 @@ class EnumerableSuiteGenerator(SuiteGenerator):
         return len(self._suites)
 
     def sample(self, rng: SeedLike = None) -> TestSuite:
-        generator = as_generator(rng)
-        index = int(np.searchsorted(self._cdf, generator.random(), side="right"))
-        index = min(index, len(self._suites) - 1)
-        return self._suites[index]
+        return self._suites[inverse_cdf_indices(self._cdf, rng)]
+
+    def sample_demand_masks(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Gather ``count`` rows from a cached per-suite mask table."""
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        if self._mask_table is None:
+            self._mask_table = np.stack([suite.mask() for suite in self._suites])
+        return self._mask_table[inverse_cdf_indices(self._cdf, rng, count)]
 
     def enumerate(self) -> Iterable[Tuple[TestSuite, float]]:
         """Yield every ``(suite, probability)`` pair of the measure."""

@@ -3,7 +3,39 @@
 import numpy as np
 import pytest
 
-from repro.rng import as_generator, spawn, spawn_many, stream
+from repro.rng import (
+    as_generator,
+    inverse_cdf_indices,
+    spawn,
+    spawn_many,
+    stream,
+)
+
+
+class TestInverseCdfIndices:
+    def test_scalar_draw_in_range(self):
+        cdf = np.array([0.2, 0.7, 1.0])
+        for seed in range(20):
+            index = inverse_cdf_indices(cdf, seed)
+            assert 0 <= index < len(cdf)
+
+    def test_block_shapes(self):
+        cdf = np.array([0.5, 1.0])
+        assert inverse_cdf_indices(cdf, 0, 7).shape == (7,)
+        assert inverse_cdf_indices(cdf, 0, (3, 4)).shape == (3, 4)
+
+    def test_clamped_when_cdf_tops_below_one(self):
+        # probability vectors are validated only within a tolerance, so the
+        # last CDF entry can sit below 1.0; draws above it must clamp
+        cdf = np.array([0.3, 0.6])
+        draws = inverse_cdf_indices(cdf, 123, 10_000)
+        assert draws.max() == len(cdf) - 1
+
+    def test_deterministic_under_seed(self):
+        cdf = np.array([0.1, 0.4, 1.0])
+        np.testing.assert_array_equal(
+            inverse_cdf_indices(cdf, 9, 50), inverse_cdf_indices(cdf, 9, 50)
+        )
 
 
 class TestAsGenerator:
