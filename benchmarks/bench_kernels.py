@@ -14,15 +14,25 @@ import pytest
 
 from repro.analytic import BernoulliExactEngine
 from repro.core import SameSuite, TestedPopulationView, marginal_system_pfd
+from repro.core.bounds import back_to_back_envelope
 from repro.demand import DemandSpace, uniform_profile
 from repro.faults import clustered_universe
 from repro.mc import (
+    apply_imperfect_testing_batch,
     apply_testing_batch,
+    back_to_back_batch,
     simulate_marginal_system_pfd,
     simulate_marginal_system_pfd_batch,
 )
 from repro.populations import BernoulliFaultPopulation
-from repro.testing import OperationalSuiteGenerator, apply_testing
+from repro.testing import (
+    BackToBackComparator,
+    ImperfectFixing,
+    ImperfectOracle,
+    OperationalSuiteGenerator,
+    apply_testing,
+)
+from repro.versions import shared_fault_outputs
 
 
 @pytest.fixture(scope="module")
@@ -103,6 +113,158 @@ def test_kernel_testing_closure_batch(benchmark, kernel_model):
     faults = population.sample_fault_matrix(2000, np.random.default_rng(1))
     masks = generator.sample_demand_masks(2000, np.random.default_rng(2))
     benchmark(apply_testing_batch, faults, masks, universe)
+
+
+@pytest.fixture(scope="module")
+def imperfect_model():
+    """The e11/e12 bench model: the experiments' standard-scenario shape."""
+    space = DemandSpace(80)
+    profile = uniform_profile(space)
+    universe = clustered_universe(space, n_faults=14, region_size=5, rng=0)
+    population = BernoulliFaultPopulation.uniform(universe, 0.3)
+    generator = OperationalSuiteGenerator(profile, 30)
+    return space, profile, universe, population, generator
+
+
+def test_kernel_imperfect_closure_batch(benchmark, imperfect_model):
+    _space, _profile, universe, population, generator = imperfect_model
+    faults = population.sample_fault_matrix(2000, np.random.default_rng(1))
+    counts = generator.sample_demand_counts(2000, np.random.default_rng(2))
+    benchmark(
+        apply_imperfect_testing_batch,
+        faults,
+        counts,
+        universe,
+        0.75,
+        0.5,
+        np.random.default_rng(3),
+    )
+
+
+def test_kernel_back_to_back_batch(benchmark, imperfect_model):
+    _space, _profile, universe, population, generator = imperfect_model
+    faults_a = population.sample_fault_matrix(1000, np.random.default_rng(1))
+    faults_b = population.sample_fault_matrix(1000, np.random.default_rng(2))
+    sequences = generator.sample_demand_sequences(1000, np.random.default_rng(3))
+    comparator = BackToBackComparator(shared_fault_outputs())
+    benchmark(
+        back_to_back_batch,
+        faults_a,
+        faults_b,
+        sequences,
+        universe,
+        universe,
+        comparator,
+    )
+
+
+def _timed(callable_, *args, **kwargs):
+    start = time.perf_counter()
+    callable_(*args, **kwargs)
+    return time.perf_counter() - start
+
+
+def test_kernel_e11_imperfect_speedup(benchmark, imperfect_model):
+    """Acceptance check: the §4.1 kernel >= 10x the scalar loop (e11 model).
+
+    Also records the measured scalar-vs-batch ratio in the benchmark JSON
+    (``extra_info``) so regressions in the imperfect path are visible in
+    CI artifacts.  The wall-clock bar drops to 3x on shared CI runners.
+    """
+    min_speedup = 3.0 if os.environ.get("CI") else 10.0
+    _space, profile, _universe, population, generator = imperfect_model
+    regime = SameSuite(generator)
+    oracle, fixing = ImperfectOracle(0.75), ImperfectFixing(0.5)
+    n_replications = 2000
+    kwargs = dict(oracle=oracle, fixing=fixing, rng=5)
+    # warm both paths before timing
+    simulate_marginal_system_pfd(
+        regime, population, profile, n_replications=10, engine="batch", **kwargs
+    )
+    simulate_marginal_system_pfd(
+        regime, population, profile, n_replications=10, engine="scalar", **kwargs
+    )
+    scalar_elapsed = _timed(
+        simulate_marginal_system_pfd,
+        regime,
+        population,
+        profile,
+        n_replications=n_replications,
+        engine="scalar",
+        **kwargs,
+    )
+    batch_elapsed = _timed(
+        simulate_marginal_system_pfd,
+        regime,
+        population,
+        profile,
+        n_replications=n_replications,
+        engine="batch",
+        **kwargs,
+    )
+    speedup = scalar_elapsed / batch_elapsed
+    benchmark.extra_info["scalar_seconds"] = round(scalar_elapsed, 4)
+    benchmark.extra_info["scalar_vs_batch_ratio"] = round(speedup, 1)
+    benchmark.pedantic(
+        simulate_marginal_system_pfd,
+        args=(regime, population, profile),
+        kwargs=dict(n_replications=n_replications, engine="batch", **kwargs),
+        rounds=3,
+        iterations=1,
+    )
+    assert speedup >= min_speedup, (
+        f"imperfect batch path only {speedup:.1f}x faster "
+        f"({scalar_elapsed:.3f}s vs {batch_elapsed:.3f}s)"
+    )
+
+
+def test_kernel_e12_back_to_back_speedup(benchmark, imperfect_model):
+    """Acceptance check: the §4.2 envelope >= 10x the scalar loop (e12 model).
+
+    Records the scalar-vs-batch ratio in the benchmark JSON, mirroring the
+    e11 check; the bar drops to 3x on shared CI runners.
+    """
+    min_speedup = 3.0 if os.environ.get("CI") else 10.0
+    _space, profile, _universe, population, generator = imperfect_model
+    n_replications = 1000
+    back_to_back_envelope(
+        population, generator, profile, n_replications=10, rng=7, engine="batch"
+    )
+    back_to_back_envelope(
+        population, generator, profile, n_replications=10, rng=7, engine="scalar"
+    )
+    scalar_elapsed = _timed(
+        back_to_back_envelope,
+        population,
+        generator,
+        profile,
+        n_replications=n_replications,
+        rng=7,
+        engine="scalar",
+    )
+    batch_elapsed = _timed(
+        back_to_back_envelope,
+        population,
+        generator,
+        profile,
+        n_replications=n_replications,
+        rng=7,
+        engine="batch",
+    )
+    speedup = scalar_elapsed / batch_elapsed
+    benchmark.extra_info["scalar_seconds"] = round(scalar_elapsed, 4)
+    benchmark.extra_info["scalar_vs_batch_ratio"] = round(speedup, 1)
+    benchmark.pedantic(
+        back_to_back_envelope,
+        args=(population, generator, profile),
+        kwargs=dict(n_replications=n_replications, rng=7, engine="batch"),
+        rounds=3,
+        iterations=1,
+    )
+    assert speedup >= min_speedup, (
+        f"back-to-back batch path only {speedup:.1f}x faster "
+        f"({scalar_elapsed:.3f}s vs {batch_elapsed:.3f}s)"
+    )
 
 
 def test_kernel_mc_batch_speedup(kernel_model):

@@ -8,6 +8,8 @@ system, demand by demand and marginally, and how large the suite has to be
 before the induced dependence dominates the residual failure probability.
 
 Run:  python examples/acceptance_testing.py
+
+Catalog: the machinery behind experiments ``e09``/``e13`` (docs/experiments.md).
 """
 
 from __future__ import annotations

@@ -9,6 +9,8 @@ improves, while system reliability improvement depends entirely on whether
 coincident failures are distinguishable.
 
 Run:  python examples/back_to_back.py
+
+Catalog: the machinery behind experiment ``e12`` (docs/experiments.md).
 """
 
 from __future__ import annotations

@@ -12,6 +12,8 @@ locates where the diminishing returns squeeze the merged-campaign
 advantage.
 
 Run:  python examples/cost_tradeoff.py
+
+Catalog: the machinery behind experiment ``e13`` (docs/experiments.md).
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ the fault placement made complementary — and what each case means for the
 choice between common-suite and independent-suite testing.
 
 Run:  python examples/forced_diversity.py
+
+Catalog: the machinery behind experiments ``e02``/``e10`` (docs/experiments.md).
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ Walks the full modelling pipeline on a small synthetic system:
 4. a testing process and the dynamic quantities (ζ, system pfd per regime).
 
 Run:  python examples/quickstart.py
+
+Catalog: docs/experiments.md maps every experiment id to its paper claim.
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ under every regime, plus a staged-testing trace of one concrete version
 pair — the practitioner's acceptance-campaign view.
 
 Run:  python examples/reliability_growth.py
+
+Catalog: the machinery behind experiment ``e14`` (docs/experiments.md).
 """
 
 from __future__ import annotations

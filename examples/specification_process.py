@@ -11,6 +11,8 @@ Exercises the §5 extensions end-to-end on one development story:
    and the acceptance oracle was written from the same document.
 
 Run:  python examples/specification_process.py
+
+Catalog: the machinery behind experiments ``x1``-``x3`` (docs/experiments.md).
 """
 
 from __future__ import annotations

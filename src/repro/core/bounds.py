@@ -14,6 +14,12 @@ does not improve system reliability at all").
 
 These bounds are verified by simulation: the measured quantity must lie in
 the analytic envelope.  :class:`BoundsReport` packages one such check.
+
+The measured quantities route through the Monte-Carlo layer's engine
+dispatch (``engine="auto" | "batch" | "scalar"``): imperfect oracles and
+fixing run on the vectorized §4.1 kernel of :mod:`repro.mc.batch`, and
+back-to-back testing on its demand-ordered block kernel, with the scalar
+per-replication loop kept as an explicit escape hatch and reference.
 """
 
 from __future__ import annotations
@@ -103,13 +109,20 @@ def imperfect_testing_bounds(
     n_replications: int = _DEFAULT_REPLICATIONS,
     n_suites: int = _DEFAULT_SUITE_SAMPLES,
     rng: SeedLike = None,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> BoundsReport:
     """Version-level §4.1 bound: mean post-test pfd under imperfect testing.
 
     The measured value averages, over random (version, suite) pairs, the
     pfd of the version after testing with the given imperfect oracle and
-    fixing policy.  The envelope is ``[E_Q[ζ(X)], E_Q[θ(X)]]``.
+    fixing policy — estimated by :func:`repro.mc.simulate_version_pfd` on
+    the requested engine (the vectorized §4.1 kernel under ``"auto"`` /
+    ``"batch"``).  The envelope is ``[E_Q[ζ(X)], E_Q[θ(X)]]``.
     """
+    from ..mc.experiments import simulate_version_pfd
+
     if n_replications < 1:
         raise ModelError(f"n_replications must be >= 1, got {n_replications}")
     population.space.require_same(profile.space)
@@ -120,14 +133,18 @@ def imperfect_testing_bounds(
     lower = view.marginal_pfd(profile, n_suites=n_suites, rng=bound_stream)
     upper = population.pfd(profile)
 
-    total = 0.0
-    for replication_stream in spawn_many(sim_stream, n_replications):
-        version_stream, suite_stream, test_stream = spawn_many(replication_stream, 3)
-        version = population.sample(version_stream)
-        suite = generator.sample(suite_stream)
-        outcome = apply_testing(version, suite, oracle, fixing, rng=test_stream)
-        total += outcome.after.pfd(profile)
-    measured = total / n_replications
+    measured = simulate_version_pfd(
+        population,
+        generator,
+        profile,
+        n_replications=n_replications,
+        rng=sim_stream,
+        oracle=oracle,
+        fixing=fixing,
+        engine=engine,
+        chunk_size=chunk_size,
+        n_jobs=n_jobs,
+    ).mean
     return BoundsReport(
         lower=lower,
         upper=upper,
@@ -147,12 +164,20 @@ def imperfect_system_bounds(
     n_replications: int = _DEFAULT_REPLICATIONS,
     n_suites: int = _DEFAULT_SUITE_SAMPLES,
     rng: SeedLike = None,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> BoundsReport:
     """System-level §4.1 bound: 1-out-of-2 pfd under imperfect testing.
 
     Envelope: perfect-testing system pfd of the regime (eqs. (22)–(25)) as
     the lower bound, untested system pfd (eq. (6)/(9)) as the upper bound.
+    The measurement routes through
+    :func:`repro.mc.simulate_marginal_system_pfd` (Rao–Blackwellised) on
+    the requested engine.
     """
+    from ..mc.experiments import simulate_marginal_system_pfd as simulate_marginal
+
     if n_replications < 1:
         raise ModelError(f"n_replications must be >= 1, got {n_replications}")
     population_b = population_b if population_b is not None else population_a
@@ -172,17 +197,19 @@ def imperfect_system_bounds(
     theta_b = population_b.difficulty()
     upper = profile.expectation(theta_a * theta_b)
 
-    total = 0.0
-    for replication_stream in spawn_many(sim_stream, n_replications):
-        streams = spawn_many(replication_stream, 5)
-        version_a = population_a.sample(streams[0])
-        version_b = population_b.sample(streams[1])
-        suite_a, suite_b = regime.draw_suites(streams[2])
-        outcome_a = apply_testing(version_a, suite_a, oracle, fixing, rng=streams[3])
-        outcome_b = apply_testing(version_b, suite_b, oracle, fixing, rng=streams[4])
-        joint_mask = outcome_a.after.failure_mask & outcome_b.after.failure_mask
-        total += float(profile.probabilities[joint_mask].sum())
-    measured = total / n_replications
+    measured = simulate_marginal(
+        regime,
+        population_a,
+        profile,
+        population_b,
+        n_replications=n_replications,
+        rng=sim_stream,
+        oracle=oracle,
+        fixing=fixing,
+        engine=engine,
+        chunk_size=chunk_size,
+        n_jobs=n_jobs,
+    ).mean
     return BoundsReport(
         lower=lower,
         upper=upper,
@@ -266,6 +293,9 @@ def back_to_back_envelope(
     fixing: FixingPolicy | None = None,
     n_replications: int = _DEFAULT_REPLICATIONS,
     rng: SeedLike = None,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> BackToBackEnvelope:
     """Simulate §4.2: back-to-back testing under all three output models.
 
@@ -273,7 +303,36 @@ def back_to_back_envelope(
     runs back-to-back testing three times (optimistic, pessimistic,
     shared-fault comparators) plus a perfect-oracle same-suite run, all on
     identical inputs, so the envelope comparisons are paired.
+
+    With ``engine="auto"`` (default) or ``"batch"`` the whole envelope runs
+    on the vectorized block kernel of
+    :func:`repro.mc.back_to_back_envelope_batch`; ``"scalar"`` keeps the
+    per-replication reference loop, which is also the automatic fallback
+    for custom fixing policies.
     """
+    from ..mc.batch import back_to_back_envelope_batch, back_to_back_supported
+
+    if engine not in ("auto", "batch", "scalar"):
+        raise ModelError(
+            f"engine must be one of ('auto', 'batch', 'scalar'), got {engine!r}"
+        )
+    if engine == "batch" and not back_to_back_supported(fixing):
+        raise ModelError(
+            "engine='batch' cannot model custom fixing policy "
+            f"{type(fixing).__name__}; use engine='auto' or engine='scalar'"
+        )
+    if engine != "scalar" and back_to_back_supported(fixing):
+        return back_to_back_envelope_batch(
+            population_a,
+            generator,
+            profile,
+            population_b,
+            fixing=fixing,
+            n_replications=n_replications,
+            rng=rng,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
     if n_replications < 1:
         raise ModelError(f"n_replications must be >= 1, got {n_replications}")
     population_b = population_b if population_b is not None else population_a

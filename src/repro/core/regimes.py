@@ -82,6 +82,37 @@ class TestingRegime(abc.ABC):
             second[row] = suite_b.mask()
         return first, second
 
+    def draw_suite_counts(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` suite pairs as two ``[count, space]`` count blocks.
+
+        The occurrence-count analogue of :meth:`draw_suite_masks`: entry
+        ``(r, x)`` is how often suite ``r`` executes demand ``x``, with the
+        regime's coupling preserved (a shared-suite regime returns the same
+        block twice).  This is the suite representation of the
+        imperfect-oracle/imperfect-fixing batch kernels, where repeated
+        executions are repeated detection opportunities.  The default loops
+        :meth:`draw_suites`; concrete regimes override with block draws.
+        """
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        generator = as_generator(rng)
+        if count == 0:
+            suite_a, _ = self.draw_suites(generator)
+            empty = np.zeros((0, suite_a.space.size), dtype=np.int64)
+            return empty, empty
+        first = None
+        second = None
+        for row, stream in enumerate(spawn_many(generator, count)):
+            suite_a, suite_b = self.draw_suites(stream)
+            if first is None:
+                first = np.zeros((count, suite_a.space.size), dtype=np.int64)
+                second = np.zeros((count, suite_a.space.size), dtype=np.int64)
+            np.add.at(first[row], suite_a.demands, 1)
+            np.add.at(second[row], suite_b.demands, 1)
+        return first, second
+
     @abc.abstractmethod
     def joint_per_demand(
         self,
@@ -147,6 +178,16 @@ class IndependentSuites(TestingRegime):
             self._generator.sample_demand_masks(count, stream_b),
         )
 
+    def draw_suite_counts(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        return (
+            self._generator.sample_demand_counts(count, stream_a),
+            self._generator.sample_demand_counts(count, stream_b),
+        )
+
     def joint_per_demand(
         self,
         population_a: VersionPopulation,
@@ -202,6 +243,12 @@ class SameSuite(TestingRegime):
     ) -> Tuple[np.ndarray, np.ndarray]:
         masks = self._generator.sample_demand_masks(count, as_generator(rng))
         return masks, masks
+
+    def draw_suite_counts(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        counts = self._generator.sample_demand_counts(count, as_generator(rng))
+        return counts, counts
 
     def joint_per_demand(
         self,
@@ -273,6 +320,16 @@ class ForcedTestingDiversity(TestingRegime):
         return (
             self._generator_a.sample_demand_masks(count, stream_a),
             self._generator_b.sample_demand_masks(count, stream_b),
+        )
+
+    def draw_suite_counts(
+        self, count: int, rng: SeedLike = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        generator = as_generator(rng)
+        stream_a, stream_b = spawn_many(generator, 2)
+        return (
+            self._generator_a.sample_demand_counts(count, stream_a),
+            self._generator_b.sample_demand_counts(count, stream_b),
         )
 
     def joint_per_demand(

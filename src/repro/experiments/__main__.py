@@ -1,17 +1,49 @@
 """CLI entry point: ``python -m repro.experiments [ids…] [options]``.
 
 Runs the requested reproduction experiments (all by default), prints each
-result table, and exits non-zero if any paper claim failed to hold.
+result table, and exits non-zero if any paper claim failed to hold.  The
+catalog of experiment ids, the paper claim each one reproduces, its knobs
+and expected runtimes live in ``docs/experiments.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 from typing import List
 
+from ..errors import ModelError
+from .base import set_engine_config
 from .registry import all_experiment_ids, run_experiment
 from .report import format_result, format_summary
+
+
+def validate_ids(ids: List[str]) -> None:
+    """Reject unknown experiment ids up front, with suggestions.
+
+    Raises a single :class:`~repro.errors.ModelError` covering *all*
+    unknown ids before any experiment runs, instead of letting the registry
+    fail mid-run after earlier experiments already burned their replication
+    budget.  Close matches are suggested ("did you mean ...?").
+    """
+    known = all_experiment_ids()
+    unknown = [requested for requested in ids if requested not in known]
+    if not unknown:
+        return
+    fragments = []
+    for requested in unknown:
+        matches = difflib.get_close_matches(requested, known, n=3, cutoff=0.4)
+        if matches:
+            fragments.append(
+                f"{requested!r} (did you mean {', '.join(matches)}?)"
+            )
+        else:
+            fragments.append(repr(requested))
+    raise ModelError(
+        f"unknown experiment id(s): {'; '.join(fragments)}.  "
+        f"Known ids: {', '.join(known)} — see docs/experiments.md"
+    )
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -23,7 +55,8 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "ids",
         nargs="*",
-        help="experiment ids to run (default: all); e.g. e07 a2",
+        help="experiment ids to run (default: all); e.g. e07 a2 "
+        "(catalog: docs/experiments.md)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="root seed (default 0)"
@@ -38,18 +71,42 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="print only the one-line-per-experiment summary",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "batch", "scalar"),
+        default="auto",
+        help="Monte-Carlo engine for simulation-driven experiments: "
+        "'auto' (default) vectorizes whenever the testing process "
+        "supports it, 'batch' fails loudly when it cannot, 'scalar' "
+        "forces the per-replication reference loops",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for batch-engine chunk sharding (default 1; "
+        "results are bit-identical for any value)",
+    )
     args = parser.parse_args(argv)
 
+    validate_ids(args.ids)
     ids = args.ids or all_experiment_ids()
-    results = []
-    for experiment_id in ids:
-        result = run_experiment(experiment_id, seed=args.seed, fast=not args.full)
-        results.append(result)
-        if not args.summary_only:
-            print(format_result(result))
-            print()
-    print(format_summary(results))
-    return 0 if all(result.passed for result in results) else 1
+    previous = set_engine_config(engine=args.engine, n_jobs=args.n_jobs)
+    try:
+        results = []
+        for experiment_id in ids:
+            result = run_experiment(
+                experiment_id, seed=args.seed, fast=not args.full
+            )
+            results.append(result)
+            if not args.summary_only:
+                print(format_result(result))
+                print()
+        print(format_summary(results))
+        return 0 if all(result.passed for result in results) else 1
+    finally:
+        set_engine_config(engine=previous.engine, n_jobs=previous.n_jobs)
 
 
 if __name__ == "__main__":

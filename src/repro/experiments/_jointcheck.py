@@ -20,10 +20,10 @@ import numpy as np
 from ..analytic import exact_joint_per_demand
 from ..core import joint_failure_probability
 from ..core.regimes import TestingRegime
-from ..mc import simulate_joint_on_demand_batch
+from ..mc import simulate_joint_on_demand
 from ..populations import VersionPopulation
 from ..rng import as_generator, spawn
-from .base import Claim
+from .base import Claim, engine_kwargs
 
 __all__ = ["enumeration_claim", "mc_rows_and_claims", "pick_demands"]
 
@@ -86,13 +86,14 @@ def mc_rows_and_claims(
     rows: List[Sequence[object]] = []
     claims: List[Claim] = []
     for demand in demands:
-        estimator = simulate_joint_on_demand_batch(
+        estimator = simulate_joint_on_demand(
             regime,
             population_a,
             int(demand),
             population_b,
             n_replications=n_replications,
             rng=spawn(rng),
+            **engine_kwargs(),
         )
         analytic_value = float(decomposition.joint[demand])
         ok = estimator.contains(analytic_value, confidence=0.999)

@@ -17,10 +17,10 @@ import numpy as np
 from ..core import SameSuite, joint_failure_probability
 from ..demand import DemandSpace, uniform_profile
 from ..faults import FaultUniverse
-from ..mc import simulate_joint_on_demand_batch
+from ..mc import simulate_joint_on_demand
 from ..populations import BernoulliFaultPopulation
 from ..testing import EnumerableSuiteGenerator, TestSuite
-from .base import Claim, ExperimentResult
+from .base import Claim, ExperimentResult, engine_kwargs
 from .registry import register
 
 
@@ -42,12 +42,13 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
     decomposition = joint_failure_probability(regime, population)
 
     demand = 0
-    estimator = simulate_joint_on_demand_batch(
+    estimator = simulate_joint_on_demand(
         regime,
         population,
         demand,
         n_replications=n_replications,
         rng=seed + 1500,
+        **engine_kwargs(),
     )
     rows = [
         [

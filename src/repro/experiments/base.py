@@ -1,11 +1,74 @@
-"""Common result types for the experiment harness."""
+"""Common result types and run-wide engine configuration for experiments."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-__all__ = ["Claim", "ExperimentResult"]
+from ..errors import ModelError
+
+__all__ = [
+    "Claim",
+    "ExperimentResult",
+    "EngineConfig",
+    "engine_config",
+    "engine_kwargs",
+    "set_engine_config",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Monte-Carlo engine selection shared by every experiment in one run.
+
+    Experiment runners keep the registry signature ``(seed, fast)``; the
+    CLI's ``--engine`` / ``--n-jobs`` flags are communicated to them
+    through this process-wide configuration instead, which the simulation-
+    driven experiments read via :func:`engine_kwargs` and pass down to the
+    ``simulate_*`` / bounds / campaign drivers.
+
+    Attributes
+    ----------
+    engine:
+        ``"auto"`` (default — batch whenever the testing process supports
+        it), ``"batch"`` (fail loudly if it cannot), or ``"scalar"`` (the
+        reference per-replication loops).
+    n_jobs:
+        Worker processes for chunk sharding on the batch path.
+    """
+
+    engine: str = "auto"
+    n_jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("auto", "batch", "scalar"):
+            raise ModelError(
+                "engine must be one of ('auto', 'batch', 'scalar'), got "
+                f"{self.engine!r}"
+            )
+        if self.n_jobs < 1:
+            raise ModelError(f"n_jobs must be >= 1, got {self.n_jobs}")
+
+
+_ENGINE_CONFIG = EngineConfig()
+
+
+def set_engine_config(engine: str = "auto", n_jobs: int = 1) -> EngineConfig:
+    """Install the run-wide engine configuration; returns the previous one."""
+    global _ENGINE_CONFIG
+    previous = _ENGINE_CONFIG
+    _ENGINE_CONFIG = EngineConfig(engine=engine, n_jobs=n_jobs)
+    return previous
+
+
+def engine_config() -> EngineConfig:
+    """The currently installed run-wide engine configuration."""
+    return _ENGINE_CONFIG
+
+
+def engine_kwargs() -> dict:
+    """The configuration as keyword arguments for engine-aware drivers."""
+    return {"engine": _ENGINE_CONFIG.engine, "n_jobs": _ENGINE_CONFIG.n_jobs}
 
 
 @dataclass(frozen=True)

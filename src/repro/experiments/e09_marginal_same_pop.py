@@ -12,9 +12,9 @@ common suite than when tested on independent suites, by exactly
 from __future__ import annotations
 
 from ..core import IndependentSuites, SameSuite, marginal_system_pfd
-from ..mc import simulate_marginal_system_pfd_batch
+from ..mc import simulate_marginal_system_pfd
 from ..rng import as_generator, spawn
-from .base import Claim, ExperimentResult
+from .base import Claim, ExperimentResult, engine_kwargs
 from .models import standard_scenario
 from .registry import register
 
@@ -41,12 +41,13 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
             n_suites=n_suites,
             rng=spawn(rng),
         )
-        estimator = simulate_marginal_system_pfd_batch(
+        estimator = simulate_marginal_system_pfd(
             regime,
             scenario.population,
             scenario.profile,
             n_replications=n_replications,
             rng=spawn(rng),
+            **engine_kwargs(),
         )
         results[regime.label] = (analytic, estimator)
         ok = estimator.contains(analytic.system_pfd, confidence=0.999)

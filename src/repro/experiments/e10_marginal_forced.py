@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from ..analytic import exact_marginal_system_pfd
 from ..core import IndependentSuites, SameSuite, marginal_system_pfd
-from ..mc import simulate_marginal_system_pfd_batch
+from ..mc import simulate_marginal_system_pfd
 from ..rng import as_generator, spawn
-from .base import Claim, ExperimentResult
+from .base import Claim, ExperimentResult, engine_kwargs
 from .models import forced_design_scenario
 from .registry import register
 from .e08_same_suite_covariance import _negative_covariance_construction
@@ -45,13 +45,14 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
             n_suites=n_suites,
             rng=spawn(rng),
         )
-        estimator = simulate_marginal_system_pfd_batch(
+        estimator = simulate_marginal_system_pfd(
             regime,
             scenario.population_a,
             scenario.profile,
             scenario.population_b,
             n_replications=n_replications,
             rng=spawn(rng),
+            **engine_kwargs(),
         )
         analytic[regime.label] = decomposition
         ok = estimator.contains(decomposition.system_pfd, confidence=0.999)

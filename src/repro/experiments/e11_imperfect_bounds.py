@@ -6,6 +6,10 @@ the scores of the untested version which thus forms a natural upper bound."
 Swept over detection and fix probabilities, both the version-level and the
 system-level pfds must stay inside the [perfect-testing, untested] envelope,
 and should degrade monotonically as the testing process gets worse.
+
+Catalog entry: ``e11`` in docs/experiments.md.  The imperfect-testing
+measurements run on the batch engine's §4.1 binomial-detection kernel
+(:mod:`repro.mc.batch`) under the CLI's ``--engine auto``/``batch``.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from ..core import SameSuite
 from ..core.bounds import imperfect_system_bounds, imperfect_testing_bounds
 from ..testing import ImperfectFixing, ImperfectOracle
 from ..rng import as_generator, spawn
-from .base import Claim, ExperimentResult
+from .base import Claim, ExperimentResult, engine_kwargs
 from .models import standard_scenario
 from .registry import register
 
@@ -50,6 +54,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
             fixing,
             n_replications=n_replications,
             rng=spawn(rng),
+            **engine_kwargs(),
         )
         system_report = imperfect_system_bounds(
             regime,
@@ -59,6 +64,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
             fixing,
             n_replications=n_replications,
             rng=spawn(rng),
+            **engine_kwargs(),
         )
         version_means.append(version_report.measured)
         rows.append(

@@ -15,6 +15,11 @@ Three checks:
    versions would fail identically and the system behave exactly as each
    version does": iterating exhaustive back-to-back testing to a fixpoint
    leaves the two channels with identical failure sets.
+
+Catalog entry: ``e12`` in docs/experiments.md.  The envelope simulation
+runs on the batch engine's demand-ordered back-to-back kernel
+(:func:`repro.mc.back_to_back_batch`) under ``--engine auto``/``batch``;
+the fixpoint check stays on the scalar pair engine by construction.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from ..populations import FinitePopulation
 from ..rng import as_generator, spawn
 from ..testing import BackToBackComparator, back_to_back_testing
 from ..versions import Version, pessimistic_outputs
-from .base import Claim, ExperimentResult
+from .base import Claim, ExperimentResult, engine_kwargs
 from .models import standard_scenario
 from .registry import register
 
@@ -64,6 +69,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         scenario.profile,
         n_replications=n_replications,
         rng=spawn(rng),
+        **engine_kwargs(),
     )
     rows = [
         ["untested", envelope.untested_system_pfd, envelope.untested_version_pfd],
@@ -117,6 +123,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         scenario.profile,
         n_replications=20,
         rng=spawn(rng),
+        **engine_kwargs(),
     )
     claims.append(
         Claim(

@@ -10,6 +10,11 @@ sharing the misconception (blind to the mandated behaviour).  Checks:
 * with a *correct* oracle, testing can remove the mistake like any fault;
 * with a *blind* oracle (and blind fixing), no amount of testing pushes the
   system pfd below the ``Q(R_m)`` floor.
+
+Catalog entry: ``x2`` in docs/experiments.md.  The blind-oracle estimate
+runs on the batch engine's blind-spot closure
+(:func:`repro.mc.apply_blind_testing_batch`) under ``--engine
+auto``/``batch``.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import numpy as np
 
 from ..extensions import SpecificationMistake, mistake_effect
 from ..analytic import BernoulliExactEngine
-from .base import Claim, ExperimentResult
+from .base import Claim, ExperimentResult, engine_kwargs
 from .models import standard_scenario
 from .registry import register
 
@@ -37,6 +42,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         scenario.profile,
         n_replications=n_replications,
         rng=seed + 2000,
+        **engine_kwargs(),
     )
 
     engine = BernoulliExactEngine(scenario.universe, scenario.profile)

@@ -10,6 +10,12 @@ budget and compares the delivered systems:
 * the commonality-heavy campaign **with a common mistake** injected midway
   — the only activity that can make the system *worse*, visible as the
   unique degrading step of the trajectory.
+
+Catalog entry: ``x3`` in docs/experiments.md.  The campaign averages run
+on the batch engine — every built-in activity transforms whole
+fault-matrix blocks (:meth:`repro.extensions.Activity.apply_batch`) —
+under ``--engine auto``/``batch``; the single illustrative trajectory
+stays scalar.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from ..extensions import (
 )
 from ..testing import BackToBackComparator, OperationalSuiteGenerator
 from ..versions import shared_fault_outputs
-from .base import Claim, ExperimentResult
+from .base import Claim, ExperimentResult, engine_kwargs
 from .models import standard_scenario
 from .registry import register
 
@@ -81,6 +87,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
             scenario.profile,
             n_replications=n_replications,
             rng=seed + 3000,
+            **engine_kwargs(),
         )
     rows = [[label, value] for label, value in results.items()]
 

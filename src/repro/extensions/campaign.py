@@ -12,6 +12,15 @@ stages, back-to-back sessions, clarification broadcasts, and mistake
 injections.  Running a campaign yields a step-by-step trajectory of channel
 and system reliability, making the interplay the paper asks about directly
 observable; averaging over version pairs gives the population view.
+
+The population view (:meth:`DevelopmentCampaign.mean_final_system_pfd`)
+runs on the batch Monte-Carlo engine by default: every built-in activity
+also implements :meth:`Activity.apply_batch`, transforming whole
+fault-matrix blocks with the kernels of :mod:`repro.mc.batch`, so a
+campaign sweep costs a handful of matrix operations per activity instead
+of a Python loop per version pair.  Custom activities without a batch form
+(or testing stages with custom oracle/fixing policies) automatically fall
+back to the scalar trajectory loop.
 """
 
 from __future__ import annotations
@@ -70,6 +79,54 @@ class Activity(abc.ABC):
     ) -> Tuple[Version, Version]:
         """Run the activity; return the evolved version pair."""
 
+    @property
+    def supports_batch(self) -> bool:
+        """True iff :meth:`apply_batch` is implemented for this activity.
+
+        Campaign drivers check this before choosing the vectorized path;
+        custom activities default to False and keep campaigns on the scalar
+        trajectory loop.
+        """
+        return False
+
+    def apply_batch(
+        self,
+        faults_a: np.ndarray,
+        faults_b: np.ndarray,
+        universe_a,
+        universe_b,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the activity on whole ``(R, F)`` fault-matrix blocks.
+
+        The block counterpart of :meth:`apply`: row ``r`` of the two
+        matrices is replication ``r``'s version pair.  Implementations must
+        preserve the scalar activity's randomness *structure* (what is
+        shared between channels vs drawn independently), not its exact
+        stream consumption.
+        """
+        raise ModelError(
+            f"{type(self).__name__} has no batch implementation; run the "
+            "campaign with engine='scalar'"
+        )
+
+
+def _testing_plan_of(oracle, fixing):
+    from ..mc.batch import _testing_plan
+
+    return _testing_plan(oracle, fixing)
+
+
+def _apply_plan_block(plan, faults, generator, universe, suite_rng, test_rng):
+    """Test one channel's block: draw the plan's suite representation, close."""
+    from ..mc.batch import _apply_plan_batch, _plan_needs_counts
+
+    if _plan_needs_counts(plan):
+        block = generator.sample_demand_counts(faults.shape[0], suite_rng)
+    else:
+        block = generator.sample_demand_masks(faults.shape[0], suite_rng)
+    return _apply_plan_batch(plan, faults, block, universe, test_rng)
+
 
 class SharedTestingActivity(Activity):
     """One suite drawn from ``M`` and run against both channels."""
@@ -97,6 +154,29 @@ class SharedTestingActivity(Activity):
         after_b = apply_testing(
             version_b, suite, self._oracle, self._fixing, rng=streams[2]
         ).after
+        return after_a, after_b
+
+    @property
+    def supports_batch(self) -> bool:
+        return _testing_plan_of(self._oracle, self._fixing) is not None
+
+    def apply_batch(self, faults_a, faults_b, universe_a, universe_b, rng):
+        from ..mc.batch import _apply_plan_batch, _plan_needs_counts
+
+        plan = _testing_plan_of(self._oracle, self._fixing)
+        if plan is None:
+            return super().apply_batch(faults_a, faults_b, universe_a, universe_b, rng)
+        streams = spawn_many(rng, 3)
+        if _plan_needs_counts(plan):
+            block = self._generator.sample_demand_counts(
+                faults_a.shape[0], streams[0]
+            )
+        else:
+            block = self._generator.sample_demand_masks(
+                faults_a.shape[0], streams[0]
+            )
+        after_a = _apply_plan_batch(plan, faults_a, block, universe_a, streams[1])
+        after_b = _apply_plan_batch(plan, faults_b, block, universe_b, streams[2])
         return after_a, after_b
 
 
@@ -127,6 +207,23 @@ class IndependentTestingActivity(Activity):
         after_b = apply_testing(
             version_b, suite_b, self._oracle, self._fixing, rng=streams[3]
         ).after
+        return after_a, after_b
+
+    @property
+    def supports_batch(self) -> bool:
+        return _testing_plan_of(self._oracle, self._fixing) is not None
+
+    def apply_batch(self, faults_a, faults_b, universe_a, universe_b, rng):
+        plan = _testing_plan_of(self._oracle, self._fixing)
+        if plan is None:
+            return super().apply_batch(faults_a, faults_b, universe_a, universe_b, rng)
+        streams = spawn_many(rng, 4)
+        after_a = _apply_plan_block(
+            plan, faults_a, self._generator, universe_a, streams[0], streams[2]
+        )
+        after_b = _apply_plan_block(
+            plan, faults_b, self._generator, universe_b, streams[1], streams[3]
+        )
         return after_a, after_b
 
 
@@ -160,6 +257,30 @@ class BackToBackActivity(Activity):
         )
         return outcome_a.after, outcome_b.after
 
+    @property
+    def supports_batch(self) -> bool:
+        from ..mc.batch import back_to_back_supported
+
+        return back_to_back_supported(self._fixing)
+
+    def apply_batch(self, faults_a, faults_b, universe_a, universe_b, rng):
+        from ..mc.batch import back_to_back_batch
+
+        streams = spawn_many(rng, 2)
+        sequences = self._generator.sample_demand_sequences(
+            faults_a.shape[0], streams[0]
+        )
+        return back_to_back_batch(
+            faults_a,
+            faults_b,
+            sequences,
+            universe_a,
+            universe_b,
+            self._comparator,
+            self._fixing,
+            rng=streams[1],
+        )
+
 
 class ClarificationActivity(Activity):
     """A clarification drawn from the process and broadcast to both teams."""
@@ -176,6 +297,21 @@ class ClarificationActivity(Activity):
         after_a = apply_testing(version_a, suite).after
         after_b = apply_testing(version_b, suite).after
         return after_a, after_b
+
+    @property
+    def supports_batch(self) -> bool:
+        return True
+
+    def apply_batch(self, faults_a, faults_b, universe_a, universe_b, rng):
+        from ..mc.batch import apply_testing_batch
+
+        masks = self._process.generator.sample_demand_masks(
+            faults_a.shape[0], rng
+        )
+        return (
+            apply_testing_batch(faults_a, masks, universe_a),
+            apply_testing_batch(faults_b, masks, universe_b),
+        )
 
 
 class PerTeamClarificationActivity(Activity):
@@ -201,6 +337,25 @@ class PerTeamClarificationActivity(Activity):
         after_b = apply_testing(version_b, suite_b).after
         return after_a, after_b
 
+    @property
+    def supports_batch(self) -> bool:
+        return True
+
+    def apply_batch(self, faults_a, faults_b, universe_a, universe_b, rng):
+        from ..mc.batch import apply_testing_batch
+
+        streams = spawn_many(rng, 2)
+        masks_a = self._process.generator.sample_demand_masks(
+            faults_a.shape[0], streams[0]
+        )
+        masks_b = self._process.generator.sample_demand_masks(
+            faults_b.shape[0], streams[1]
+        )
+        return (
+            apply_testing_batch(faults_a, masks_a, universe_a),
+            apply_testing_batch(faults_b, masks_b, universe_b),
+        )
+
 
 class MistakeActivity(Activity):
     """A wrong common instruction: the mistake's faults enter both channels."""
@@ -215,6 +370,17 @@ class MistakeActivity(Activity):
     def apply(self, version_a, version_b, rng):
         ids = np.asarray(self._mistake.fault_ids, dtype=np.int64)
         return version_a.with_faults(ids), version_b.with_faults(ids)
+
+    @property
+    def supports_batch(self) -> bool:
+        return True
+
+    def apply_batch(self, faults_a, faults_b, universe_a, universe_b, rng):
+        after_a = np.array(faults_a, dtype=bool)
+        after_b = np.array(faults_b, dtype=bool)
+        after_a[:, universe_a.validate_fault_ids(np.asarray(self._mistake.fault_ids))] = True
+        after_b[:, universe_b.validate_fault_ids(np.asarray(self._mistake.fault_ids))] = True
+        return after_a, after_b
 
 
 @dataclass(frozen=True)
@@ -314,6 +480,11 @@ class DevelopmentCampaign(object):
             steps.append(snapshot(index, activity.kind, current_a, current_b))
         return CampaignTrajectory(tuple(steps))
 
+    @property
+    def supports_batch(self) -> bool:
+        """True iff every activity in the plan has a batch implementation."""
+        return all(activity.supports_batch for activity in self._activities)
+
     def mean_final_system_pfd(
         self,
         population_a: VersionPopulation,
@@ -321,14 +492,47 @@ class DevelopmentCampaign(object):
         population_b: VersionPopulation | None = None,
         n_replications: int = 200,
         rng: SeedLike = None,
+        engine: str = "auto",
+        chunk_size: int | None = None,
+        n_jobs: int = 1,
     ) -> float:
-        """Average final system pfd over random version pairs."""
+        """Average final system pfd over random version pairs.
+
+        With ``engine="auto"`` (default) or ``"batch"`` and a fully
+        batch-capable plan (:attr:`supports_batch`), the whole average is
+        computed on fault-matrix blocks — each activity transforms the
+        entire replication block at once.  ``"scalar"`` (or any custom
+        activity in the plan) keeps the per-pair trajectory loop.
+        """
+        if engine not in ("auto", "batch", "scalar"):
+            raise ModelError(
+                f"engine must be one of ('auto', 'batch', 'scalar'), got {engine!r}"
+            )
+        if engine == "batch" and not self.supports_batch:
+            unsupported = [
+                activity.kind
+                for activity in self._activities
+                if not activity.supports_batch
+            ]
+            raise ModelError(
+                "engine='batch' requires every activity to support the "
+                f"batch path; unsupported: {unsupported}"
+            )
         if n_replications < 1:
             raise ModelError(
                 f"n_replications must be >= 1, got {n_replications}"
             )
         population_b = population_b if population_b is not None else population_a
         rng = as_generator(rng)
+        if engine != "scalar" and self.supports_batch:
+            from ..mc.batch import _accumulate_mean, _plan_chunks, _run_chunks
+            from functools import partial
+
+            tasks = _plan_chunks(n_replications, chunk_size, rng)
+            kernel = partial(
+                _campaign_chunk, self, population_a, population_b, profile
+            )
+            return _accumulate_mean(_run_chunks(kernel, tasks, n_jobs)).mean
         total = 0.0
         for replication in spawn_many(rng, n_replications):
             streams = spawn_many(replication, 3)
@@ -337,3 +541,36 @@ class DevelopmentCampaign(object):
             trajectory = self.run(version_a, version_b, profile, streams[2])
             total += trajectory.final.system_pfd
         return total / n_replications
+
+
+def _campaign_chunk(
+    campaign: DevelopmentCampaign,
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    profile: UsageProfile,
+    task: Tuple[int, int],
+) -> Tuple[int, float, float]:
+    """One chunk of whole-campaign replications → Welford ``(n, mean, m2)``.
+
+    Module level so process pools can pickle it.  Mirrors the scalar
+    randomness structure: one stream per channel's version block, then one
+    child stream per activity in plan order.
+    """
+    from ..mc.batch import _reduce_values
+
+    count, seed = task
+    streams = spawn_many(as_generator(seed), 3)
+    faults_a = population_a.sample_fault_matrix(count, streams[0])
+    faults_b = population_b.sample_fault_matrix(count, streams[1])
+    universe_a = population_a.universe
+    universe_b = population_b.universe
+    activity_streams = spawn_many(streams[2], len(campaign.activities))
+    for activity, stream in zip(campaign.activities, activity_streams):
+        faults_a, faults_b = activity.apply_batch(
+            faults_a, faults_b, universe_a, universe_b, stream
+        )
+    joint = universe_a.failure_matrix(faults_a) & universe_b.failure_matrix(
+        faults_b
+    )
+    values = joint @ profile.probabilities
+    return _reduce_values(values)

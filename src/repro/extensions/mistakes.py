@@ -177,16 +177,22 @@ def mistake_effect(
     n_replications: int = 300,
     n_suites: int = 512,
     rng: SeedLike = None,
+    engine: str = "auto",
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
 ) -> MistakeEffect:
     """Quantify a common mistake on a shared-suite-tested 1oo2 system.
 
     The clean and correct-oracle quantities are analytic (the mistaken
     population is just another Bernoulli population); the blind-oracle
     quantity needs simulation because blind detection depends on which
-    *other* faults each realised version contains.
+    *other* faults each realised version contains.  The simulation routes
+    through :func:`repro.mc.simulate_marginal_system_pfd` — the matched
+    blind oracle/fixing pair runs on the batch engine's blind-spot closure
+    under ``engine="auto"``/``"batch"``.
     """
+    from ..mc.experiments import simulate_marginal_system_pfd
     from ..rng import spawn_many
-    from ..testing import apply_testing
 
     rng = as_generator(rng)
     streams = spawn_many(rng, 3)
@@ -199,19 +205,18 @@ def mistake_effect(
         regime, mistaken, profile, n_suites=n_suites, rng=streams[1]
     ).system_pfd
 
-    oracle = mistake.blind_oracle()
-    fixing = mistake.blind_fixing()
-    total = 0.0
-    for replication in spawn_many(streams[2], n_replications):
-        sub = spawn_many(replication, 5)
-        version_a = mistaken.sample(sub[0])
-        version_b = mistaken.sample(sub[1])
-        suite, _ = regime.draw_suites(sub[2])
-        tested_a = apply_testing(version_a, suite, oracle, fixing, rng=sub[3]).after
-        tested_b = apply_testing(version_b, suite, oracle, fixing, rng=sub[4]).after
-        joint = tested_a.failure_mask & tested_b.failure_mask
-        total += float(profile.probabilities[joint].sum())
-    blind = total / n_replications
+    blind = simulate_marginal_system_pfd(
+        regime,
+        mistaken,
+        profile,
+        n_replications=n_replications,
+        rng=streams[2],
+        oracle=mistake.blind_oracle(),
+        fixing=mistake.blind_fixing(),
+        engine=engine,
+        chunk_size=chunk_size,
+        n_jobs=n_jobs,
+    ).mean
     region_mass = float(
         profile.probabilities[mistake.region_mask(population)].sum()
     )

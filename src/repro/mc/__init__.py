@@ -15,7 +15,12 @@ from .experiments import (
     simulate_version_pfd,
 )
 from .batch import (
+    apply_blind_testing_batch,
+    apply_imperfect_testing_batch,
     apply_testing_batch,
+    back_to_back_batch,
+    back_to_back_envelope_batch,
+    back_to_back_supported,
     batch_supported,
     simulate_joint_on_demand_batch,
     simulate_marginal_system_pfd_batch,
@@ -32,6 +37,11 @@ __all__ = [
     "simulate_marginal_system_pfd",
     "simulate_version_pfd",
     "apply_testing_batch",
+    "apply_imperfect_testing_batch",
+    "apply_blind_testing_batch",
+    "back_to_back_batch",
+    "back_to_back_envelope_batch",
+    "back_to_back_supported",
     "batch_supported",
     "simulate_joint_on_demand_batch",
     "simulate_untested_joint_on_demand_batch",

@@ -10,19 +10,41 @@ whole block of replications at once:
   (:meth:`~repro.populations.VersionPopulation.sample_fault_matrix`);
 * an ``(R, D)`` boolean **suite mask** block — row ``r`` is the demand
   membership of replication ``r``'s suite, drawn with the regime's coupling
-  (:meth:`~repro.core.regimes.TestingRegime.draw_suite_masks`);
-* the perfect-oracle **testing closure** as one matrix product against the
-  fault→demand incidence matrix
-  (:meth:`~repro.faults.FaultUniverse.triggered_matrix`);
+  (:meth:`~repro.core.regimes.TestingRegime.draw_suite_masks`) — or, for
+  imperfect testing, the ``(R, D)`` integer **occurrence-count** block
+  (:meth:`~repro.core.regimes.TestingRegime.draw_suite_counts`), because
+  each execution of a failing demand is a fresh detection opportunity;
+* the **testing closure** as matrix kernels: one matrix product for the
+  perfect-oracle case (:func:`apply_testing_batch`), binomial detection
+  counts plus per-fault Bernoulli survival draws for the §4.1
+  imperfect-oracle/imperfect-fixing case
+  (:func:`apply_imperfect_testing_batch`), and a demand-ordered masked
+  update loop for §4.2 back-to-back testing (:func:`back_to_back_batch`) —
+  the only genuinely sequential axis in the paper's testing processes;
 * **scoring** as matrix-vector products against the usage profile
   (:meth:`~repro.faults.FaultUniverse.failure_matrix`).
 
 Chunk results stream into the existing :class:`ProportionEstimator` /
 :class:`MeanEstimator` via their ``add_many`` merges, so confidence-interval
 semantics are unchanged.  Every public function is a drop-in counterpart of
-its scalar namesake and **falls back to the scalar path** whenever an
-imperfect oracle or fixing policy is supplied — those processes are
-order-dependent and cannot be expressed set-wise.
+its scalar namesake; :class:`~repro.testing.ImperfectOracle` and
+:class:`~repro.testing.ImperfectFixing` (and matched blind-spot pairs) run
+on the vectorized path — only *custom* oracle/fixing policies, whose
+dynamics the engine cannot introspect, are rejected (use
+``engine="scalar"`` for those).
+
+Why imperfect testing vectorizes at all: although the scalar engine
+processes demands in suite order, the §4.1 process is order-independent *in
+distribution*.  Couple every occurrence ``o`` with an oracle coin and every
+``(o, fault)`` pair with a fixing coin; a fault is removed iff some
+occurrence of a covering demand has both coins heads, regardless of the
+order occurrences are played in.  Conditioning on the per-demand binomial
+count of detecting occurrences ``K(x)``, faults survive independently with
+probability ``(1 - fix_p) ** sum_x K(x)·cover(f, x)`` — the shared ``K``
+carries exactly the cross-fault correlation the shared oracle coins induce.
+Back-to-back testing is *not* order-independent (detection depends on the
+co-evolving partner version), so its kernel iterates demand positions and
+vectorizes across replications.
 
 Execution is chunked (``chunk_size``) to bound peak memory, and chunks can
 optionally be sharded across worker processes (``n_jobs``).  Chunk seeds are
@@ -43,16 +65,33 @@ from ..demand import UsageProfile
 from ..errors import ModelError
 from ..populations import VersionPopulation
 from ..rng import as_generator, spawn_many
-from ..testing import FixingPolicy, Oracle, SuiteGenerator
-from ..testing.fixing import PerfectFixing
-from ..testing.oracle import PerfectOracle
+from ..testing import (
+    BackToBackComparator,
+    FixingPolicy,
+    Oracle,
+    SuiteGenerator,
+    demand_sequences_to_counts,
+)
+from ..testing.fixing import ImperfectFixing, PerfectFixing
+from ..testing.oracle import ImperfectOracle, PerfectOracle
 from ..types import SeedLike
+from ..versions.outputs import (
+    OPTIMISTIC,
+    PESSIMISTIC,
+    SHARED_FAULT,
+    FailureOutputModel,
+)
 from ..core.regimes import TestingRegime
 from . import experiments as _scalar
 from .estimator import MeanEstimator, ProportionEstimator
 
 __all__ = [
     "apply_testing_batch",
+    "apply_imperfect_testing_batch",
+    "apply_blind_testing_batch",
+    "back_to_back_batch",
+    "back_to_back_envelope_batch",
+    "back_to_back_supported",
     "batch_supported",
     "simulate_untested_joint_on_demand_batch",
     "simulate_joint_on_demand_batch",
@@ -62,20 +101,99 @@ __all__ = [
 
 _DEFAULT_CHUNK = 8192
 
+# testing-plan kinds resolved by _testing_plan
+_PERFECT = "perfect"
+_BERNOULLI = "bernoulli"
+_BLIND = "blind"
+
+
+def _testing_plan(
+    oracle: Oracle | None, fixing: FixingPolicy | None
+) -> tuple | None:
+    """Resolve an (oracle, fixing) pair to a batch execution plan.
+
+    Returns ``(kind, detection_p, fix_p, blind_ids)`` where ``kind`` is one
+    of ``"perfect"`` (set-wise mask closure), ``"bernoulli"`` (the §4.1
+    binomial-detection kernel) or ``"blind"`` (perfect closure restricted to
+    faults outside a shared blind spot), or ``None`` when the pair is a
+    custom policy the engine cannot model.
+
+    Blind-spot pairs are recognised structurally — both members expose the
+    same ``blind_fault_ids`` — so :mod:`repro.extensions.mistakes` does not
+    need to be imported here.  The pair is only vectorizable *together*: a
+    blind oracle with ordinary perfect fixing removes blind faults whenever
+    a visible fault reveals the demand, which is order-dependent.
+    """
+    blind_oracle = getattr(oracle, "blind_fault_ids", None)
+    blind_fixing = getattr(fixing, "blind_fault_ids", None)
+    if blind_oracle is not None or blind_fixing is not None:
+        if blind_oracle is None or blind_fixing is None:
+            return None
+        ids = tuple(int(i) for i in blind_oracle)
+        if ids != tuple(int(i) for i in blind_fixing):
+            return None
+        return (_BLIND, 1.0, 1.0, ids)
+    # exact type matches only: a *subclass* may override the per-demand
+    # behaviour arbitrarily, so it must take the scalar path
+    if oracle is None or type(oracle) is PerfectOracle:
+        detection_p = 1.0
+    elif type(oracle) is ImperfectOracle:
+        detection_p = float(oracle.detection_probability)
+    else:
+        return None
+    if fixing is None or type(fixing) is PerfectFixing:
+        fix_p = 1.0
+    elif type(fixing) is ImperfectFixing:
+        fix_p = float(fixing.fix_probability)
+    else:
+        return None
+    if detection_p == 1.0 and fix_p == 1.0:
+        return (_PERFECT, 1.0, 1.0, None)
+    return (_BERNOULLI, detection_p, fix_p, None)
+
 
 def batch_supported(
     oracle: Oracle | None = None, fixing: FixingPolicy | None = None
 ) -> bool:
-    """True iff the testing process is expressible as the set-wise closure.
+    """True iff the testing process runs on the vectorized path.
 
-    The batch engine models perfect detection and perfect fixing only —
-    exactly the regime of the paper's §3 results.  Imperfect oracles and
-    fixing policies (§4) depend on execution order and evolve the version
-    demand-by-demand, so they stay on the scalar path.
+    The batch engine models the paper's §3 perfect process (one matrix
+    product), the §4.1 :class:`~repro.testing.ImperfectOracle` /
+    :class:`~repro.testing.ImperfectFixing` relaxations (binomial detection
+    counts + Bernoulli survival masks — see the module docstring for why
+    that matches the demand-ordered scalar process in distribution), and
+    matched blind-spot oracle/fixing pairs from
+    :mod:`repro.extensions.mistakes`.  Only custom policy classes, whose
+    per-demand dynamics the engine cannot introspect, return False.
     """
-    oracle_ok = oracle is None or isinstance(oracle, PerfectOracle)
-    fixing_ok = fixing is None or isinstance(fixing, PerfectFixing)
-    return oracle_ok and fixing_ok
+    return _testing_plan(oracle, fixing) is not None
+
+
+def _require_plan(
+    oracle: Oracle | None, fixing: FixingPolicy | None
+) -> tuple:
+    plan = _testing_plan(oracle, fixing)
+    if plan is None:
+        raise ModelError(
+            "the batch engine cannot model custom oracle/fixing policies "
+            f"({type(oracle).__name__}/{type(fixing).__name__}); supported: "
+            "Perfect/Imperfect oracles and fixing, and matched blind-spot "
+            "pairs.  Use engine='scalar' (or engine='auto' for automatic "
+            "fallback) for custom policies"
+        )
+    return plan
+
+
+def back_to_back_supported(fixing: FixingPolicy | None = None) -> bool:
+    """True iff back-to-back testing with ``fixing`` runs on the batch path.
+
+    The §4.2 comparator itself is always expressible (all three output
+    models reduce to boolean cause-mask algebra); only the follow-up fixing
+    policy can force the scalar path, exactly as in :func:`batch_supported`
+    — including its exact-type rule: a *subclass* may override
+    ``faults_removed`` arbitrarily, so it must take the scalar path.
+    """
+    return fixing is None or type(fixing) in (PerfectFixing, ImperfectFixing)
 
 
 def apply_testing_batch(
@@ -101,6 +219,222 @@ def apply_testing_batch(
             "counts or universes"
         )
     return fault_matrix & ~triggered
+
+
+def apply_imperfect_testing_batch(
+    fault_matrix: np.ndarray,
+    suite_counts: np.ndarray,
+    universe,
+    detection_probability: float,
+    fix_probability: float,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """§4.1 imperfect-oracle/imperfect-fixing closure over a block.
+
+    ``suite_counts`` is the ``(R, D)`` integer occurrence-count block —
+    entry ``(r, x)`` is how often suite ``r`` executes demand ``x``; unlike
+    the perfect case, repeats matter because every execution of a failing
+    demand is another independent detection opportunity.
+
+    The kernel draws, per ``(r, x)``, the binomial number of *detecting*
+    occurrences ``K[r, x] ~ Binomial(counts[r, x], detection_p)``; a fault
+    then survives independently (given ``K``) with probability
+    ``(1 - fix_p) ** (K @ cover.T)`` — each detecting occurrence of a
+    covering demand is one independent chance to remove it, and the shared
+    ``K`` reproduces the cross-fault correlation of the scalar process's
+    shared per-demand oracle decisions.  This equals the demand-ordered
+    scalar process in distribution (see the module docstring); it is not
+    bit-identical to it because the scalar engine consumes randomness
+    conditionally.
+    """
+    fault_matrix = np.asarray(fault_matrix, dtype=bool)
+    counts = np.asarray(suite_counts)
+    if counts.ndim != 2 or counts.shape[1] != universe.space.size:
+        raise ModelError(
+            f"suite count block of shape {counts.shape} does not match "
+            f"demand space size {universe.space.size}"
+        )
+    if fault_matrix.shape != (counts.shape[0], len(universe)):
+        raise ModelError(
+            f"fault matrix {fault_matrix.shape} and suite count block "
+            f"{counts.shape} have mismatched replication counts or universes"
+        )
+    if not len(universe):
+        return fault_matrix.copy()
+    generator = as_generator(rng)
+    if detection_probability >= 1.0:
+        detecting = counts
+    else:
+        detecting = generator.binomial(counts, detection_probability)
+    # chances[r, f] = number of detecting occurrences covering fault f;
+    # float64 matmul routes through BLAS and is exact for realistic counts
+    chances = detecting.astype(np.float64) @ universe.coverage.T.astype(np.float64)
+    if fix_probability >= 1.0:
+        # 0 ** 0 == 1: untouched faults survive, any chance removes
+        return fault_matrix & (chances < 0.5)
+    survival = (1.0 - fix_probability) ** chances
+    return fault_matrix & (generator.random(fault_matrix.shape) < survival)
+
+
+def apply_blind_testing_batch(
+    fault_matrix: np.ndarray,
+    suite_masks: np.ndarray,
+    universe,
+    blind_fault_ids,
+) -> np.ndarray:
+    """Blind-spot testing closure: perfect closure outside the blind spot.
+
+    Models a matched blind oracle/fixing pair (the team that wrote the
+    mistaken spec also judges and repairs by it): faults in
+    ``blind_fault_ids`` are never detected as wrong and never removed, while
+    every other fault behaves exactly as under perfect testing — a visible
+    fault always reveals itself on its own region, so the closure is the
+    perfect one restricted to visible columns, and needs only membership
+    masks.
+    """
+    fault_matrix = np.asarray(fault_matrix, dtype=bool)
+    triggered = universe.triggered_matrix(suite_masks)
+    if fault_matrix.shape != triggered.shape:
+        raise ModelError(
+            f"fault matrix {fault_matrix.shape} and suite block "
+            f"{np.asarray(suite_masks).shape} have mismatched replication "
+            "counts or universes"
+        )
+    visible = ~universe.presence_mask(
+        np.asarray(blind_fault_ids, dtype=np.int64)
+    )
+    return fault_matrix & ~(triggered & visible[None, :])
+
+
+def _identical_cause_rows(causes_a: np.ndarray, causes_b: np.ndarray) -> np.ndarray:
+    """Row-wise equality of two cause-mask blocks as fault-*id* sets.
+
+    Mirrors the scalar shared-fault model, which compares the two versions'
+    ``faults_causing_failure`` id arrays: when the universes differ in size
+    the narrower mask is padded with absent faults.
+    """
+    width = max(causes_a.shape[1], causes_b.shape[1])
+
+    def _pad(block: np.ndarray) -> np.ndarray:
+        if block.shape[1] == width:
+            return block
+        padded = np.zeros((block.shape[0], width), dtype=bool)
+        padded[:, : block.shape[1]] = block
+        return padded
+
+    return (_pad(causes_a) == _pad(causes_b)).all(axis=1)
+
+
+def back_to_back_batch(
+    fault_matrix_a: np.ndarray,
+    fault_matrix_b: np.ndarray,
+    sequences: np.ndarray,
+    universe_a,
+    universe_b,
+    comparator: BackToBackComparator,
+    fixing: FixingPolicy | None = None,
+    rng: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """§4.2 back-to-back testing over a replication block of version pairs.
+
+    ``sequences`` is the int ``(R, L)`` demand-sequence block (``-1``
+    padded): row ``r`` is the shared suite both channels of pair ``r``
+    execute in order.  Back-to-back detection depends on the co-evolving
+    partner (a demand mismatches only while the *other* version still
+    disagrees), so — unlike every §3/§4.1 closure — the demand axis is
+    genuinely sequential; the kernel replays positions left to right and
+    vectorizes each step across all pairs as masked matrix updates.
+
+    Returns the post-test ``(R, F_A)`` and ``(R, F_B)`` fault matrices.
+    The inputs are not modified.
+    """
+    mode = comparator.output_model.mode
+    if fixing is None or type(fixing) is PerfectFixing:
+        fix_probability = 1.0
+    elif type(fixing) is ImperfectFixing:
+        fix_probability = float(fixing.fix_probability)
+    else:
+        raise ModelError(
+            "back-to-back batch kernel cannot model custom fixing policy "
+            f"{type(fixing).__name__}; use the scalar path"
+        )
+    faults_a = np.array(fault_matrix_a, dtype=bool)
+    faults_b = np.array(fault_matrix_b, dtype=bool)
+    seqs = np.asarray(sequences, dtype=np.int64)
+    if seqs.ndim != 2 or seqs.shape[0] != faults_a.shape[0]:
+        raise ModelError(
+            f"sequence block {seqs.shape} does not match replication count "
+            f"{faults_a.shape[0]}"
+        )
+    if faults_b.shape[0] != faults_a.shape[0]:
+        raise ModelError(
+            f"fault matrices {faults_a.shape} / {faults_b.shape} have "
+            "mismatched replication counts"
+        )
+    if seqs.size:
+        space_limit = min(universe_a.space.size, universe_b.space.size)
+        if seqs.min() < -1 or seqs.max() >= space_limit:
+            raise ModelError(
+                "sequence block contains demands outside space of size "
+                f"{space_limit} (or invalid padding < -1)"
+            )
+    generator = as_generator(rng) if fix_probability < 1.0 else None
+    coverage_a = universe_a.coverage
+    coverage_b = universe_b.coverage
+    for position in range(seqs.shape[1]):
+        demands = seqs[:, position]
+        valid = demands >= 0
+        if not valid.any():
+            continue
+        clamped = np.where(valid, demands, 0)
+        causes_a = faults_a & coverage_a[:, clamped].T
+        causes_b = faults_b & coverage_b[:, clamped].T
+        fails_a = causes_a.any(axis=1) & valid
+        fails_b = causes_b.any(axis=1) & valid
+        if mode == OPTIMISTIC:
+            flagged = fails_a | fails_b
+        elif mode == PESSIMISTIC:
+            flagged = fails_a ^ fails_b
+        else:  # SHARED_FAULT
+            coincident = fails_a & fails_b
+            identical = coincident & _identical_cause_rows(causes_a, causes_b)
+            flagged = (fails_a ^ fails_b) | (coincident & ~identical)
+        removal_a = causes_a & (fails_a & flagged)[:, None]
+        removal_b = causes_b & (fails_b & flagged)[:, None]
+        if generator is not None:
+            removal_a &= generator.random(removal_a.shape) < fix_probability
+            removal_b &= generator.random(removal_b.shape) < fix_probability
+        faults_a &= ~removal_a
+        faults_b &= ~removal_b
+    return faults_a, faults_b
+
+
+def _apply_plan_batch(
+    plan: tuple,
+    fault_matrix: np.ndarray,
+    suite_block: np.ndarray,
+    universe,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Dispatch one channel's testing closure according to its plan.
+
+    ``suite_block`` is a mask block for the perfect/blind kinds and a count
+    block for the bernoulli kind (see :func:`_plan_needs_counts`).
+    """
+    kind, detection_p, fix_p, blind_ids = plan
+    if kind == _PERFECT:
+        return apply_testing_batch(fault_matrix, suite_block, universe)
+    if kind == _BLIND:
+        return apply_blind_testing_batch(
+            fault_matrix, suite_block, universe, blind_ids
+        )
+    return apply_imperfect_testing_batch(
+        fault_matrix, suite_block, universe, detection_p, fix_p, rng
+    )
+
+
+def _plan_needs_counts(plan: tuple) -> bool:
+    return plan[0] == _BERNOULLI
 
 
 # ---------------------------------------------------------------------------
@@ -131,16 +465,34 @@ def _chunk_tested_joint(
     population_a: VersionPopulation,
     population_b: VersionPopulation,
     demand: int,
+    plan: tuple,
     task: Tuple[int, int],
 ) -> Tuple[int, int]:
-    """One chunk of eqs. (16)–(21) replications → ``(successes, count)``."""
+    """One chunk of eqs. (16)–(21) replications → ``(successes, count)``.
+
+    The perfect/blind plans keep the original three-stream layout (faults A,
+    faults B, suites), so perfect-path results are bit-identical to earlier
+    releases; the bernoulli plan appends one testing stream per channel.
+    """
     count, seed = task
-    streams = spawn_many(as_generator(seed), 3)
-    faults_a = population_a.sample_fault_matrix(count, streams[0])
-    faults_b = population_b.sample_fault_matrix(count, streams[1])
-    masks_a, masks_b = regime.draw_suite_masks(count, streams[2])
-    tested_a = apply_testing_batch(faults_a, masks_a, population_a.universe)
-    tested_b = apply_testing_batch(faults_b, masks_b, population_b.universe)
+    if _plan_needs_counts(plan):
+        streams = spawn_many(as_generator(seed), 5)
+        faults_a = population_a.sample_fault_matrix(count, streams[0])
+        faults_b = population_b.sample_fault_matrix(count, streams[1])
+        counts_a, counts_b = regime.draw_suite_counts(count, streams[2])
+        tested_a = _apply_plan_batch(
+            plan, faults_a, counts_a, population_a.universe, streams[3]
+        )
+        tested_b = _apply_plan_batch(
+            plan, faults_b, counts_b, population_b.universe, streams[4]
+        )
+    else:
+        streams = spawn_many(as_generator(seed), 3)
+        faults_a = population_a.sample_fault_matrix(count, streams[0])
+        faults_b = population_b.sample_fault_matrix(count, streams[1])
+        masks_a, masks_b = regime.draw_suite_masks(count, streams[2])
+        tested_a = _apply_plan_batch(plan, faults_a, masks_a, population_a.universe)
+        tested_b = _apply_plan_batch(plan, faults_b, masks_b, population_b.universe)
     fails_a = tested_a[:, population_a.universe.coverage[:, demand]].any(axis=1)
     fails_b = tested_b[:, population_b.universe.coverage[:, demand]].any(axis=1)
     return int(np.count_nonzero(fails_a & fails_b)), count
@@ -152,23 +504,38 @@ def _chunk_marginal(
     population_b: VersionPopulation,
     profile: UsageProfile,
     rao_blackwell: bool,
+    plan: tuple,
     task: Tuple[int, int],
 ) -> Tuple[int, float, float]:
     """One chunk of eqs. (22)–(25) replications → ``(n, mean, m2)``."""
     count, seed = task
-    streams = spawn_many(as_generator(seed), 4)
-    faults_a = population_a.sample_fault_matrix(count, streams[0])
-    faults_b = population_b.sample_fault_matrix(count, streams[1])
-    masks_a, masks_b = regime.draw_suite_masks(count, streams[2])
-    tested_a = apply_testing_batch(faults_a, masks_a, population_a.universe)
-    tested_b = apply_testing_batch(faults_b, masks_b, population_b.universe)
+    if _plan_needs_counts(plan):
+        streams = spawn_many(as_generator(seed), 6)
+        faults_a = population_a.sample_fault_matrix(count, streams[0])
+        faults_b = population_b.sample_fault_matrix(count, streams[1])
+        counts_a, counts_b = regime.draw_suite_counts(count, streams[2])
+        tested_a = _apply_plan_batch(
+            plan, faults_a, counts_a, population_a.universe, streams[3]
+        )
+        tested_b = _apply_plan_batch(
+            plan, faults_b, counts_b, population_b.universe, streams[4]
+        )
+        demand_stream = streams[5]
+    else:
+        streams = spawn_many(as_generator(seed), 4)
+        faults_a = population_a.sample_fault_matrix(count, streams[0])
+        faults_b = population_b.sample_fault_matrix(count, streams[1])
+        masks_a, masks_b = regime.draw_suite_masks(count, streams[2])
+        tested_a = _apply_plan_batch(plan, faults_a, masks_a, population_a.universe)
+        tested_b = _apply_plan_batch(plan, faults_b, masks_b, population_b.universe)
+        demand_stream = streams[3]
     joint = population_a.universe.failure_matrix(
         tested_a
     ) & population_b.universe.failure_matrix(tested_b)
     if rao_blackwell:
         values = joint @ profile.probabilities
     else:
-        demands = profile.sample(streams[3], size=count)
+        demands = profile.sample(demand_stream, size=count)
         values = joint[np.arange(count), demands].astype(np.float64)
     return _reduce_values(values)
 
@@ -177,16 +544,100 @@ def _chunk_version_pfd(
     population: VersionPopulation,
     generator: SuiteGenerator,
     profile: UsageProfile,
+    plan: tuple,
     task: Tuple[int, int],
 ) -> Tuple[int, float, float]:
     """One chunk of post-test version-pfd replications → ``(n, mean, m2)``."""
     count, seed = task
-    streams = spawn_many(as_generator(seed), 2)
-    faults = population.sample_fault_matrix(count, streams[0])
-    masks = generator.sample_demand_masks(count, streams[1])
-    tested = apply_testing_batch(faults, masks, population.universe)
+    if _plan_needs_counts(plan):
+        streams = spawn_many(as_generator(seed), 3)
+        faults = population.sample_fault_matrix(count, streams[0])
+        counts = generator.sample_demand_counts(count, streams[1])
+        tested = _apply_plan_batch(
+            plan, faults, counts, population.universe, streams[2]
+        )
+    else:
+        streams = spawn_many(as_generator(seed), 2)
+        faults = population.sample_fault_matrix(count, streams[0])
+        masks = generator.sample_demand_masks(count, streams[1])
+        tested = _apply_plan_batch(plan, faults, masks, population.universe)
     values = population.universe.failure_matrix(tested) @ profile.probabilities
     return _reduce_values(values)
+
+
+def _chunk_back_to_back_envelope(
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    fixing: FixingPolicy | None,
+    task: Tuple[int, int],
+) -> Tuple[int, tuple]:
+    """One chunk of paired §4.2 replications → ``(count, sums)``.
+
+    ``sums`` holds the nine envelope accumulators in the field order of
+    :class:`repro.core.bounds.BackToBackEnvelope`.  All modes reuse the same
+    fault-matrix and suite draws, so the envelope comparisons stay paired
+    exactly as in the scalar driver.
+    """
+    count, seed = task
+    streams = spawn_many(as_generator(seed), 4)
+    faults_a = population_a.sample_fault_matrix(count, streams[0])
+    faults_b = population_b.sample_fault_matrix(count, streams[1])
+    sequences = generator.sample_demand_sequences(count, streams[2])
+    masks = (
+        demand_sequences_to_counts(sequences, generator.space.size) > 0
+    )
+    universe_a = population_a.universe
+    universe_b = population_b.universe
+    probabilities = profile.probabilities
+
+    def system_sum(block_a: np.ndarray, block_b: np.ndarray) -> float:
+        joint = universe_a.failure_matrix(block_a) & universe_b.failure_matrix(
+            block_b
+        )
+        return float((joint @ probabilities).sum())
+
+    def version_sum(block_a: np.ndarray, block_b: np.ndarray) -> float:
+        pfd_a = universe_a.failure_matrix(block_a) @ probabilities
+        pfd_b = universe_b.failure_matrix(block_b) @ probabilities
+        return float(0.5 * (pfd_a.sum() + pfd_b.sum()))
+
+    untested_system = system_sum(faults_a, faults_b)
+    untested_version = version_sum(faults_a, faults_b)
+    perfect_a = apply_testing_batch(faults_a, masks, universe_a)
+    perfect_b = apply_testing_batch(faults_b, masks, universe_b)
+    perfect_system = system_sum(perfect_a, perfect_b)
+
+    mode_sums = {}
+    for mode in (OPTIMISTIC, PESSIMISTIC, SHARED_FAULT):
+        comparator = BackToBackComparator(FailureOutputModel(mode))
+        after_a, after_b = back_to_back_batch(
+            faults_a,
+            faults_b,
+            sequences,
+            universe_a,
+            universe_b,
+            comparator,
+            fixing,
+            rng=spawn_many(streams[3], 1)[0],
+        )
+        mode_sums[mode] = (
+            system_sum(after_a, after_b),
+            version_sum(after_a, after_b),
+        )
+    sums = (
+        untested_system,
+        perfect_system,
+        mode_sums[OPTIMISTIC][0],
+        mode_sums[PESSIMISTIC][0],
+        mode_sums[SHARED_FAULT][0],
+        untested_version,
+        mode_sums[OPTIMISTIC][1],
+        mode_sums[PESSIMISTIC][1],
+        mode_sums[SHARED_FAULT][1],
+    )
+    return count, sums
 
 
 def _reduce_values(values: np.ndarray) -> Tuple[int, float, float]:
@@ -298,32 +749,22 @@ def simulate_joint_on_demand_batch(
     """Batched ``P(both tested versions fail on x)`` — eqs. (16)–(21) check.
 
     Vectorized drop-in for :func:`repro.mc.simulate_joint_on_demand`.  Each
-    chunk draws a fault-matrix block per channel, a coupled suite-mask block
+    chunk draws a fault-matrix block per channel, a coupled suite block
     from the regime (shared for :class:`~repro.core.SameSuite`, independent
     otherwise — precisely the coupling that separates eqs. (20)/(21) from
-    (16)–(19)), applies the set-wise testing closure and scores the fixed
-    demand.  Imperfect oracles or fixing policies fall back to the scalar
-    path, which models their order-dependent dynamics.
+    (16)–(19)), applies the testing closure for the supplied oracle/fixing
+    pair (§3 mask closure, §4.1 binomial-detection kernel, or blind-spot
+    closure) and scores the fixed demand.  Custom policies raise
+    :class:`~repro.errors.ModelError`; use ``engine="scalar"`` for those.
     """
-    if not batch_supported(oracle, fixing):
-        return _scalar.simulate_joint_on_demand(
-            regime,
-            population_a,
-            demand,
-            population_b,
-            n_replications=n_replications,
-            rng=rng,
-            oracle=oracle,
-            fixing=fixing,
-            engine="scalar",
-        )
+    plan = _require_plan(oracle, fixing)
     _scalar._check_replications(n_replications)
     population_b = population_b if population_b is not None else population_a
     demand = population_a.space.validate_demand(demand)
     root = as_generator(rng)
     tasks = _plan_chunks(n_replications, chunk_size, root)
     kernel = partial(
-        _chunk_tested_joint, regime, population_a, population_b, demand
+        _chunk_tested_joint, regime, population_a, population_b, demand, plan
     )
     return _accumulate_proportion(_run_chunks(kernel, tasks, n_jobs))
 
@@ -349,29 +790,24 @@ def simulate_marginal_system_pfd_batch(
     ``rao_blackwell=True`` the random demand is integrated out exactly by
     one matrix-vector product against ``Q`` (estimating
     ``E[Θ_T]² + Var(Θ_T) + E_Q[...]`` of eqs. (22)/(23), resp. the
-    forced-diversity forms (24)/(25)).  Imperfect oracles/fixing fall back
-    to the scalar path.
+    forced-diversity forms (24)/(25)).  Imperfect oracles/fixing run on the
+    §4.1 binomial-detection kernel; custom policies raise
+    :class:`~repro.errors.ModelError`.
     """
-    if not batch_supported(oracle, fixing):
-        return _scalar.simulate_marginal_system_pfd(
-            regime,
-            population_a,
-            profile,
-            population_b,
-            n_replications=n_replications,
-            rng=rng,
-            oracle=oracle,
-            fixing=fixing,
-            rao_blackwell=rao_blackwell,
-            engine="scalar",
-        )
+    plan = _require_plan(oracle, fixing)
     _scalar._check_replications(n_replications)
     population_b = population_b if population_b is not None else population_a
     population_a.space.require_same(profile.space)
     root = as_generator(rng)
     tasks = _plan_chunks(n_replications, chunk_size, root)
     kernel = partial(
-        _chunk_marginal, regime, population_a, population_b, profile, rao_blackwell
+        _chunk_marginal,
+        regime,
+        population_a,
+        population_b,
+        profile,
+        rao_blackwell,
+        plan,
     )
     return _accumulate_mean(_run_chunks(kernel, tasks, n_jobs))
 
@@ -391,24 +827,80 @@ def simulate_version_pfd_batch(
 
     Vectorized drop-in for :func:`repro.mc.simulate_version_pfd`,
     estimating the usage-weighted tested difficulty ``ζ(x)`` of eq. (14):
-    each chunk tests a fault-matrix block against a suite-mask block and
-    scores the survivors against ``Q`` in one matrix-vector product.
-    Imperfect oracles/fixing fall back to the scalar path.
+    each chunk tests a fault-matrix block against a suite block and scores
+    the survivors against ``Q`` in one matrix-vector product.  Imperfect
+    oracles/fixing run on the §4.1 binomial-detection kernel; custom
+    policies raise :class:`~repro.errors.ModelError`.
     """
-    if not batch_supported(oracle, fixing):
-        return _scalar.simulate_version_pfd(
-            population,
-            generator,
-            profile,
-            n_replications=n_replications,
-            rng=rng,
-            oracle=oracle,
-            fixing=fixing,
-            engine="scalar",
-        )
+    plan = _require_plan(oracle, fixing)
     _scalar._check_replications(n_replications)
     population.space.require_same(profile.space)
     root = as_generator(rng)
     tasks = _plan_chunks(n_replications, chunk_size, root)
-    kernel = partial(_chunk_version_pfd, population, generator, profile)
+    kernel = partial(_chunk_version_pfd, population, generator, profile, plan)
     return _accumulate_mean(_run_chunks(kernel, tasks, n_jobs))
+
+
+def back_to_back_envelope_batch(
+    population_a: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    population_b: VersionPopulation | None = None,
+    fixing: FixingPolicy | None = None,
+    n_replications: int = 400,
+    rng: SeedLike = None,
+    chunk_size: int | None = None,
+    n_jobs: int = 1,
+):
+    """Batched §4.2 envelope — back-to-back testing under all output models.
+
+    Vectorized drop-in for :func:`repro.core.bounds.back_to_back_envelope`:
+    every chunk draws one fault-matrix block per channel and one shared
+    demand-sequence block, then runs the three back-to-back comparators
+    plus the perfect-oracle closure on identical inputs, so the envelope
+    comparisons are paired exactly as in the scalar driver — in particular
+    the optimistic model reproduces the perfect closure *identically* per
+    replication, not just statistically.
+
+    Returns a :class:`repro.core.bounds.BackToBackEnvelope`.
+    """
+    from ..core.bounds import BackToBackEnvelope
+
+    if n_replications < 1:
+        raise ModelError(f"n_replications must be >= 1, got {n_replications}")
+    if not back_to_back_supported(fixing):
+        raise ModelError(
+            "back-to-back batch kernel cannot model custom fixing policy "
+            f"{type(fixing).__name__}; use engine='scalar'"
+        )
+    population_b = population_b if population_b is not None else population_a
+    population_a.space.require_same(profile.space)
+    root = as_generator(rng)
+    tasks = _plan_chunks(n_replications, chunk_size, root)
+    kernel = partial(
+        _chunk_back_to_back_envelope,
+        population_a,
+        population_b,
+        generator,
+        profile,
+        fixing,
+    )
+    results = _run_chunks(kernel, tasks, n_jobs)
+    total = sum(count for count, _sums in results)
+    merged = [0.0] * 9
+    for count, sums in results:
+        for index, value in enumerate(sums):
+            merged[index] += value
+    scale = 1.0 / total
+    return BackToBackEnvelope(
+        untested_system_pfd=merged[0] * scale,
+        perfect_system_pfd=merged[1] * scale,
+        optimistic_system_pfd=merged[2] * scale,
+        pessimistic_system_pfd=merged[3] * scale,
+        shared_fault_system_pfd=merged[4] * scale,
+        untested_version_pfd=merged[5] * scale,
+        optimistic_version_pfd=merged[6] * scale,
+        pessimistic_version_pfd=merged[7] * scale,
+        shared_fault_version_pfd=merged[8] * scale,
+        n_replications=total,
+    )

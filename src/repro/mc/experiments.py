@@ -12,14 +12,19 @@ Each estimator can run on one of two **engines**:
 
 * ``"batch"`` — the vectorized replication engine of
   :mod:`repro.mc.batch`: whole blocks of versions, suites and scores as
-  matrix kernels.  Only valid for perfect oracles/fixing.
-* ``"scalar"`` — the original per-replication Python loop, required for
-  order-dependent processes (imperfect oracles, imperfect fixing) and kept
-  as the reference implementation the batch path is validated against.
+  matrix kernels.  Covers the §3 perfect process, the §4.1
+  :class:`~repro.testing.ImperfectOracle` /
+  :class:`~repro.testing.ImperfectFixing` relaxations (binomial detection
+  counts + Bernoulli survival masks) and matched blind-spot pairs.
+* ``"scalar"`` — the original per-replication Python loop: the reference
+  implementation the batch path is validated against, and the only engine
+  for *custom* oracle/fixing policies, whose per-demand dynamics the batch
+  kernels cannot introspect.
 
-The default ``engine="auto"`` picks the batch path whenever the testing
-process is perfect and falls back to the scalar loop otherwise, so existing
-callers transparently get the fast path.
+The default ``engine="auto"`` picks the batch path whenever
+:func:`repro.mc.batch.batch_supported` accepts the testing process and
+falls back to the scalar loop otherwise, so existing callers transparently
+get the fast path.
 """
 
 from __future__ import annotations
@@ -65,9 +70,11 @@ def _use_batch(
     if engine == "batch":
         if not supported:
             raise ModelError(
-                "engine='batch' cannot model imperfect oracles or fixing "
-                "policies (order-dependent dynamics); use engine='auto' "
-                "for automatic scalar fallback or engine='scalar'"
+                "engine='batch' cannot model custom oracle/fixing policies "
+                f"({type(oracle).__name__}/{type(fixing).__name__}); "
+                "supported: Perfect/Imperfect oracles and fixing, and "
+                "matched blind-spot pairs.  Use engine='auto' for automatic "
+                "scalar fallback or engine='scalar'"
             )
         return True
     return supported

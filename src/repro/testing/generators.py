@@ -35,9 +35,38 @@ __all__ = [
     "WeightedDebugGenerator",
     "ExhaustiveSuiteGenerator",
     "EnumerableSuiteGenerator",
+    "demand_sequences_to_counts",
 ]
 
 _SUM_TOLERANCE = 1e-9
+
+#: padding value marking unused tail positions in a demand-sequence block
+SEQUENCE_PAD = -1
+
+
+def demand_sequences_to_counts(sequences: np.ndarray, n_demands: int) -> np.ndarray:
+    """Per-demand occurrence counts from a padded demand-sequence block.
+
+    ``sequences`` is an int ``[count, length]`` matrix of demand indices with
+    ``-1`` marking padding (rows may encode suites of different lengths).
+    Returns the int64 ``[count, n_demands]`` matrix whose entry ``(r, x)`` is
+    the number of times suite ``r`` executes demand ``x`` — the suite
+    representation of the imperfect-testing batch kernels, where repeats are
+    *not* ineffective (each execution is another detection opportunity).
+    """
+    seqs = np.asarray(sequences, dtype=np.int64)
+    if seqs.ndim != 2:
+        raise ModelError(f"sequence block must be 2-D, got shape {seqs.shape}")
+    rows, cols = np.nonzero(seqs >= 0)
+    demands = seqs[rows, cols]
+    if demands.size and demands.max() >= n_demands:
+        raise ModelError(
+            f"sequence block contains demands outside space of size {n_demands}"
+        )
+    flat = np.bincount(
+        rows * n_demands + demands, minlength=seqs.shape[0] * n_demands
+    )
+    return flat.reshape(seqs.shape[0], n_demands)
 
 
 def _profile_demand_masks(
@@ -60,6 +89,22 @@ def _profile_demand_masks(
         demands = profile.sample(as_generator(rng), size=(count, size))
         np.put_along_axis(masks, demands, True, axis=1)
     return masks
+
+
+def _profile_demand_sequences(
+    profile: UsageProfile,
+    size: int,
+    count: int,
+    rng: SeedLike,
+) -> np.ndarray:
+    """``count`` i.i.d. profile-drawn suites of ``size`` as ordered sequences."""
+    if count < 0:
+        raise ModelError(f"count must be non-negative, got {count}")
+    if count == 0 or size == 0:
+        return np.empty((count, size), dtype=np.int64)
+    return np.asarray(
+        profile.sample(as_generator(rng), size=(count, size)), dtype=np.int64
+    )
 
 
 class SuiteGenerator(abc.ABC):
@@ -103,6 +148,41 @@ class SuiteGenerator(abc.ABC):
         for row, stream in enumerate(spawn_many(generator, count)):
             masks[row, self.sample(stream).unique_demands] = True
         return masks
+
+    def sample_demand_sequences(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` independent suites as ordered demand sequences.
+
+        Returns an int64 ``[count, max_length]`` matrix whose row ``r`` is
+        the ``r``-th drawn suite in execution order, right-padded with
+        ``-1`` when suites differ in length.  This is the suite
+        representation of the *order-dependent* batch kernels — back-to-back
+        testing replays demands left to right, so membership masks are not
+        enough.  The default loops :meth:`sample`; generators with
+        vectorisable measures override it with a single block draw.
+        """
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        generator = as_generator(rng)
+        suites = [self.sample(stream) for stream in spawn_many(generator, count)]
+        width = max((len(suite) for suite in suites), default=0)
+        out = np.full((count, width), SEQUENCE_PAD, dtype=np.int64)
+        for row, suite in enumerate(suites):
+            out[row, : len(suite)] = suite.demands
+        return out
+
+    def sample_demand_counts(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``count`` independent suites as demand occurrence counts.
+
+        Returns the int64 ``[count, space.size]`` matrix whose entry
+        ``(r, x)`` counts how often suite ``r`` executes demand ``x`` — the
+        representation of the imperfect-oracle/imperfect-fixing batch
+        kernels, where each execution of a failing demand is an independent
+        detection opportunity (so multiplicity matters, unlike the
+        perfect-oracle mask representation).
+        """
+        return demand_sequences_to_counts(
+            self.sample_demand_sequences(count, rng), self._space.size
+        )
 
     def enumerate(self) -> Iterable[Tuple[TestSuite, float]]:
         """Yield ``(suite, probability)`` when the measure is enumerable.
@@ -156,6 +236,10 @@ class OperationalSuiteGenerator(SuiteGenerator):
         return _profile_demand_masks(
             self._profile, self._size, self._space, count, rng
         )
+
+    def sample_demand_sequences(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """All ``count`` suites as one ``(count, size)`` ordered block draw."""
+        return _profile_demand_sequences(self._profile, self._size, count, rng)
 
     def with_size(self, size: int) -> "OperationalSuiteGenerator":
         """Same profile, different suite size — used by growth sweeps."""
@@ -284,6 +368,10 @@ class WeightedDebugGenerator(SuiteGenerator):
             self._debug_profile, self._size, self._space, count, rng
         )
 
+    def sample_demand_sequences(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """All ``count`` suites as one ``(count, size)`` ordered block draw."""
+        return _profile_demand_sequences(self._debug_profile, self._size, count, rng)
+
 
 class ExhaustiveSuiteGenerator(SuiteGenerator):
     """The degenerate measure putting all mass on the exhaustive suite.
@@ -302,6 +390,14 @@ class ExhaustiveSuiteGenerator(SuiteGenerator):
         if count < 0:
             raise ModelError(f"count must be non-negative, got {count}")
         return np.ones((count, self._space.size), dtype=bool)
+
+    def sample_demand_sequences(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Every suite is the full demand space in index order."""
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        return np.tile(
+            np.asarray(self._space.demands, dtype=np.int64), (count, 1)
+        )
 
     def enumerate(self) -> Iterable[Tuple[TestSuite, float]]:
         yield TestSuite(self._space, self._space.demands), 1.0
@@ -343,6 +439,7 @@ class EnumerableSuiteGenerator(SuiteGenerator):
         self._probs = probs
         self._cdf = np.cumsum(probs)
         self._mask_table: np.ndarray | None = None
+        self._sequence_table: np.ndarray | None = None
 
     @classmethod
     def uniform_over(
@@ -387,6 +484,18 @@ class EnumerableSuiteGenerator(SuiteGenerator):
         if self._mask_table is None:
             self._mask_table = np.stack([suite.mask() for suite in self._suites])
         return self._mask_table[inverse_cdf_indices(self._cdf, rng, count)]
+
+    def sample_demand_sequences(self, count: int, rng: SeedLike = None) -> np.ndarray:
+        """Gather ``count`` rows from a cached padded per-suite sequence table."""
+        if count < 0:
+            raise ModelError(f"count must be non-negative, got {count}")
+        if self._sequence_table is None:
+            width = max(len(suite) for suite in self._suites)
+            table = np.full((len(self._suites), width), SEQUENCE_PAD, dtype=np.int64)
+            for row, suite in enumerate(self._suites):
+                table[row, : len(suite)] = suite.demands
+            self._sequence_table = table
+        return self._sequence_table[inverse_cdf_indices(self._cdf, rng, count)]
 
     def enumerate(self) -> Iterable[Tuple[TestSuite, float]]:
         """Yield every ``(suite, probability)`` pair of the measure."""

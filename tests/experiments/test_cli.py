@@ -21,11 +21,33 @@ class TestCli:
         assert "experiment  claims" in captured.out
         assert captured.out.count("PASS") == 2
 
-    def test_unknown_id_raises(self):
+    def test_unknown_id_raises_up_front_with_suggestion(self):
         from repro.errors import ModelError
 
-        with pytest.raises(ModelError):
+        # validation happens before any experiment runs, and close typos
+        # get a "did you mean" hint
+        with pytest.raises(ModelError, match="did you mean.*e12"):
+            main(["e21", "a5"])
+
+    def test_unknown_id_without_close_match_lists_known(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="Known ids"):
             main(["nope"])
 
     def test_seed_changes_tables_not_verdicts(self, capsys):
         assert main(["a5", "--seed", "3", "--summary-only"]) == 0
+
+    def test_engine_flags_accepted(self, capsys):
+        assert main(["a5", "--engine", "scalar", "--summary-only"]) == 0
+        assert (
+            main(["a5", "--engine", "batch", "--n-jobs", "2", "--summary-only"])
+            == 0
+        )
+
+    def test_engine_config_restored_after_run(self):
+        from repro.experiments.base import engine_config
+
+        main(["a5", "--engine", "scalar", "--summary-only"])
+        assert engine_config().engine == "auto"
+        assert engine_config().n_jobs == 1

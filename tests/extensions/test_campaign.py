@@ -128,3 +128,67 @@ class TestMeanFinalPfd:
             campaign.mean_final_system_pfd(
                 bernoulli_population, profile, n_replications=0
             )
+
+
+class TestBatchPath:
+    @pytest.fixture
+    def full_campaign(self, generator, space):
+        process = ClarificationProcess(space, [[0, 1]], [1.0])
+        return DevelopmentCampaign(
+            [
+                SharedTestingActivity(generator),
+                ClarificationActivity(process),
+                PerTeamClarificationActivity(process),
+                BackToBackActivity(
+                    generator, BackToBackComparator(shared_fault_outputs())
+                ),
+                MistakeActivity(SpecificationMistake((0,))),
+                IndependentTestingActivity(generator),
+            ]
+        )
+
+    def test_all_builtin_activities_support_batch(self, full_campaign):
+        assert full_campaign.supports_batch
+
+    def test_batch_agrees_with_scalar(
+        self, full_campaign, bernoulli_population, profile
+    ):
+        batch = full_campaign.mean_final_system_pfd(
+            bernoulli_population, profile, n_replications=600, rng=7, engine="batch"
+        )
+        scalar = full_campaign.mean_final_system_pfd(
+            bernoulli_population, profile, n_replications=600, rng=7, engine="scalar"
+        )
+        assert batch == pytest.approx(scalar, abs=0.03)
+
+    def test_batch_deterministic_and_n_jobs_invariant(
+        self, full_campaign, bernoulli_population, profile
+    ):
+        kwargs = dict(n_replications=300, rng=11, chunk_size=100)
+        serial = full_campaign.mean_final_system_pfd(
+            bernoulli_population, profile, n_jobs=1, **kwargs
+        )
+        sharded = full_campaign.mean_final_system_pfd(
+            bernoulli_population, profile, n_jobs=2, **kwargs
+        )
+        assert serial == sharded
+
+    def test_custom_activity_falls_back_to_scalar(
+        self, generator, bernoulli_population, profile
+    ):
+        class NoOpActivity(SharedTestingActivity):
+            @property
+            def supports_batch(self):
+                return False
+
+        campaign = DevelopmentCampaign([NoOpActivity(generator)])
+        assert not campaign.supports_batch
+        # auto silently takes the scalar loop; forcing batch is an error
+        value = campaign.mean_final_system_pfd(
+            bernoulli_population, profile, n_replications=20, rng=13
+        )
+        assert 0.0 <= value <= 1.0
+        with pytest.raises(ModelError, match="engine='batch'"):
+            campaign.mean_final_system_pfd(
+                bernoulli_population, profile, n_replications=20, engine="batch"
+            )

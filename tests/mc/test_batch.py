@@ -8,8 +8,9 @@ Three layers of assurance:
 * **statistical agreement** — batched and scalar ``simulate_*`` paths give
   estimates with overlapping 95% confidence intervals on a shared model;
 * **execution semantics** — batched runs are deterministic under a seed,
-  invariant to ``n_jobs`` at fixed chunking, and fall back to the scalar
-  path (bit-identically) for imperfect oracles/fixing.
+  invariant to ``n_jobs`` at fixed chunking, and reject custom
+  oracle/fixing policies (imperfect oracles/fixing run vectorized; see
+  tests/mc/test_batch_imperfect.py for their agreement suite).
 """
 
 import numpy as np
@@ -279,25 +280,53 @@ def test_proportion_n_jobs_invariant(model):
     assert (sharded.successes, sharded.count) == (serial.successes, serial.count)
 
 
-def test_imperfect_oracle_falls_back_to_scalar(model):
+class _CustomOracle(ImperfectOracle):
+    """An oracle the batch engine cannot introspect (custom subclass)."""
+
+    def detects(self, version, demand, rng):
+        return super().detects(version, demand, rng)
+
+
+def test_custom_oracle_not_batch_supported(model):
     _space, profile, _universe, population, generator = model
-    regime = SameSuite(generator)
-    oracle = ImperfectOracle(0.6)
+    oracle = _CustomOracle(0.6)
     assert not batch_supported(oracle=oracle)
-    batch = simulate_marginal_system_pfd_batch(
-        regime, population, profile, n_replications=200, rng=43, oracle=oracle
+    # engine='auto' transparently falls back to the scalar loop
+    regime = SameSuite(generator)
+    auto = simulate_marginal_system_pfd(
+        regime, population, profile, n_replications=50, rng=43, oracle=oracle
     )
     scalar = simulate_marginal_system_pfd(
         regime,
         population,
         profile,
-        n_replications=200,
+        n_replications=50,
         rng=43,
         oracle=oracle,
         engine="scalar",
     )
-    assert batch.mean == scalar.mean
-    assert batch.variance == scalar.variance
+    assert auto.mean == scalar.mean
+    assert auto.variance == scalar.variance
+
+
+def test_imperfect_oracle_runs_on_batch_path(model):
+    _space, profile, _universe, population, generator = model
+    regime = SameSuite(generator)
+    oracle = ImperfectOracle(0.6)
+    assert batch_supported(oracle=oracle)
+    batch = simulate_marginal_system_pfd_batch(
+        regime, population, profile, n_replications=2000, rng=43, oracle=oracle
+    )
+    scalar = simulate_marginal_system_pfd(
+        regime,
+        population,
+        profile,
+        n_replications=2000,
+        rng=43,
+        oracle=oracle,
+        engine="scalar",
+    )
+    assert _overlap(scalar, batch)
 
 
 def test_auto_engine_matches_forced_batch(model):
@@ -325,7 +354,7 @@ def test_n_jobs_invariant_at_default_chunking(model):
     assert (sharded.successes, sharded.count) == (serial.successes, serial.count)
 
 
-def test_explicit_batch_engine_rejects_imperfect_oracle(model):
+def test_explicit_batch_engine_rejects_custom_oracle(model):
     _space, profile, _universe, population, generator = model
     with pytest.raises(ModelError, match="engine='batch'"):
         simulate_marginal_system_pfd(
@@ -333,7 +362,7 @@ def test_explicit_batch_engine_rejects_imperfect_oracle(model):
             population,
             profile,
             n_replications=10,
-            oracle=ImperfectOracle(0.5),
+            oracle=_CustomOracle(0.5),
             engine="batch",
         )
 

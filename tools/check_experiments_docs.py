@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Check docs/experiments.md against the experiment registry.
+
+The experiment catalog must list exactly the ids returned by
+``repro.experiments.all_experiment_ids()`` — no missing rows, no stale
+rows.  Run from the repository root (CI runs it in the docs job)::
+
+    PYTHONPATH=src python tools/check_experiments_docs.py
+
+Exits non-zero with a diff-style report when the catalog is out of sync.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+CATALOG = pathlib.Path(__file__).resolve().parent.parent / "docs" / "experiments.md"
+
+# catalog rows carry their id as the first, backticked table cell
+_ROW_PATTERN = re.compile(r"^\|\s*`([a-z][a-z0-9]*)`", re.MULTILINE)
+
+
+def documented_ids(text: str) -> list:
+    """Experiment ids listed in the catalog, in order of appearance."""
+    return _ROW_PATTERN.findall(text)
+
+
+def main() -> int:
+    from repro.experiments import all_experiment_ids
+
+    registered = all_experiment_ids()
+    if not CATALOG.exists():
+        print(f"missing catalog: {CATALOG}", file=sys.stderr)
+        return 1
+    documented = documented_ids(CATALOG.read_text())
+    missing = [eid for eid in registered if eid not in documented]
+    extra = [eid for eid in documented if eid not in registered]
+    duplicated = sorted(
+        {eid for eid in documented if documented.count(eid) > 1}
+    )
+    if not (missing or extra or duplicated):
+        print(
+            f"docs/experiments.md in sync: {len(registered)} experiment ids"
+        )
+        return 0
+    if missing:
+        print(f"ids registered but not documented: {missing}", file=sys.stderr)
+    if extra:
+        print(f"ids documented but not registered: {extra}", file=sys.stderr)
+    if duplicated:
+        print(f"ids documented more than once: {duplicated}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
