@@ -1,0 +1,71 @@
+"""Benchmarks for the result store and the sweep cache-hit path.
+
+These time the overhead the sweep layer adds around experiments: cache-key
+hashing, JSONL append/load throughput, and a fully-cached sweep (the
+resume path, which must stay negligible next to actually running even one
+cheap experiment).  They carry no reproduction claims.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.store import ResultStore, cache_key, make_record
+from repro.sweeps import Sweep, SweepSpec
+
+N_RECORDS = 200
+
+
+@pytest.fixture(scope="module")
+def a5_result():
+    return run_experiment("a5", seed=0, fast=True)
+
+
+def test_store_cache_key_rate(benchmark):
+    params = {"presence_prob": 0.3, "suite_size": 25}
+
+    def hash_block():
+        for seed in range(N_RECORDS):
+            cache_key("a2", seed, True, params)
+
+    benchmark(hash_block)
+
+
+def test_store_append_throughput(benchmark, tmp_path, a5_result):
+    records = [
+        make_record("a5", seed=seed, result=a5_result)
+        for seed in range(N_RECORDS)
+    ]
+    counter = {"n": 0}
+
+    def append_block():
+        store = ResultStore(tmp_path / f"run{counter['n']}")
+        counter["n"] += 1
+        for record in records:
+            store.put(record)
+
+    benchmark.pedantic(append_block, rounds=3, iterations=1)
+
+
+def test_store_load_throughput(benchmark, tmp_path, a5_result):
+    store = ResultStore(tmp_path)
+    for seed in range(N_RECORDS):
+        store.put(make_record("a5", seed=seed, result=a5_result))
+
+    loaded = benchmark(lambda: len(ResultStore(tmp_path).load()))
+    assert loaded == N_RECORDS
+
+
+def test_sweep_cache_hit_path(benchmark, tmp_path):
+    """A fully-cached sweep must cost file reads, not experiment runs."""
+    spec = SweepSpec(experiments=["a4", "a5"], seeds=[0, 1])
+    store = ResultStore(tmp_path)
+    first = Sweep(spec, store).run()
+    assert first.executed == 4
+
+    def cached_run():
+        report = Sweep(spec, ResultStore(tmp_path)).run()
+        assert report.cached == 4
+        assert report.executed == 0
+        return report
+
+    benchmark.pedantic(cached_run, rounds=3, iterations=1)

@@ -22,7 +22,13 @@ or programmatically::
 """
 
 from .base import Claim, ExperimentResult
-from .registry import all_experiment_ids, get_runner, run_experiment
+from .registry import (
+    all_experiment_ids,
+    get_runner,
+    run_experiment,
+    runner_params,
+    validate_params,
+)
 from .report import format_result, format_summary
 
 # importing the experiment modules registers them
@@ -57,6 +63,8 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "get_runner",
+    "runner_params",
+    "validate_params",
     "all_experiment_ids",
     "format_result",
     "format_summary",

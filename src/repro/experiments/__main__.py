@@ -1,15 +1,30 @@
 """CLI entry point: ``python -m repro.experiments [ids…] [options]``.
 
-Runs the requested reproduction experiments (all by default), prints each
-result table, and exits non-zero if any paper claim failed to hold.  The
-catalog of experiment ids, the paper claim each one reproduces, its knobs
-and expected runtimes live in ``docs/experiments.md``.
+Three invocation shapes:
+
+* **run** (default, no subcommand) — run the requested reproduction
+  experiments (all by default), print each result table, exit non-zero if
+  any paper claim failed to hold;
+* **sweep** — execute a declarative parameter grid
+  (``sweep --grid grid.toml --out results/``), persisting every completed
+  point to a resumable result store (re-runs are cache hits, interrupted
+  sweeps resume where they stopped);
+* **aggregate** — join a result store back into comparison tables
+  (``aggregate --store results/ [--experiment id]``).
+
+The catalog of experiment ids, the paper claim each one reproduces, its
+knobs and expected runtimes live in ``docs/experiments.md``; the grid file
+format, cache-key definition and resume semantics in ``docs/sweeps.md``.
+
+Exit codes: 0 — success, every claim held; 1 — experiments ran but some
+claim failed; 2 — usage error (unknown id, bad grid file, missing store).
 """
 
 from __future__ import annotations
 
 import argparse
 import difflib
+import os
 import sys
 from typing import List
 
@@ -17,6 +32,10 @@ from ..errors import ModelError
 from .base import set_engine_config
 from .registry import all_experiment_ids, run_experiment
 from .report import format_result, format_summary
+
+EXIT_OK = 0
+EXIT_CLAIM_FAILURES = 1
+EXIT_USAGE = 2
 
 
 def validate_ids(ids: List[str]) -> None:
@@ -46,8 +65,28 @@ def validate_ids(ids: List[str]) -> None:
     )
 
 
-def main(argv: List[str] | None = None) -> int:
-    """Run the experiment CLI; returns the process exit code."""
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "batch", "scalar"),
+        default="auto",
+        help="Monte-Carlo engine for simulation-driven experiments: "
+        "'auto' (default) vectorizes whenever the testing process "
+        "supports it, 'batch' fails loudly when it cannot, 'scalar' "
+        "forces the per-replication reference loops",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for batch-engine chunk sharding (default 1; "
+        "results are bit-identical for any value)",
+    )
+
+
+def run_main(argv: List[str]) -> int:
+    """The default (no-subcommand) experiment runner."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the results of Popov & Littlewood (DSN 2004).",
@@ -71,23 +110,7 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="print only the one-line-per-experiment summary",
     )
-    parser.add_argument(
-        "--engine",
-        choices=("auto", "batch", "scalar"),
-        default="auto",
-        help="Monte-Carlo engine for simulation-driven experiments: "
-        "'auto' (default) vectorizes whenever the testing process "
-        "supports it, 'batch' fails loudly when it cannot, 'scalar' "
-        "forces the per-replication reference loops",
-    )
-    parser.add_argument(
-        "--n-jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for batch-engine chunk sharding (default 1; "
-        "results are bit-identical for any value)",
-    )
+    _add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
     validate_ids(args.ids)
@@ -104,9 +127,149 @@ def main(argv: List[str] | None = None) -> int:
                 print(format_result(result))
                 print()
         print(format_summary(results))
-        return 0 if all(result.passed for result in results) else 1
+        return (
+            EXIT_OK
+            if all(result.passed for result in results)
+            else EXIT_CLAIM_FAILURES
+        )
     finally:
         set_engine_config(engine=previous.engine, n_jobs=previous.n_jobs)
+
+
+def sweep_main(argv: List[str]) -> int:
+    """``sweep --grid grid.toml --out results/``: run a resumable grid."""
+    from ..store import ResultStore
+    from ..sweeps import Sweep, load_grid
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description="Run a declarative experiment grid against a resumable "
+        "result store (grid format: docs/sweeps.md).",
+    )
+    parser.add_argument(
+        "--grid",
+        required=True,
+        metavar="FILE",
+        help="sweep grid file (.toml or .json)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        metavar="DIR",
+        help="result store location (default: results/); completed points "
+        "found there are served as cache hits",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes across sweep points (default 1)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list every grid point and its cache status without running",
+    )
+    _add_engine_arguments(parser)
+    args = parser.parse_args(argv)
+
+    spec = load_grid(args.grid)
+    store = ResultStore(args.out)
+    sweep = Sweep(spec, store, engine=args.engine, n_jobs=args.n_jobs)
+    if args.dry_run:
+        cached, pending = sweep.partition()
+        cached_keys = {point.cache_key(engine=args.engine) for point in cached}
+        for point in spec.points():
+            key = point.cache_key(engine=args.engine)
+            status = "cached" if key in cached_keys else "pending"
+            print(f"{status:<8} {point.label()}")
+        print(
+            f"sweep: {len(cached) + len(pending)} points, 0 executed, "
+            f"{len(cached)} cached (dry run; {len(pending)} pending)"
+        )
+        return EXIT_OK
+
+    def progress(point, status):
+        print(f"{status:<9} {point.label()}", flush=True)
+
+    report = sweep.run(n_procs=args.procs, progress=progress)
+    print(report.summary())
+    print(f"store: {store.path}")
+    return EXIT_OK if report.passed else EXIT_CLAIM_FAILURES
+
+
+def aggregate_main(argv: List[str]) -> int:
+    """``aggregate --store results/``: join stored records into tables."""
+    from ..store import ResultStore
+    from ..sweeps import comparison_table, render_table, summary_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments aggregate",
+        description="Join stored sweep records into comparison tables "
+        "(bit-for-bit in csv/json formats).",
+    )
+    parser.add_argument(
+        "--store",
+        default="results",
+        metavar="DIR",
+        help="result store location (default: results/)",
+    )
+    parser.add_argument(
+        "--experiment",
+        metavar="ID",
+        help="emit the long-form comparison table for one experiment id "
+        "(default: the one-line-per-point summary table)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "csv", "json"),
+        default="text",
+        help="output format (default text; csv/json preserve stored floats "
+        "bit-for-bit)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the table to FILE instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.store)
+    if not store.path.exists():
+        raise ModelError(f"no result store at {store.path}")
+    if args.experiment is not None:
+        table = comparison_table(store, args.experiment)
+    else:
+        table = summary_table(store)
+    rendered = render_table(table, args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {len(table[1])} rows to {args.out}")
+    else:
+        print(rendered)
+    return EXIT_OK
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Dispatch to run (default), sweep or aggregate; returns the exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "sweep":
+            return sweep_main(argv[1:])
+        if argv and argv[0] == "aggregate":
+            return aggregate_main(argv[1:])
+        return run_main(argv)
+    except ModelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except BrokenPipeError:
+        # downstream closed the pipe (e.g. `... | head`); exit quietly,
+        # pointing stdout at devnull so interpreter shutdown can flush
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -20,9 +20,17 @@ from .registry import register
 
 
 @register("a2")
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
-    """Run A2 and return its result table and claims."""
-    scenario = standard_scenario(seed)
+def run(
+    seed: int = 0, fast: bool = True, presence_prob: float = 0.3
+) -> ExperimentResult:
+    """Run A2 and return its result table and claims.
+
+    ``presence_prob`` is a sweepable knob: the per-fault presence
+    probability of the underlying Bernoulli population, i.e. how buggy the
+    development process is.  Sweeping it shows how the dependence penalty's
+    peak moves with initial fault density.
+    """
+    scenario = standard_scenario(seed, presence_prob=presence_prob)
     engine = BernoulliExactEngine(scenario.universe, scenario.profile)
     population = scenario.population
     sizes = [0, 2, 5, 10, 20, 40, 80, 200, 500]
@@ -81,5 +89,8 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         ],
         rows=rows,
         claims=claims,
-        notes="all values exact (inclusion-exclusion closed forms)",
+        notes=(
+            "all values exact (inclusion-exclusion closed forms); "
+            f"presence prob {presence_prob}"
+        ),
     )

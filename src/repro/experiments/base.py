@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from ..errors import ModelError
 
@@ -11,6 +14,7 @@ __all__ = [
     "Claim",
     "ExperimentResult",
     "EngineConfig",
+    "canonical_cell",
     "engine_config",
     "engine_kwargs",
     "set_engine_config",
@@ -71,6 +75,60 @@ def engine_kwargs() -> dict:
     return {"engine": _ENGINE_CONFIG.engine, "n_jobs": _ENGINE_CONFIG.n_jobs}
 
 
+# Non-finite floats are not valid JSON; canonical payloads spell them out
+# as a tagged one-key object — unambiguous because canonical_cell never
+# emits a dict for any other value — so every record stays loadable by any
+# strict JSON parser.
+_NONFINITE_TAG = "__nonfinite__"
+_NONFINITE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def canonical_cell(value: object):
+    """A table cell (or param value) as a JSON-safe, platform-stable value.
+
+    Floats are the delicate case: snapshots and store records must not
+    churn across platforms, so every float is reduced to a Python ``float``
+    whose JSON form is ``repr``-stable (the shortest round-tripping decimal
+    of its IEEE-754 double — identical on every platform for the same
+    bits).  NumPy scalars are converted to their Python counterparts;
+    non-finite floats become tagged strings (JSON has no NaN/Infinity).
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if not math.isfinite(value):
+            if math.isnan(value):
+                return {_NONFINITE_TAG: "nan"}
+            return {_NONFINITE_TAG: "inf" if value > 0 else "-inf"}
+        return value
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, np.ndarray):
+        return [canonical_cell(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [canonical_cell(item) for item in value]
+    raise ModelError(
+        f"cannot serialize cell of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _decode_cell(value: object):
+    """Inverse of :func:`canonical_cell` for the tagged non-finite objects."""
+    if (
+        isinstance(value, dict)
+        and len(value) == 1
+        and _NONFINITE_TAG in value
+        and value[_NONFINITE_TAG] in _NONFINITE
+    ):
+        return _NONFINITE[value[_NONFINITE_TAG]]
+    if isinstance(value, list):
+        return [_decode_cell(v) for v in value]
+    return value
+
+
 @dataclass(frozen=True)
 class Claim:
     """One qualitative statement from the paper, checked against data.
@@ -88,6 +146,24 @@ class Claim:
     description: str
     holds: bool
     detail: str = ""
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe form; ``holds`` is coerced to a plain bool so numpy
+        bools (a common experiment-code slip) serialize deterministically."""
+        return {
+            "description": str(self.description),
+            "holds": bool(self.holds),
+            "detail": str(self.detail),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Claim":
+        """Rebuild a claim from :meth:`to_payload` output."""
+        return cls(
+            description=payload["description"],
+            holds=payload["holds"],
+            detail=payload.get("detail", ""),
+        )
 
 
 @dataclass(frozen=True)
@@ -129,3 +205,39 @@ class ExperimentResult:
     def claim_failures(self) -> List[Claim]:
         """The claims that did not hold (empty when :attr:`passed`)."""
         return [claim for claim in self.claims if not claim.holds]
+
+    def to_payload(self) -> Dict[str, object]:
+        """The full result as a JSON-safe, deterministic dictionary.
+
+        This is the structured counterpart of the printed report: golden
+        snapshots, the result store and the ``aggregate`` reporter all
+        consume this payload.  Cells go through :func:`canonical_cell`, so
+        the same result produces byte-identical JSON on every platform.
+        """
+        return {
+            "experiment_id": str(self.experiment_id),
+            "title": str(self.title),
+            "paper_reference": str(self.paper_reference),
+            "columns": [str(column) for column in self.columns],
+            "rows": [[canonical_cell(cell) for cell in row] for row in self.rows],
+            "claims": [claim.to_payload() for claim in self.claims],
+            "notes": str(self.notes),
+            "passed": bool(self.passed),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_payload` output.
+
+        Round-trips bit-for-bit: numeric cells come back as the exact
+        floats/ints that went in (non-finite floats included).
+        """
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            paper_reference=payload["paper_reference"],
+            columns=list(payload["columns"]),
+            rows=[[_decode_cell(cell) for cell in row] for row in payload["rows"]],
+            claims=[Claim.from_payload(claim) for claim in payload["claims"]],
+            notes=payload.get("notes", ""),
+        )

@@ -1,23 +1,40 @@
 """Experiment registry.
 
 Experiment modules register a runner ``(seed, fast) -> ExperimentResult``
-under their id at import time; the CLI, the benchmark suite and the test
-suite all look experiments up here, so there is exactly one definition of
-each experiment in the codebase.
+under their id at import time; the CLI, the benchmark suite, the sweep
+layer and the test suite all look experiments up here, so there is exactly
+one definition of each experiment in the codebase.
+
+Runners may accept extra keyword-only *knobs* beyond ``(seed, fast)``
+(e.g. ``presence_prob`` on ``a2``, ``suite_size`` on ``x3``); the sweep
+layer discovers them via :func:`runner_params` and passes them through
+:func:`run_experiment`'s ``params`` mapping, validated up front so an
+unknown knob fails before any replication budget is spent.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Mapping, Optional
 
 from ..errors import ModelError
 from .base import ExperimentResult
 
-__all__ = ["register", "get_runner", "run_experiment", "all_experiment_ids"]
+__all__ = [
+    "register",
+    "get_runner",
+    "run_experiment",
+    "runner_params",
+    "validate_params",
+    "all_experiment_ids",
+]
 
 Runner = Callable[[int, bool], ExperimentResult]
 
 _REGISTRY: Dict[str, Runner] = {}
+
+# positional run contract shared by every runner; anything else is a knob
+_BASE_PARAMS = ("seed", "fast")
 
 
 def register(experiment_id: str) -> Callable[[Runner], Runner]:
@@ -49,8 +66,55 @@ def get_runner(experiment_id: str) -> Runner:
         ) from None
 
 
+def runner_params(experiment_id: str) -> Dict[str, object]:
+    """The extra knobs a runner accepts beyond ``(seed, fast)``.
+
+    Returns a mapping of parameter name to its default value
+    (:data:`inspect.Parameter.empty` for required knobs — none of the
+    built-in experiments have any).  The sweep layer uses this to validate
+    grid axes before running anything.
+    """
+    signature = inspect.signature(get_runner(experiment_id))
+    return {
+        name: parameter.default
+        for name, parameter in signature.parameters.items()
+        if name not in _BASE_PARAMS
+        and parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+
+
+def validate_params(
+    experiment_id: str, params: Optional[Mapping[str, object]]
+) -> None:
+    """Reject knob names the runner does not accept, listing the known ones.
+
+    Raises
+    ------
+    ModelError
+        Naming every unknown knob and the knobs the runner does support.
+    """
+    if not params:
+        return
+    supported = runner_params(experiment_id)
+    unknown = sorted(name for name in params if name not in supported)
+    if unknown:
+        known = ", ".join(sorted(supported)) if supported else "none"
+        raise ModelError(
+            f"experiment {experiment_id!r} does not accept param(s) "
+            f"{', '.join(repr(name) for name in unknown)}; supported knobs: "
+            f"{known}"
+        )
+
+
 def run_experiment(
-    experiment_id: str, seed: int = 0, fast: bool = True
+    experiment_id: str,
+    seed: int = 0,
+    fast: bool = True,
+    params: Optional[Mapping[str, object]] = None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
@@ -63,8 +127,16 @@ def run_experiment(
     fast:
         True keeps replication counts small (seconds); False runs the
         larger counts used for EXPERIMENTS.md.
+    params:
+        Extra keyword knobs for runners that accept them (see
+        :func:`runner_params`); unknown names raise :class:`ModelError`
+        before the runner starts.
     """
-    return get_runner(experiment_id)(seed, fast)
+    runner = get_runner(experiment_id)
+    validate_params(experiment_id, params)
+    if params:
+        return runner(seed, fast, **dict(params))
+    return runner(seed, fast)
 
 
 def all_experiment_ids() -> List[str]:

@@ -41,11 +41,24 @@ from .registry import register
 
 
 @register("x3")
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
-    """Run X3 and return its result table and claims."""
-    n_replications = 150 if fast else 1500
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    suite_size: int = 25,
+    n_replications: int | None = None,
+) -> ExperimentResult:
+    """Run X3 and return its result table and claims.
+
+    Sweepable campaign knobs: ``suite_size`` scales every testing stage's
+    effort (shared, independent and back-to-back stages alike, keeping the
+    budgets matched), and ``n_replications`` overrides the fast/full
+    version-pair count — the axes a sweep varies to study how campaign
+    composition effects move with testing effort.
+    """
+    if n_replications is None:
+        n_replications = 150 if fast else 1500
     scenario = standard_scenario(seed)
-    generator = OperationalSuiteGenerator(scenario.profile, 25)
+    generator = OperationalSuiteGenerator(scenario.profile, suite_size)
     process = ClarificationProcess(
         scenario.space,
         [list(range(0, 15)), list(range(40, 55))],
@@ -77,19 +90,21 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
     )
 
     results = {}
+    rows = []
     for label, campaign in (
         ("diversity-preserving", diverse),
         ("commonality-heavy", common),
         ("commonality-heavy + mistake", common_with_mistake),
     ):
-        results[label] = campaign.mean_final_system_pfd(
+        estimator = campaign.mean_final_system_pfd_estimator(
             scenario.population,
             scenario.profile,
             n_replications=n_replications,
             rng=seed + 3000,
             **engine_kwargs(),
         )
-    rows = [[label, value] for label, value in results.items()]
+        results[label] = estimator.mean
+        rows.append([label, estimator.mean, estimator.std_error()])
 
     # one concrete trajectory with the mistake, to expose the degrading step
     rng = np.random.default_rng(seed + 3100)
@@ -101,7 +116,7 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
     degrading = trajectory.degrading_steps()
     for step in trajectory.steps:
         rows.append(
-            [f"trajectory step {step.step} ({step.kind})", step.system_pfd]
+            [f"trajectory step {step.step} ({step.kind})", step.system_pfd, ""]
         )
 
     claims = [
@@ -143,12 +158,16 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         "across the campaign",
         paper_reference="section 5 (conclusion), combined-activities "
         "paragraph",
-        columns=["campaign / step", "mean final (or step) system pfd"],
+        columns=[
+            "campaign / step",
+            "mean final (or step) system pfd",
+            "std error",
+        ],
         rows=rows,
         claims=claims,
         notes=(
             f"{n_replications} version-pair replications per campaign; "
-            "budgets matched at two 25-test stages plus one clarification/"
-            "cross-check step"
+            f"budgets matched at two {suite_size}-test stages plus one "
+            "clarification/cross-check step"
         ),
     )

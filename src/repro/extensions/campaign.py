@@ -485,7 +485,7 @@ class DevelopmentCampaign(object):
         """True iff every activity in the plan has a batch implementation."""
         return all(activity.supports_batch for activity in self._activities)
 
-    def mean_final_system_pfd(
+    def mean_final_system_pfd_estimator(
         self,
         population_a: VersionPopulation,
         profile: UsageProfile,
@@ -495,8 +495,12 @@ class DevelopmentCampaign(object):
         engine: str = "auto",
         chunk_size: int | None = None,
         n_jobs: int = 1,
-    ) -> float:
-        """Average final system pfd over random version pairs.
+    ):
+        """The final-system-pfd average as a full :class:`MeanEstimator`.
+
+        The estimator form carries the spread alongside the mean, so sweep
+        records and experiment tables can report confidence half-widths
+        for campaign comparisons, not just point values.
 
         With ``engine="auto"`` (default) or ``"batch"`` and a fully
         batch-capable plan (:attr:`supports_batch`), the whole average is
@@ -525,22 +529,51 @@ class DevelopmentCampaign(object):
         population_b = population_b if population_b is not None else population_a
         rng = as_generator(rng)
         if engine != "scalar" and self.supports_batch:
-            from ..mc.batch import _accumulate_mean, _plan_chunks, _run_chunks
+            from ..mc.batch import _accumulate_mean, _plan_chunks, run_tasks
             from functools import partial
 
             tasks = _plan_chunks(n_replications, chunk_size, rng)
             kernel = partial(
                 _campaign_chunk, self, population_a, population_b, profile
             )
-            return _accumulate_mean(_run_chunks(kernel, tasks, n_jobs)).mean
-        total = 0.0
+            return _accumulate_mean(run_tasks(kernel, tasks, n_jobs))
+        from ..mc.estimator import MeanEstimator
+
+        estimator = MeanEstimator()
         for replication in spawn_many(rng, n_replications):
             streams = spawn_many(replication, 3)
             version_a = population_a.sample(streams[0])
             version_b = population_b.sample(streams[1])
             trajectory = self.run(version_a, version_b, profile, streams[2])
-            total += trajectory.final.system_pfd
-        return total / n_replications
+            estimator.add(trajectory.final.system_pfd)
+        return estimator
+
+    def mean_final_system_pfd(
+        self,
+        population_a: VersionPopulation,
+        profile: UsageProfile,
+        population_b: VersionPopulation | None = None,
+        n_replications: int = 200,
+        rng: SeedLike = None,
+        engine: str = "auto",
+        chunk_size: int | None = None,
+        n_jobs: int = 1,
+    ) -> float:
+        """Average final system pfd over random version pairs.
+
+        Point-value form of :meth:`mean_final_system_pfd_estimator` (same
+        randomness: a given ``rng`` yields the identical mean).
+        """
+        return self.mean_final_system_pfd_estimator(
+            population_a,
+            profile,
+            population_b=population_b,
+            n_replications=n_replications,
+            rng=rng,
+            engine=engine,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        ).mean
 
 
 def _campaign_chunk(

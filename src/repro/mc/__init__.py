@@ -22,6 +22,7 @@ from .batch import (
     back_to_back_envelope_batch,
     back_to_back_supported,
     batch_supported,
+    run_tasks,
     simulate_joint_on_demand_batch,
     simulate_marginal_system_pfd_batch,
     simulate_untested_joint_on_demand_batch,
@@ -47,6 +48,7 @@ __all__ = [
     "simulate_untested_joint_on_demand_batch",
     "simulate_marginal_system_pfd_batch",
     "simulate_version_pfd_batch",
+    "run_tasks",
     "estimate_until",
     "SequentialResult",
 ]

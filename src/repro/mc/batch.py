@@ -55,7 +55,7 @@ so a given ``(rng, chunk_size)`` pair yields bit-identical estimates for any
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from functools import partial
 from typing import Callable, List, Tuple
 
@@ -97,6 +97,7 @@ __all__ = [
     "simulate_joint_on_demand_batch",
     "simulate_marginal_system_pfd_batch",
     "simulate_version_pfd_batch",
+    "run_tasks",
 ]
 
 _DEFAULT_CHUNK = 8192
@@ -675,18 +676,54 @@ def _plan_chunks(
     return [(count, int(seed)) for count, seed in zip(counts, seeds)]
 
 
-def _run_chunks(
-    kernel: Callable[[Tuple[int, int]], tuple],
-    tasks: List[Tuple[int, int]],
+def run_tasks(
+    kernel: Callable[[object], object],
+    tasks: List[object],
     n_jobs: int,
-) -> List[tuple]:
-    """Run chunk tasks serially or across a process pool, in task order."""
+    on_result: Callable[[object], None] | None = None,
+) -> List[object]:
+    """Run independent tasks serially or across a process pool.
+
+    The shared process-fan-out layer: the batch engine shards replication
+    chunks through it, and the sweep layer (:mod:`repro.sweeps`) shards
+    whole sweep points.  ``kernel`` and each task must be picklable when
+    ``n_jobs > 1``.
+
+    The returned list is always in *task* order — chunk estimators merge
+    results positionally, which keeps batch estimates bit-identical for
+    any worker count.  ``on_result``, if given, is invoked in *completion*
+    order, as soon as each result exists — sweep resume relies on this to
+    persist a finished point even while an earlier, slower point is still
+    running, so a kill never loses completed work to head-of-line
+    blocking.  Callbacks must therefore identify work by the result's own
+    content, not by arrival position.
+    """
     if n_jobs < 1:
         raise ModelError(f"n_jobs must be >= 1, got {n_jobs}")
     if n_jobs == 1 or len(tasks) == 1:
-        return [kernel(task) for task in tasks]
+        results: List[object] = []
+        for task in tasks:
+            result = kernel(task)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+    slots: List[object] = [None] * len(tasks)
     with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-        return list(pool.map(kernel, tasks))
+        futures = {
+            pool.submit(kernel, task): index
+            for index, task in enumerate(tasks)
+        }
+        for future in as_completed(futures):
+            result = future.result()
+            if on_result is not None:
+                on_result(result)
+            slots[futures[future]] = result
+    return slots
+
+
+# chunk-sharding alias kept for the simulate_* drivers below
+_run_chunks = run_tasks
 
 
 def _accumulate_proportion(results: List[Tuple[int, int]]) -> ProportionEstimator:

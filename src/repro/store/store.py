@@ -1,0 +1,153 @@
+"""Append-only JSONL result store with interrupt-safe resume semantics.
+
+The on-disk format is one JSON record per line (``records.jsonl`` inside
+the store directory, or any explicit ``*.jsonl`` path).  Writes are
+append-and-flush, so a killed sweep loses at most the record being written
+when it died; on load, a trailing partial line (the signature of that
+interrupt) is skipped with a warning instead of poisoning the store, and
+every complete record written before the interrupt is served as a cache
+hit on resume.
+
+Duplicate keys are legal on disk (append-only stores cannot retract) and
+resolve last-wins in memory, so re-running a point after a code rollback
+simply shadows the older record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from ..errors import ModelError
+from .records import canonical_json, validate_record
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """A persistent, resumable map from cache key to experiment record."""
+
+    #: file name used when the store path is a directory
+    RECORDS_FILE = "records.jsonl"
+
+    def __init__(self, path: os.PathLike | str) -> None:
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            self._file = path
+        else:
+            self._file = path / self.RECORDS_FILE
+        self._records: Dict[str, dict] = {}
+        self._loaded = False
+        self._needs_newline = False
+
+    @property
+    def path(self) -> Path:
+        """The backing JSONL file."""
+        return self._file
+
+    # -- loading ---------------------------------------------------------
+
+    def load(self) -> "ResultStore":
+        """(Re)read the backing file into memory; missing file = empty store."""
+        self._records = {}
+        self._loaded = True
+        self._needs_newline = False
+        if not self._file.exists():
+            return self
+        with open(self._file, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        # a file not ending in a newline has a partial trailing record (an
+        # interrupted append); the next put() must start on a fresh line or
+        # it would merge into the garbage and itself become unreadable
+        self._needs_newline = bool(content) and not content.endswith("\n")
+        lines = content.split("\n")
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                validate_record(record)
+            except (json.JSONDecodeError, ModelError) as error:
+                # a partial trailing line is the normal signature of an
+                # interrupted sweep; anything else is worth a warning too,
+                # but never fatal — resume must always be possible
+                warnings.warn(
+                    f"{self._file}:{number}: skipping unreadable record "
+                    f"({error})",
+                    stacklevel=2,
+                )
+                continue
+            self._records[record["key"]] = record
+        return self
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # -- reading ---------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        self._ensure_loaded()
+        return key in self._records
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict]:
+        self._ensure_loaded()
+        return iter(list(self._records.values()))
+
+    def get(self, key: str) -> Optional[dict]:
+        """The record under ``key``, or None."""
+        self._ensure_loaded()
+        return self._records.get(key)
+
+    def keys(self) -> List[str]:
+        """All keys, in first-written order."""
+        self._ensure_loaded()
+        return list(self._records)
+
+    def records(
+        self, experiment_id: Optional[str] = None
+    ) -> List[dict]:
+        """All records (optionally restricted to one experiment id)."""
+        self._ensure_loaded()
+        out = list(self._records.values())
+        if experiment_id is not None:
+            out = [r for r in out if r["experiment_id"] == experiment_id]
+        return out
+
+    def experiment_ids(self) -> List[str]:
+        """Distinct experiment ids present, in first-written order."""
+        self._ensure_loaded()
+        seen: Dict[str, None] = {}
+        for record in self._records.values():
+            seen.setdefault(record["experiment_id"], None)
+        return list(seen)
+
+    # -- writing ---------------------------------------------------------
+
+    def put(self, record: Mapping[str, object]) -> str:
+        """Validate, append to disk, flush, and index the record.
+
+        Returns the record's key.  The flush guarantees the record survives
+        a subsequent interrupt — the property the resume path relies on.
+        """
+        validate_record(record)
+        self._ensure_loaded()
+        self._file.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._file, "a", encoding="utf-8") as handle:
+            if self._needs_newline:
+                # terminate a partial trailing record left by an interrupt
+                handle.write("\n")
+                self._needs_newline = False
+            handle.write(canonical_json(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        key = record["key"]
+        self._records[key] = dict(record)
+        return key

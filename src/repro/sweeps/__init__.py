@@ -1,0 +1,39 @@
+"""Declarative parameter sweeps over the experiment catalog.
+
+The sweep layer turns one-shot ``(seed, fast)`` experiment invocations
+into resumable grid studies: a :class:`SweepSpec` enumerates experiment
+ids × seeds × knob axes, :class:`Sweep` fans the grid out over worker
+processes (reusing the batch engine's task layer), and every completed
+point is persisted to a :class:`~repro.store.ResultStore` keyed by content
+hash — re-runs are cache hits, interrupted sweeps resume where they
+stopped, and :mod:`repro.sweeps.aggregate` joins the stored records into
+the comparison tables behind the paper's figures.
+
+>>> from repro.sweeps import Sweep, SweepSpec
+>>> from repro.store import ResultStore
+>>> spec = SweepSpec(experiments=["a4", "a5"], seeds=[0, 1])
+>>> sweep = Sweep(spec, ResultStore("results"))      # doctest: +SKIP
+>>> report = sweep.run(n_procs=2)                    # doctest: +SKIP
+>>> report.summary()                                 # doctest: +SKIP
+'sweep: 4 points, 4 executed, 0 cached, 0 with failing claims'
+
+Command-line counterpart::
+
+    python -m repro.experiments sweep --grid grid.toml --out results/
+    python -m repro.experiments aggregate --store results/ --experiment a2
+"""
+
+from .aggregate import comparison_table, render_table, summary_table
+from .runner import Sweep, SweepReport
+from .spec import SweepPoint, SweepSpec, load_grid
+
+__all__ = [
+    "Sweep",
+    "SweepReport",
+    "SweepPoint",
+    "SweepSpec",
+    "load_grid",
+    "comparison_table",
+    "summary_table",
+    "render_table",
+]

@@ -1,0 +1,188 @@
+"""Sweep execution: cache-aware fan-out of grid points over processes.
+
+``Sweep(spec, store).run()`` partitions the grid into *cached* points
+(their key is already in the store — served instantly, nothing recomputed)
+and *pending* points, then executes the pending ones through the batch
+engine's shared process fan-out layer (:func:`repro.mc.batch.run_tasks`).
+Each completed point is appended to the store the moment it finishes, so a
+sweep killed mid-flight resumes exactly where it stopped: re-running the
+same command skips every point that reached disk.
+
+Inside each point the experiment runs with the sweep's
+:class:`~repro.experiments.base.EngineConfig` (``engine``/``n_jobs``)
+installed, mirroring the single-run CLI.  Point-level workers
+(``n_procs``) and chunk-level workers (``n_jobs``) compose; results are
+bit-identical for any combination because every point derives its
+randomness from its own ``(seed, fast, params)`` identity alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ModelError
+
+# the package import (not .registry directly) so worker processes register
+# the experiment modules before running their point
+from ..experiments import run_experiment
+from ..experiments.base import set_engine_config
+from ..mc.batch import run_tasks
+from ..store import ResultStore, make_record
+from .spec import SweepPoint, SweepSpec
+
+__all__ = ["Sweep", "SweepReport"]
+
+# one sweep-point task: everything a worker process needs, all picklable
+_PointTask = Tuple[str, int, bool, Tuple[Tuple[str, object], ...], str, int]
+
+
+def _execute_point(task: _PointTask) -> dict:
+    """Run one grid point and return its store record (worker kernel).
+
+    Module level so process pools can pickle it.  Installs the sweep's
+    engine configuration for the duration of the run — in a pool worker
+    that process-global state is private to the worker; on the serial path
+    the previous configuration is restored afterwards.
+    """
+    experiment_id, seed, fast, params, engine, n_jobs = task
+    previous = set_engine_config(engine=engine, n_jobs=n_jobs)
+    try:
+        result = run_experiment(
+            experiment_id, seed=seed, fast=fast, params=dict(params)
+        )
+    finally:
+        set_engine_config(engine=previous.engine, n_jobs=previous.n_jobs)
+    return make_record(
+        experiment_id,
+        seed=seed,
+        fast=fast,
+        params=dict(params),
+        result=result,
+        engine=engine,
+    )
+
+
+@dataclass
+class SweepReport:
+    """What one :meth:`Sweep.run` did, point by point."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    #: cache keys of points whose stored result has failing claims
+    failed_keys: List[str] = field(default_factory=list)
+    #: (point, "cached" | "executed") in completion order
+    outcomes: List[Tuple[SweepPoint, str]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True iff every point's claims held (cached points included)."""
+        return not self.failed_keys
+
+    def summary(self) -> str:
+        """One-line machine-greppable totals, used by the CLI and CI smoke."""
+        return (
+            f"sweep: {self.total} points, {self.executed} executed, "
+            f"{self.cached} cached, {len(self.failed_keys)} with failing "
+            "claims"
+        )
+
+
+class Sweep:
+    """A declarative grid bound to a result store and an engine config."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: ResultStore,
+        engine: str = "auto",
+        n_jobs: int = 1,
+    ) -> None:
+        if engine not in ("auto", "batch", "scalar"):
+            raise ModelError(
+                f"engine must be one of ('auto', 'batch', 'scalar'), got "
+                f"{engine!r}"
+            )
+        if n_jobs < 1:
+            raise ModelError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.spec = spec
+        self.store = store
+        self.engine = engine
+        self.n_jobs = n_jobs
+
+    def partition(self) -> Tuple[List[SweepPoint], List[SweepPoint]]:
+        """Split the grid into ``(cached, pending)`` against the store.
+
+        Only records carrying a result payload count as cache hits —
+        identity-only records (``make_record(..., result=None)``) mark a
+        point as known, not as computed, and are re-executed (the fresh
+        record shadows them last-wins).
+        """
+        cached: List[SweepPoint] = []
+        pending: List[SweepPoint] = []
+        for point in self.spec.points():
+            record = self.store.get(point.cache_key(engine=self.engine))
+            is_hit = record is not None and "result" in record
+            (cached if is_hit else pending).append(point)
+        return cached, pending
+
+    def run(
+        self,
+        n_procs: int = 1,
+        progress: Optional[Callable[[SweepPoint, str], None]] = None,
+    ) -> SweepReport:
+        """Execute the grid, serving completed points from the store.
+
+        Parameters
+        ----------
+        n_procs:
+            Worker processes across sweep *points* (each point may itself
+            shard replication chunks over ``n_jobs`` workers).
+        progress:
+            Optional ``(point, status)`` callback; status is ``"cached"``
+            or ``"executed"``, invoked in completion order.
+        """
+        if n_procs < 1:
+            raise ModelError(f"n_procs must be >= 1, got {n_procs}")
+        cached, pending = self.partition()
+        report = SweepReport(total=len(cached) + len(pending), cached=len(cached))
+        for point in cached:
+            key = point.cache_key(engine=self.engine)
+            record = self.store.get(key)
+            if not record["result"]["passed"]:
+                report.failed_keys.append(key)
+            report.outcomes.append((point, "cached"))
+            if progress is not None:
+                progress(point, "cached")
+        if not pending:
+            return report
+        tasks = [
+            (
+                point.experiment_id,
+                point.seed,
+                point.fast,
+                point.params,
+                self.engine,
+                self.n_jobs,
+            )
+            for point in pending
+        ]
+        point_by_key = {
+            point.cache_key(engine=self.engine): point for point in pending
+        }
+
+        def persist(record: dict) -> None:
+            # invoked in completion order (out of task order when
+            # n_procs > 1), so the point is recovered from the record key
+            point = point_by_key[record["key"]]
+            self.store.put(record)
+            report.executed += 1
+            if not record["result"]["passed"]:
+                report.failed_keys.append(record["key"])
+            report.outcomes.append((point, "executed"))
+            if progress is not None:
+                progress(point, "executed")
+
+        run_tasks(_execute_point, tasks, n_procs, on_result=persist)
+        return report

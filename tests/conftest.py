@@ -12,6 +12,16 @@ from repro.testing import EnumerableSuiteGenerator, OperationalSuiteGenerator, T
 from repro.versions import Version
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden experiment snapshots "
+        "(tests/experiments/golden/) instead of asserting against them",
+    )
+
+
 @pytest.fixture
 def space() -> DemandSpace:
     """A small demand space shared by most unit tests."""

@@ -1,6 +1,4 @@
-"""Tests for the python -m repro.experiments CLI."""
-
-import pytest
+"""Tests for the python -m repro.experiments CLI (default run path)."""
 
 from repro.experiments.__main__ import main
 
@@ -21,19 +19,18 @@ class TestCli:
         assert "experiment  claims" in captured.out
         assert captured.out.count("PASS") == 2
 
-    def test_unknown_id_raises_up_front_with_suggestion(self):
-        from repro.errors import ModelError
-
+    def test_unknown_id_fails_up_front_with_suggestion(self, capsys):
         # validation happens before any experiment runs, and close typos
-        # get a "did you mean" hint
-        with pytest.raises(ModelError, match="did you mean.*e12"):
-            main(["e21", "a5"])
+        # get a "did you mean" hint; usage errors exit 2 (not a traceback)
+        assert main(["e21", "a5"]) == 2
+        captured = capsys.readouterr()
+        assert "did you mean" in captured.err
+        assert "e12" in captured.err
+        assert "a5" not in captured.out  # nothing ran
 
-    def test_unknown_id_without_close_match_lists_known(self):
-        from repro.errors import ModelError
-
-        with pytest.raises(ModelError, match="Known ids"):
-            main(["nope"])
+    def test_unknown_id_without_close_match_lists_known(self, capsys):
+        assert main(["nope"]) == 2
+        assert "Known ids" in capsys.readouterr().err
 
     def test_seed_changes_tables_not_verdicts(self, capsys):
         assert main(["a5", "--seed", "3", "--summary-only"]) == 0

@@ -1,0 +1,142 @@
+"""Exit-code and error-path tests for the sweep/aggregate CLI subcommands.
+
+Contract: 0 — success, 1 — experiments ran but claims failed, 2 — usage
+error (bad grid file, unknown id, missing store).  Usage errors print to
+stderr and never run an experiment.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.store import ResultStore
+
+GRID = """
+[sweep]
+experiments = ["a4", "a5"]
+seeds = [0, 1]
+"""
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    path = tmp_path / "grid.toml"
+    path.write_text(GRID)
+    return path
+
+
+class TestSweepCli:
+    def test_sweep_runs_and_resumes(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "results"
+        argv = ["sweep", "--grid", str(grid_file), "--out", str(out)]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "sweep: 4 points, 4 executed, 0 cached" in captured.out
+        # resume: everything served from the store
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "sweep: 4 points, 0 executed, 4 cached" in captured.out
+
+    def test_sweep_resume_after_interrupt(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "results"
+        argv = ["sweep", "--grid", str(grid_file), "--out", str(out)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # kill mid-append: drop the tail of the store file
+        store_file = out / "records.jsonl"
+        content = store_file.read_text()
+        store_file.write_text(content[: len(content) - 60])
+        with pytest.warns(UserWarning, match="skipping unreadable record"):
+            code = main(argv)
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "3 cached" in captured.out
+        assert "1 executed" in captured.out
+
+    def test_missing_grid_file_exits_2(self, tmp_path, capsys):
+        code = main(["sweep", "--grid", str(tmp_path / "absent.toml")])
+        assert code == 2
+        assert "grid file not found" in capsys.readouterr().err
+
+    def test_malformed_grid_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text("[sweep\noops")
+        assert main(["sweep", "--grid", str(path)]) == 2
+        assert "invalid TOML" in capsys.readouterr().err
+
+    def test_unknown_experiment_id_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "grid.toml"
+        path.write_text('[sweep]\nexperiments = ["zz99"]\n')
+        assert main(["sweep", "--grid", str(path)]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_knob_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "grid.toml"
+        path.write_text('[sweep]\nexperiments = ["a4"]\n[params]\nwarp = [1]\n')
+        assert main(["sweep", "--grid", str(path)]) == 2
+        assert "does not accept param" in capsys.readouterr().err
+
+    def test_dry_run_executes_nothing(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "results"
+        code = main(
+            ["sweep", "--grid", str(grid_file), "--out", str(out), "--dry-run"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "pending  a4 seed=0" in captured.out
+        assert "0 executed" in captured.out
+        assert not (out / "records.jsonl").exists()
+
+
+class TestAggregateCli:
+    @pytest.fixture
+    def store_dir(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(["sweep", "--grid", str(grid_file), "--out", str(out)]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_summary_text(self, store_dir, capsys):
+        assert main(["aggregate", "--store", str(store_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "experiment" in captured.out
+        assert captured.out.count("PASS") == 4
+
+    def test_comparison_json_to_file(self, store_dir, tmp_path, capsys):
+        out_file = tmp_path / "a5.json"
+        code = main(
+            [
+                "aggregate",
+                "--store",
+                str(store_dir),
+                "--experiment",
+                "a5",
+                "--format",
+                "json",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        parsed = json.loads(out_file.read_text())
+        assert parsed["columns"][0] == "seed"
+        assert len(parsed["rows"]) > 0
+
+    def test_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["aggregate", "--store", str(tmp_path / "none")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_empty_store_exits_2(self, tmp_path, capsys):
+        store = ResultStore(tmp_path / "empty")
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.touch()
+        assert main(["aggregate", "--store", str(tmp_path / "empty")]) == 2
+        assert "no records to aggregate" in capsys.readouterr().err
+
+    def test_unknown_experiment_in_store_exits_2(self, store_dir, capsys):
+        code = main(
+            ["aggregate", "--store", str(store_dir), "--experiment", "e01"]
+        )
+        assert code == 2
+        assert "no records for 'e01'" in capsys.readouterr().err

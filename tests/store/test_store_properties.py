@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the result store.
+
+Two families of guarantees:
+
+* **round-trip** — any record built from any serializable
+  :class:`ExperimentResult` (non-finite floats, numpy scalars and all)
+  survives write → read identically, through both the payload codec and
+  the JSONL file;
+* **cache keys** — stable under param-dict insertion order, and distinct
+  whenever any identity component (id, seed, mode, a knob value, the
+  package version) differs.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.base import Claim, ExperimentResult, canonical_cell
+from repro.store import ResultStore, cache_key, canonical_json, make_record
+from repro.store.records import record_result
+
+# -- strategies -------------------------------------------------------------
+
+_names = st.text(
+    alphabet="abcdefghij_", min_size=1, max_size=10
+).filter(lambda s: not s.startswith("_"))
+
+_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+
+_param_values = st.one_of(_scalars, st.lists(_scalars, max_size=3))
+
+_params = st.dictionaries(_names, _param_values, max_size=4)
+
+# cells may additionally be non-finite floats and numpy scalars — exactly
+# the values experiment tables produce
+_cells = st.one_of(
+    _scalars,
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.sampled_from(
+        [np.float64(0.25), np.int64(7), np.bool_(True), np.float64("nan")]
+    ),
+    st.none(),
+)
+
+
+@st.composite
+def _results(draw) -> ExperimentResult:
+    width = draw(st.integers(min_value=1, max_value=4))
+    columns = [f"col{i}" for i in range(width)]
+    rows = draw(
+        st.lists(
+            st.lists(_cells, min_size=width, max_size=width), max_size=4
+        )
+    )
+    claims = draw(
+        st.lists(
+            st.builds(
+                Claim,
+                description=st.text(max_size=20),
+                holds=st.booleans(),
+                detail=st.text(max_size=20),
+            ),
+            max_size=3,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="a5",
+        title=draw(st.text(max_size=20)),
+        paper_reference=draw(st.text(max_size=20)),
+        columns=columns,
+        rows=rows,
+        claims=claims,
+        notes=draw(st.text(max_size=20)),
+    )
+
+
+# -- round-trip -------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(result=_results())
+def test_payload_roundtrip_identical(result):
+    payload = result.to_payload()
+    rebuilt = ExperimentResult.from_payload(payload)
+    # payload equality covers every cell bit-for-bit (NaN included: both
+    # sides canonicalize to the same tagged object)
+    assert rebuilt.to_payload() == payload
+    assert rebuilt.claims == list(result.claims)
+
+
+@settings(max_examples=25, deadline=None)
+@given(result=_results(), params=_params, seed=st.integers(0, 2**31 - 1))
+def test_store_write_read_identical_record(result, params, seed):
+    record = make_record(
+        "a5", seed=seed, fast=True, params=params, result=result
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+        store.put(record)
+        reread = ResultStore(tmp)
+        assert reread.get(record["key"]) == record
+        rebuilt = record_result(reread.get(record["key"]))
+        assert rebuilt.to_payload() == result.to_payload()
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.floats(allow_nan=True, allow_infinity=True))
+def test_float_cells_roundtrip_exactly(value):
+    encoded = canonical_cell(value)
+    decoded = ExperimentResult.from_payload(
+        {
+            "experiment_id": "a5",
+            "title": "",
+            "paper_reference": "",
+            "columns": ["v"],
+            "rows": [[encoded]],
+            "claims": [],
+        }
+    ).rows[0][0]
+    if math.isnan(value):
+        assert math.isnan(decoded)
+    else:
+        assert decoded == value
+        # repr-stability: canonical JSON of the same float is identical
+        assert canonical_json(encoded) == canonical_json(canonical_cell(value))
+
+
+# -- cache keys -------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_params, seed=st.integers(0, 2**31 - 1), fast=st.booleans())
+def test_cache_key_ignores_param_insertion_order(params, seed, fast):
+    shuffled = dict(reversed(list(params.items())))
+    assert cache_key("e01", seed, fast, params) == cache_key(
+        "e01", seed, fast, shuffled
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_params, seed=st.integers(0, 2**30 - 1), fast=st.booleans())
+def test_cache_key_unique_across_identity_changes(params, seed, fast):
+    key = cache_key("e01", seed, fast, params)
+    assert cache_key("e02", seed, fast, params) != key
+    assert cache_key("e01", seed + 1, fast, params) != key
+    assert cache_key("e01", seed, not fast, params) != key
+    assert cache_key("e01", seed, fast, params, version="0.0.0-other") != key
+    # "zz" cannot be generated by the name alphabet, so this always adds
+    # a genuinely new axis
+    assert cache_key("e01", seed, fast, {**params, "zz": 1}) != key
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=_params, value=_param_values)
+def test_cache_key_sensitive_to_param_values(params, value):
+    base = {**params, "knob": canonical_cell(value)}
+    changed = {**params, "knob": [canonical_cell(value), "sentinel"]}
+    assert cache_key("e01", 0, True, base) != cache_key("e01", 0, True, changed)
+
+
+def test_cache_key_is_hex_sha256():
+    key = cache_key("a5", 0, True)
+    assert len(key) == 64
+    int(key, 16)  # raises if not hex

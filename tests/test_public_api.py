@@ -31,6 +31,8 @@ class TestExports:
             "repro.growth",
             "repro.extensions",
             "repro.experiments",
+            "repro.store",
+            "repro.sweeps",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Regenerate the golden experiment snapshots under tests/experiments/golden/.
+
+The golden suite (``tests/experiments/test_golden.py``) locks every
+registered experiment's fast-mode, seed-0 output — claim verdicts, result
+tables, notes — against these checked-in JSON snapshots, so a refactor
+that changes any reproduced number fails loudly.  When a change is
+*intended*, regenerate from the repository root::
+
+    PYTHONPATH=src python tools/update_golden.py            # all ids
+    PYTHONPATH=src python tools/update_golden.py e07 a2     # selected ids
+
+(equivalently: ``pytest tests/experiments/test_golden.py --update-golden``)
+and commit the diff — the diff *is* the review artifact: every changed
+number is visible to the reviewer.
+
+Snapshots are ``ExperimentResult.to_payload()`` serialized with sorted
+keys and repr-stable floats, so regeneration on any platform produces
+byte-identical files for identical results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+GOLDEN_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tests"
+    / "experiments"
+    / "golden"
+)
+
+#: run configuration the snapshots are pinned to; test_golden.py imports
+#: these (by file path), so tool and test cannot drift apart
+GOLDEN_SEED = 0
+GOLDEN_FAST = True
+
+
+def snapshot_path(experiment_id: str) -> pathlib.Path:
+    """The checked-in snapshot file for one experiment id."""
+    return GOLDEN_DIR / f"{experiment_id}.json"
+
+
+def render_snapshot(payload: dict) -> str:
+    """Snapshot file content for a result payload (stable key order)."""
+    return json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+
+
+def update(experiment_ids) -> int:
+    from repro.experiments import run_experiment
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for experiment_id in experiment_ids:
+        result = run_experiment(experiment_id, seed=GOLDEN_SEED, fast=GOLDEN_FAST)
+        path = snapshot_path(experiment_id)
+        content = render_snapshot(result.to_payload())
+        changed = not path.exists() or path.read_text() != content
+        path.write_text(content)
+        status = "updated" if changed else "unchanged"
+        verdict = "PASS" if result.passed else "FAIL"
+        print(f"{status:<9} {path.relative_to(GOLDEN_DIR.parent.parent.parent)}"
+              f"  ({verdict}, {len(result.claims)} claims)")
+    return 0
+
+
+def main(argv=None) -> int:
+    from repro.errors import ModelError
+    from repro.experiments import all_experiment_ids
+
+    parser = argparse.ArgumentParser(
+        description="Regenerate golden experiment snapshots."
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to regenerate (default: every registered id)",
+    )
+    args = parser.parse_args(argv)
+    known = all_experiment_ids()
+    unknown = [eid for eid in args.ids if eid not in known]
+    if unknown:
+        raise ModelError(
+            f"unknown experiment id(s): {unknown}; known: {', '.join(known)}"
+        )
+    stale = sorted(
+        path.stem
+        for path in GOLDEN_DIR.glob("*.json")
+        if path.stem not in known
+    )
+    if stale and not args.ids:
+        for experiment_id in stale:
+            snapshot_path(experiment_id).unlink()
+            print(f"removed   stale snapshot {experiment_id}.json")
+    return update(args.ids or known)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
