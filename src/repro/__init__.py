@@ -104,6 +104,7 @@ from .core import (
     joint_failure_probability,
     marginal_system_pfd,
 )
+from .adaptive import AdaptiveReport, PrecisionTarget
 
 __all__ = [
     "__version__",
@@ -176,6 +177,9 @@ __all__ = [
     "OneOutOfTwoSystem",
     "joint_failure_probability",
     "marginal_system_pfd",
+    # adaptive precision engine
+    "AdaptiveReport",
+    "PrecisionTarget",
     "BoundsReport",
     "imperfect_testing_bounds",
 ]

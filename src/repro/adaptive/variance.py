@@ -1,0 +1,432 @@
+"""Variance-reduction kernels for the adaptive controller.
+
+Each kernel runs one chunk of replications of the paper's generative story
+on the batch engine's matrix primitives and reduces it to the mergeable
+per-stratum bivariate moments of
+:mod:`repro.adaptive.accumulators` — the shape every variance-reduction
+technique here can be expressed in:
+
+* ``"none"`` — plain sampling: one stratum, no control value;
+* ``"stratified"`` — the chunk is *post-stratified* on the replication's
+  initial fault count (pair total for two-channel metrics), whose exact
+  Poisson-binomial distribution :func:`fault_count_pmf` computes from the
+  population itself, so the between-strata variance component is removed
+  with exact weights;
+* ``"control"`` — each replication also records a control value whose
+  exact mean the analytic layer knows (the *untested* pfd of the same
+  drawn versions — ``E[Θ]`` via ``population.difficulty()`` /
+  ``profile.expectation``), enabling the regression control-variate
+  estimator at reduction time;
+* ``"stratified+control"`` — both, with a common β chosen to minimise the
+  stratified variance;
+* ``"antithetic"`` — replications are drawn in negatively-coupled pairs
+  (fault-presence and suite-demand uniforms ``u`` / ``1 − u``), and each
+  pair's average is one observation.
+
+``"auto"`` resolves per sampler to the strongest technique its model
+supports (:func:`resolve_vr`): ``stratified+control`` when the population
+exposes an exact fault-count pmf, else ``control`` (the untested anchor is
+always computable), falling back to ``none`` only for metrics with no
+analytic anchor at all.  Antithetic pairing is never auto-selected — it is
+incompatible with stratification (a pair straddles strata) and exists as
+an explicitly-requested alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ModelError, NotEnumerableError
+from ..populations import BernoulliFaultPopulation, VersionPopulation
+from ..rng import as_generator, inverse_cdf_indices, spawn_many
+from ..testing import OperationalSuiteGenerator
+from .accumulators import BivariateMoments, moments_of
+from .targets import VR_MODES
+
+__all__ = [
+    "fault_count_pmf",
+    "pair_fault_count_pmf",
+    "resolve_vr",
+]
+
+#: stratum key used by non-stratified kernels
+POOLED = 0
+
+
+def fault_count_pmf(population: VersionPopulation) -> Optional[Dict[int, float]]:
+    """Exact pmf of a version's fault count, when the population allows it.
+
+    For a :class:`~repro.populations.BernoulliFaultPopulation` the count is
+    Poisson-binomial in the per-fault presence probabilities; the standard
+    O(F²) convolution DP computes it exactly.  Populations that support
+    exact enumeration are handled through it; anything else returns
+    ``None`` (no stratification available).
+    """
+    if isinstance(population, BernoulliFaultPopulation):
+        pmf = np.array([1.0])
+        for p in population.presence_probs:
+            extended = np.zeros(pmf.size + 1)
+            extended[: pmf.size] += pmf * (1.0 - p)
+            extended[1:] += pmf * p
+            pmf = extended
+        return {k: float(mass) for k, mass in enumerate(pmf)}
+    try:
+        pairs = list(population.enumerate())
+    except NotEnumerableError:
+        # the documented "no exact enumeration" signal; any other
+        # exception is a genuine bug and must propagate
+        return None
+    pmf_map: Dict[int, float] = {}
+    for version, probability in pairs:
+        k = int(version.n_faults)
+        pmf_map[k] = pmf_map.get(k, 0.0) + float(probability)
+    return pmf_map
+
+
+def pair_fault_count_pmf(
+    population_a: VersionPopulation, population_b: VersionPopulation
+) -> Optional[Dict[int, float]]:
+    """Exact pmf of the *pair* fault count ``K_A + K_B`` (independent draws)."""
+    pmf_a = fault_count_pmf(population_a)
+    pmf_b = fault_count_pmf(population_b)
+    if pmf_a is None or pmf_b is None:
+        return None
+    out: Dict[int, float] = {}
+    for ka, pa in pmf_a.items():
+        for kb, pb in pmf_b.items():
+            out[ka + kb] = out.get(ka + kb, 0.0) + pa * pb
+    return out
+
+
+def resolve_vr(
+    vr: str,
+    has_strata: bool,
+    has_anchor: bool,
+    antithetic_ok: bool = False,
+) -> str:
+    """Resolve the ``vr`` knob to a concrete technique for one sampler.
+
+    ``"auto"`` picks the strongest supported combination; an *explicit*
+    request for an unsupported technique raises, so a grid that asks for
+    stratification on a population without an exact fault-count pmf fails
+    loudly instead of silently measuring something else.
+    """
+    if vr not in VR_MODES:
+        raise ModelError(f"vr must be one of {VR_MODES}, got {vr!r}")
+    if vr == "auto":
+        if has_strata and has_anchor:
+            return "stratified+control"
+        if has_anchor:
+            return "control"
+        if has_strata:
+            return "stratified"
+        return "none"
+    if vr in ("stratified", "stratified+control") and not has_strata:
+        raise ModelError(
+            f"vr={vr!r} needs an exact fault-count pmf, which this "
+            "population does not expose; use vr='control' or vr='none'"
+        )
+    if vr in ("control", "stratified+control") and not has_anchor:
+        raise ModelError(
+            f"vr={vr!r} needs an analytic control anchor, which this "
+            "metric does not define; use vr='none'"
+        )
+    if vr == "antithetic" and not antithetic_ok:
+        raise ModelError(
+            "vr='antithetic' is only available for single-version metrics "
+            "over Bernoulli populations with operational suite generation"
+        )
+    return vr
+
+
+def _stratify(
+    values: np.ndarray,
+    controls: Optional[np.ndarray],
+    strata: Optional[np.ndarray],
+) -> Dict[int, BivariateMoments]:
+    """Reduce a chunk's observations to per-stratum bivariate moments."""
+    if strata is None:
+        return {POOLED: moments_of(values, controls)}
+    payload: Dict[int, BivariateMoments] = {}
+    for stratum in np.unique(strata):
+        selector = strata == stratum
+        payload[int(stratum)] = moments_of(
+            values[selector],
+            None if controls is None else controls[selector],
+        )
+    return payload
+
+
+def _wants_control(vr: str) -> bool:
+    return vr in ("control", "stratified+control")
+
+
+def _wants_strata(vr: str) -> bool:
+    return vr in ("stratified", "stratified+control")
+
+
+def _antithetic_suite_blocks(
+    generator: OperationalSuiteGenerator, n_pairs: int, rng
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A coupled pair of suite occurrence-count blocks (``u`` vs ``1 − u``)."""
+    space_size = generator.space.size
+    cdf = np.cumsum(generator.profile.probabilities)
+    uniforms = as_generator(rng).random((n_pairs, generator.size))
+    counts = []
+    for block in (uniforms, 1.0 - uniforms):
+        demands = inverse_cdf_indices(cdf, None, uniforms=block)
+        rows = np.repeat(np.arange(n_pairs), generator.size)
+        flat = np.bincount(
+            rows * space_size + demands.reshape(-1),
+            minlength=n_pairs * space_size,
+        )
+        counts.append(flat.reshape(n_pairs, space_size))
+    return counts[0], counts[1]
+
+
+def _antithetic_fault_blocks(
+    population: BernoulliFaultPopulation, n_pairs: int, rng
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A coupled pair of fault-matrix blocks (``u < p`` vs ``1 − u < p``)."""
+    probs = population.presence_probs
+    uniforms = as_generator(rng).random((n_pairs, probs.size))
+    return uniforms < probs, (1.0 - uniforms) < probs
+
+
+# ---------------------------------------------------------------------------
+# chunk kernels — module level so process pools can pickle them
+# ---------------------------------------------------------------------------
+
+
+def version_pfd_chunk(
+    population: VersionPopulation,
+    generator,
+    profile,
+    plan: tuple,
+    vr: str,
+    task: Tuple[int, int, int],
+) -> Tuple[int, int, Dict[int, BivariateMoments]]:
+    """One chunk of post-test version-pfd replications.
+
+    ``task`` is ``(index, count, seed)``; returns ``(index, replications,
+    payload)``.  ``y`` is the tested version's pfd, ``c`` the same drawn
+    version's *untested* pfd (exact mean ``E_Q[θ]``), the stratum its
+    initial fault count.
+    """
+    from ..mc.batch import _apply_plan_batch, _plan_needs_counts
+
+    index, count, seed = task
+    universe = population.universe
+    if vr == "antithetic":
+        # the controller dispatches whole pairs; round a stray odd count
+        # up so the reported replications always equal the work done
+        n_pairs = max((count + 1) // 2, 1)
+        streams = spawn_many(as_generator(seed), 3)
+        faults_a, faults_b = _antithetic_fault_blocks(
+            population, n_pairs, streams[0]
+        )
+        counts_a, counts_b = _antithetic_suite_blocks(
+            generator, n_pairs, streams[1]
+        )
+        if _plan_needs_counts(plan):
+            test_a, test_b = spawn_many(streams[2], 2)
+            tested_a = _apply_plan_batch(plan, faults_a, counts_a, universe, test_a)
+            tested_b = _apply_plan_batch(plan, faults_b, counts_b, universe, test_b)
+        else:
+            tested_a = _apply_plan_batch(plan, faults_a, counts_a > 0, universe)
+            tested_b = _apply_plan_batch(plan, faults_b, counts_b > 0, universe)
+        y_a = universe.failure_matrix(tested_a) @ profile.probabilities
+        y_b = universe.failure_matrix(tested_b) @ profile.probabilities
+        values = 0.5 * (y_a + y_b)
+        return index, 2 * n_pairs, _stratify(values, None, None)
+    streams = spawn_many(as_generator(seed), 3)
+    faults = population.sample_fault_matrix(count, streams[0])
+    if _plan_needs_counts(plan):
+        suite_block = generator.sample_demand_counts(count, streams[1])
+    else:
+        suite_block = generator.sample_demand_masks(count, streams[1])
+    tested = _apply_plan_batch(plan, faults, suite_block, universe, streams[2])
+    values = universe.failure_matrix(tested) @ profile.probabilities
+    controls = (
+        universe.failure_matrix(faults) @ profile.probabilities
+        if _wants_control(vr)
+        else None
+    )
+    strata = faults.sum(axis=1) if _wants_strata(vr) else None
+    return index, count, _stratify(values, controls, strata)
+
+
+def untested_joint_pfd_chunk(
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    profile,
+    vr: str,
+    task: Tuple[int, int, int],
+) -> Tuple[int, int, Dict[int, BivariateMoments]]:
+    """One chunk of untested joint-pfd replications — the eq. (6) estimand.
+
+    ``y`` is the Rao-Blackwellised joint failure mass ``Q(A ∩ B)`` of an
+    independently drawn version pair; ``c`` the pair's average *marginal*
+    pfd (exact mean ``(E[Θ_A] + E[Θ_B]) / 2``); the stratum the pair's
+    total fault count.
+    """
+    index, count, seed = task
+    stream_a, stream_b = spawn_many(as_generator(seed), 2)
+    faults_a = population_a.sample_fault_matrix(count, stream_a)
+    faults_b = population_b.sample_fault_matrix(count, stream_b)
+    fail_a = population_a.universe.failure_matrix(faults_a)
+    fail_b = population_b.universe.failure_matrix(faults_b)
+    values = (fail_a & fail_b) @ profile.probabilities
+    controls = (
+        0.5
+        * (fail_a @ profile.probabilities + fail_b @ profile.probabilities)
+        if _wants_control(vr)
+        else None
+    )
+    strata = (
+        faults_a.sum(axis=1) + faults_b.sum(axis=1)
+        if _wants_strata(vr)
+        else None
+    )
+    return index, count, _stratify(values, controls, strata)
+
+
+def marginal_system_pfd_chunk(
+    regime,
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    profile,
+    plan: tuple,
+    vr: str,
+    task: Tuple[int, int, int],
+) -> Tuple[int, int, Dict[int, BivariateMoments]]:
+    """One chunk of tested 1-out-of-2 system-pfd replications.
+
+    The adaptive counterpart of the batch engine's eqs. (22)–(25) kernel
+    (always Rao-Blackwellised): ``y`` is the post-test joint failure mass,
+    ``c`` the *untested* joint failure mass of the same drawn pair (exact
+    mean ``E_Q[θ_A θ_B]``), the stratum the pair's total fault count.
+    """
+    from ..mc.batch import _apply_plan_batch, _plan_needs_counts
+
+    index, count, seed = task
+    universe_a = population_a.universe
+    universe_b = population_b.universe
+    if _plan_needs_counts(plan):
+        streams = spawn_many(as_generator(seed), 5)
+        faults_a = population_a.sample_fault_matrix(count, streams[0])
+        faults_b = population_b.sample_fault_matrix(count, streams[1])
+        counts_a, counts_b = regime.draw_suite_counts(count, streams[2])
+        tested_a = _apply_plan_batch(plan, faults_a, counts_a, universe_a, streams[3])
+        tested_b = _apply_plan_batch(plan, faults_b, counts_b, universe_b, streams[4])
+    else:
+        streams = spawn_many(as_generator(seed), 3)
+        faults_a = population_a.sample_fault_matrix(count, streams[0])
+        faults_b = population_b.sample_fault_matrix(count, streams[1])
+        masks_a, masks_b = regime.draw_suite_masks(count, streams[2])
+        tested_a = _apply_plan_batch(plan, faults_a, masks_a, universe_a)
+        tested_b = _apply_plan_batch(plan, faults_b, masks_b, universe_b)
+    joint = universe_a.failure_matrix(tested_a) & universe_b.failure_matrix(
+        tested_b
+    )
+    values = joint @ profile.probabilities
+    controls = None
+    if _wants_control(vr):
+        untested = universe_a.failure_matrix(
+            faults_a
+        ) & universe_b.failure_matrix(faults_b)
+        controls = untested @ profile.probabilities
+    strata = (
+        faults_a.sum(axis=1) + faults_b.sum(axis=1)
+        if _wants_strata(vr)
+        else None
+    )
+    return index, count, _stratify(values, controls, strata)
+
+
+def campaign_pfd_chunk(
+    campaign,
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    profile,
+    vr: str,
+    task: Tuple[int, int, int],
+) -> Tuple[int, int, Dict[int, BivariateMoments]]:
+    """One chunk of whole-campaign final-system-pfd replications.
+
+    ``y`` is the delivered system's pfd after every campaign activity ran
+    on the fault-matrix blocks (mirroring
+    :meth:`repro.extensions.DevelopmentCampaign.mean_final_system_pfd`'s
+    randomness structure); ``c`` the *untested* joint pfd of the same
+    drawn pair (exact mean ``E_Q[θ_A θ_B]``); the stratum the pair's total
+    fault count.
+    """
+    index, count, seed = task
+    streams = spawn_many(as_generator(seed), 3)
+    faults_a = population_a.sample_fault_matrix(count, streams[0])
+    faults_b = population_b.sample_fault_matrix(count, streams[1])
+    universe_a = population_a.universe
+    universe_b = population_b.universe
+    controls = None
+    if _wants_control(vr):
+        untested = universe_a.failure_matrix(
+            faults_a
+        ) & universe_b.failure_matrix(faults_b)
+        controls = untested @ profile.probabilities
+    strata = (
+        faults_a.sum(axis=1) + faults_b.sum(axis=1)
+        if _wants_strata(vr)
+        else None
+    )
+    evolved_a, evolved_b = faults_a, faults_b
+    activity_streams = spawn_many(streams[2], len(campaign.activities))
+    for activity, stream in zip(campaign.activities, activity_streams):
+        evolved_a, evolved_b = activity.apply_batch(
+            evolved_a, evolved_b, universe_a, universe_b, stream
+        )
+    joint = universe_a.failure_matrix(evolved_a) & universe_b.failure_matrix(
+        evolved_b
+    )
+    values = joint @ profile.probabilities
+    return index, count, _stratify(values, controls, strata)
+
+
+def untested_joint_on_demand_chunk(
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    demand: int,
+    task: Tuple[int, int, int],
+) -> Tuple[int, int, Tuple[int, int]]:
+    """One chunk of *untested* joint-on-demand Bernoulli replications."""
+    from ..mc.batch import _chunk_untested_joint
+
+    index, count, seed = task
+    successes, total = _chunk_untested_joint(
+        population_a, population_b, demand, (count, seed)
+    )
+    return index, total, (successes, total)
+
+
+def joint_on_demand_chunk(
+    regime,
+    population_a: VersionPopulation,
+    population_b: VersionPopulation,
+    demand: int,
+    plan: tuple,
+    task: Tuple[int, int, int],
+) -> Tuple[int, int, Tuple[int, int]]:
+    """One chunk of tested joint-on-demand Bernoulli replications.
+
+    Proportion metrics accumulate exact integer ``(successes, count)``
+    pairs; no variance-reduction transform applies (the Wilson interval
+    is already the robust choice near zero).
+    """
+    from ..mc.batch import _chunk_tested_joint
+
+    index, count, seed = task
+    successes, total = _chunk_tested_joint(
+        regime, population_a, population_b, demand, plan, (count, seed)
+    )
+    return index, total, (successes, total)

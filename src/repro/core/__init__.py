@@ -31,7 +31,9 @@ from .bounds import (
     BoundsReport,
     back_to_back_envelope,
     imperfect_system_bounds,
+    imperfect_system_envelope,
     imperfect_testing_bounds,
+    imperfect_version_envelope,
 )
 from .systems import OneOutOfNSystem, OneOutOfTwoSystem
 
@@ -55,6 +57,8 @@ __all__ = [
     "BackToBackEnvelope",
     "imperfect_testing_bounds",
     "imperfect_system_bounds",
+    "imperfect_version_envelope",
+    "imperfect_system_envelope",
     "back_to_back_envelope",
     "OneOutOfTwoSystem",
     "OneOutOfNSystem",

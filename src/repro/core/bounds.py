@@ -52,6 +52,8 @@ from .tested import TestedPopulationView
 
 __all__ = [
     "BoundsReport",
+    "imperfect_version_envelope",
+    "imperfect_system_envelope",
     "imperfect_testing_bounds",
     "imperfect_system_bounds",
     "BackToBackEnvelope",
@@ -100,6 +102,57 @@ class BoundsReport:
         return self.upper - self.lower
 
 
+def imperfect_version_envelope(
+    population: VersionPopulation,
+    generator: SuiteGenerator,
+    profile: UsageProfile,
+    n_suites: int = _DEFAULT_SUITE_SAMPLES,
+    rng: SeedLike = None,
+) -> tuple:
+    """The §4.1 version-level envelope ``(perfect, untested)``.
+
+    The analytic bracket every imperfect-testing measurement must respect:
+    lower bound ``E_Q[ζ(X)]`` (perfect testing, via the tested-population
+    view's suite sample), upper bound ``E_Q[θ(X)]`` (no testing, exact).
+    Shared by :func:`imperfect_testing_bounds` and the adaptive
+    measurement path, so the two can never disagree on the envelope.
+    """
+    population.space.require_same(profile.space)
+    view = TestedPopulationView(population, generator)
+    lower = view.marginal_pfd(profile, n_suites=n_suites, rng=rng)
+    return lower, population.pfd(profile)
+
+
+def imperfect_system_envelope(
+    regime: TestingRegime,
+    population_a: VersionPopulation,
+    profile: UsageProfile,
+    population_b: VersionPopulation | None = None,
+    n_suites: int = _DEFAULT_SUITE_SAMPLES,
+    rng: SeedLike = None,
+) -> tuple:
+    """The §4.1 system-level envelope ``(perfect, untested)``.
+
+    Lower bound: the regime's perfect-testing 1-out-of-2 system pfd
+    (eqs. (22)–(25)); upper bound: the untested system pfd
+    ``E_Q[θ_A θ_B]`` (exact).  Shared by :func:`imperfect_system_bounds`
+    and the adaptive measurement path.
+    """
+    population_b = population_b if population_b is not None else population_a
+    population_a.space.require_same(profile.space)
+    lower = marginal_system_pfd(
+        regime,
+        population_a,
+        profile,
+        population_b,
+        n_suites=n_suites,
+        rng=rng,
+    ).system_pfd
+    theta_a = population_a.difficulty()
+    theta_b = population_b.difficulty()
+    return lower, profile.expectation(theta_a * theta_b)
+
+
 def imperfect_testing_bounds(
     population: VersionPopulation,
     generator: SuiteGenerator,
@@ -129,9 +182,9 @@ def imperfect_testing_bounds(
     rng = as_generator(rng)
     bound_stream, sim_stream = spawn_many(rng, 2)
 
-    view = TestedPopulationView(population, generator)
-    lower = view.marginal_pfd(profile, n_suites=n_suites, rng=bound_stream)
-    upper = population.pfd(profile)
+    lower, upper = imperfect_version_envelope(
+        population, generator, profile, n_suites=n_suites, rng=bound_stream
+    )
 
     measured = simulate_version_pfd(
         population,
@@ -185,17 +238,14 @@ def imperfect_system_bounds(
     rng = as_generator(rng)
     bound_stream, sim_stream = spawn_many(rng, 2)
 
-    lower = marginal_system_pfd(
+    lower, upper = imperfect_system_envelope(
         regime,
         population_a,
         profile,
         population_b,
         n_suites=n_suites,
         rng=bound_stream,
-    ).system_pfd
-    theta_a = population_a.difficulty()
-    theta_b = population_b.difficulty()
-    upper = profile.expectation(theta_a * theta_b)
+    )
 
     measured = simulate_marginal(
         regime,

@@ -16,6 +16,13 @@ The catalog of experiment ids, the paper claim each one reproduces, its
 knobs and expected runtimes live in ``docs/experiments.md``; the grid file
 format, cache-key definition and resume semantics in ``docs/sweeps.md``.
 
+Experiments with a ``precision`` knob (e.g. ``e01``, ``e11``, ``x3``) can
+run under the adaptive precision engine instead of a fixed replication
+count: ``--target-rel-hw 0.05`` (and/or ``--target-abs-hw``) sets the
+confidence-interval half-width each metric must reach, ``--budget`` caps
+the replications, ``--vr`` picks the variance-reduction technique.  See
+``docs/adaptive.md``.
+
 Exit codes: 0 — success, every claim held; 1 — experiments ran but some
 claim failed; 2 — usage error (unknown id, bad grid file, missing store).
 """
@@ -85,6 +92,71 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_precision_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target-rel-hw",
+        type=float,
+        metavar="R",
+        help="adaptive precision: stop each metric when its CI half-width "
+        "is at most R times its scale (replaces the fixed replication "
+        "count on experiments with a 'precision' knob; see "
+        "docs/adaptive.md)",
+    )
+    parser.add_argument(
+        "--target-abs-hw",
+        type=float,
+        metavar="W",
+        help="adaptive precision: stop each metric when its CI half-width "
+        "is at most W (combinable with --target-rel-hw; meeting either "
+        "stops)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        metavar="N",
+        help="adaptive precision: hard replication cap per metric "
+        "(default: the experiment's full-mode count)",
+    )
+    parser.add_argument(
+        "--vr",
+        choices=(
+            "auto",
+            "none",
+            "antithetic",
+            "stratified",
+            "control",
+            "stratified+control",
+        ),
+        default="auto",
+        help="variance-reduction technique for adaptive runs (default "
+        "'auto': the strongest the model supports)",
+    )
+
+
+def _precision_params(args) -> dict | None:
+    """The CLI's precision flags as a runner-knob mapping (or None)."""
+    if args.target_rel_hw is None and args.target_abs_hw is None:
+        if args.budget is not None:
+            raise ModelError(
+                "--budget needs --target-rel-hw and/or --target-abs-hw"
+            )
+        if args.vr != "auto":
+            raise ModelError(
+                "--vr needs --target-rel-hw and/or --target-abs-hw "
+                "(variance reduction only applies to adaptive runs)"
+            )
+        return None
+    precision: dict = {}
+    if args.target_rel_hw is not None:
+        precision["rel_hw"] = args.target_rel_hw
+    if args.target_abs_hw is not None:
+        precision["abs_hw"] = args.target_abs_hw
+    if args.budget is not None:
+        precision["budget"] = args.budget
+    precision["vr"] = args.vr
+    return precision
+
+
 def run_main(argv: List[str]) -> int:
     """The default (no-subcommand) experiment runner."""
     parser = argparse.ArgumentParser(
@@ -111,16 +183,38 @@ def run_main(argv: List[str]) -> int:
         help="print only the one-line-per-experiment summary",
     )
     _add_engine_arguments(parser)
+    _add_precision_arguments(parser)
     args = parser.parse_args(argv)
 
     validate_ids(args.ids)
     ids = args.ids or all_experiment_ids()
+    precision = _precision_params(args)
+    adaptive_ids: set = set()
+    if precision is not None:
+        from .registry import runner_params
+
+        adaptive_ids = {
+            eid for eid in ids if "precision" in runner_params(eid)
+        }
+        skipped = [eid for eid in ids if eid not in adaptive_ids]
+        if skipped:
+            print(
+                f"note: no 'precision' knob on {', '.join(skipped)}; "
+                "running those fixed-n",
+                file=sys.stderr,
+            )
     previous = set_engine_config(engine=args.engine, n_jobs=args.n_jobs)
     try:
         results = []
         for experiment_id in ids:
+            params = (
+                {"precision": precision}
+                if experiment_id in adaptive_ids
+                else None
+            )
             result = run_experiment(
-                experiment_id, seed=args.seed, fast=not args.full
+                experiment_id, seed=args.seed, fast=not args.full,
+                params=params,
             )
             results.append(result)
             if not args.summary_only:
@@ -180,10 +274,15 @@ def sweep_main(argv: List[str]) -> int:
     if args.dry_run:
         cached, pending = sweep.partition()
         cached_keys = {point.cache_key(engine=args.engine) for point in cached}
-        for point in spec.points():
+        for point in sweep.effective_points():
             key = point.cache_key(engine=args.engine)
             status = "cached" if key in cached_keys else "pending"
             print(f"{status:<8} {point.label()}")
+        if spec.precision is not None and spec.precision.budget_total:
+            print(
+                "(Neyman allocation: listed points are the pilot pass; "
+                "final budgets depend on its results)"
+            )
         print(
             f"sweep: {len(cached) + len(pending)} points, 0 executed, "
             f"{len(cached)} cached (dry run; {len(pending)} pending)"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -17,6 +17,7 @@ __all__ = [
     "canonical_cell",
     "engine_config",
     "engine_kwargs",
+    "require_batch_engine",
     "set_engine_config",
 ]
 
@@ -75,10 +76,26 @@ def engine_kwargs() -> dict:
     return {"engine": _ENGINE_CONFIG.engine, "n_jobs": _ENGINE_CONFIG.n_jobs}
 
 
+def require_batch_engine(context: str) -> None:
+    """Reject a run-wide ``engine="scalar"`` for batch-only paths.
+
+    The adaptive precision engine rides the batch kernels exclusively; an
+    experiment honouring a ``precision`` knob calls this so an explicit
+    ``--engine scalar`` fails loudly instead of being silently bypassed —
+    the same contract the ``simulate_*`` drivers enforce for
+    ``precision=``.
+    """
+    if _ENGINE_CONFIG.engine == "scalar":
+        raise ModelError(
+            f"{context} runs on the batch kernels; drop --engine scalar "
+            "or the precision knob"
+        )
+
+
 # Non-finite floats are not valid JSON; canonical payloads spell them out
-# as a tagged one-key object — unambiguous because canonical_cell never
-# emits a dict for any other value — so every record stays loadable by any
-# strict JSON parser.
+# as a tagged one-key object — unambiguous because the tag key is reserved
+# (canonical mappings may not use it) — so every record stays loadable by
+# any strict JSON parser.
 _NONFINITE_TAG = "__nonfinite__"
 _NONFINITE = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
 
@@ -110,6 +127,20 @@ def canonical_cell(value: object):
         return [canonical_cell(item) for item in value.tolist()]
     if isinstance(value, (list, tuple)):
         return [canonical_cell(item) for item in value]
+    if isinstance(value, Mapping):
+        if _NONFINITE_TAG in value:
+            raise ModelError(
+                f"mapping key {_NONFINITE_TAG!r} is reserved for tagged "
+                "non-finite floats"
+            )
+        # key-sorted so the same mapping always produces the same insertion
+        # order (and therefore the same JSON bytes); string keys only, to
+        # stay within the JSON object model — precision targets and
+        # adaptive metadata are the motivating payloads
+        return {
+            str(key): canonical_cell(value[key])
+            for key in sorted(value, key=str)
+        }
     raise ModelError(
         f"cannot serialize cell of type {type(value).__name__}: {value!r}"
     )
@@ -124,6 +155,8 @@ def _decode_cell(value: object):
         and value[_NONFINITE_TAG] in _NONFINITE
     ):
         return _NONFINITE[value[_NONFINITE_TAG]]
+    if isinstance(value, dict):
+        return {key: _decode_cell(item) for key, item in value.items()}
     if isinstance(value, list):
         return [_decode_cell(v) for v in value]
     return value
@@ -187,6 +220,14 @@ class ExperimentResult:
         The qualitative checks.
     notes:
         Free-form remarks (model sizes, replication counts, substitutions).
+    extra:
+        Structured machine-readable metadata beyond the table — the
+        adaptive precision engine records its convergence report here
+        (``extra["adaptive"]``: replications used, achieved half-widths,
+        per-metric ``converged`` flags), and the sweep layer's Neyman
+        allocator reads it back.  Empty for classic fixed-n runs, and
+        omitted from payloads when empty, so snapshots of non-adaptive
+        runs are byte-identical to earlier releases.
     """
 
     experiment_id: str
@@ -196,6 +237,7 @@ class ExperimentResult:
     rows: List[Sequence[object]]
     claims: List[Claim]
     notes: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -214,7 +256,7 @@ class ExperimentResult:
         consume this payload.  Cells go through :func:`canonical_cell`, so
         the same result produces byte-identical JSON on every platform.
         """
-        return {
+        payload = {
             "experiment_id": str(self.experiment_id),
             "title": str(self.title),
             "paper_reference": str(self.paper_reference),
@@ -224,6 +266,9 @@ class ExperimentResult:
             "notes": str(self.notes),
             "passed": bool(self.passed),
         }
+        if self.extra:
+            payload["extra"] = canonical_cell(self.extra)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, object]) -> "ExperimentResult":
@@ -240,4 +285,5 @@ class ExperimentResult:
             rows=[[_decode_cell(cell) for cell in row] for row in payload["rows"]],
             claims=[Claim.from_payload(claim) for claim in payload["claims"]],
             notes=payload.get("notes", ""),
+            extra=_decode_cell(payload.get("extra", {})),
         )

@@ -16,8 +16,8 @@ from ..demand import DemandSpace, uniform_profile
 from ..faults import clustered_universe, disjoint_universe, uniform_random_universe
 from ..mc.estimator import MeanEstimator
 from ..populations import BernoulliFaultPopulation
-from ..rng import as_generator, spawn_many
-from .base import Claim, ExperimentResult
+from ..rng import as_generator, spawn, spawn_many
+from .base import Claim, ExperimentResult, require_batch_engine
 from .registry import register
 
 
@@ -42,8 +42,24 @@ def _marginal_joint_mc(population, profile, n_replications, rng) -> MeanEstimato
 
 
 @register("e01")
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
-    """Run E1 and return its result table and claims."""
+def run(
+    seed: int = 0, fast: bool = True, precision=None
+) -> ExperimentResult:
+    """Run E1 and return its result table and claims.
+
+    ``precision`` (a :class:`repro.adaptive.PrecisionTarget` or a mapping
+    of its fields — the sweepable knob form) switches the Monte-Carlo
+    confirmation from the fixed replication count to the adaptive
+    precision engine: each shape's joint-pfd estimate escalates until the
+    target half-width is met (budget-capped at the full-mode count), with
+    variance reduction per the target's ``vr`` knob.  The convergence
+    report lands in ``result.extra["adaptive"]``.
+    """
+    from ..adaptive import PrecisionTarget
+
+    target = PrecisionTarget.coerce(precision)
+    if target is not None:
+        require_batch_engine("precision-targeted e01")
     n_replications = 2000 if fast else 20000
     space = DemandSpace(80)
     profile = uniform_profile(space)
@@ -60,13 +76,29 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
     }
     rows = []
     claims = []
+    extra = {}
     rng = as_generator(seed + 100)
     for label, universe in shapes.items():
         population = BernoulliFaultPopulation.uniform(universe, 0.25)
         model = ELModel.from_population(population, profile)
         analytic = model.prob_both_fail()
         independence = model.independence_prediction()
-        estimator = _marginal_joint_mc(population, profile, n_replications, rng)
+        if target is not None:
+            from ..adaptive import adaptive_untested_joint_pfd
+
+            report = adaptive_untested_joint_pfd(
+                population,
+                profile,
+                target,
+                rng=spawn(rng),
+                default_budget=20000,
+            )
+            estimator = report.only.as_estimator()
+            extra[label] = report.to_payload()
+        else:
+            estimator = _marginal_joint_mc(
+                population, profile, n_replications, rng
+            )
         rows.append(
             [
                 label,
@@ -129,9 +161,15 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         rows=rows,
         claims=claims,
         notes=(
-            f"80 demands, 16 faults, presence prob 0.25, "
-            f"{n_replications} version-pair replications; "
-            f"{int(np.count_nonzero(covered))}/80 demands covered in the "
-            "disjoint shape"
+            "80 demands, 16 faults, presence prob 0.25, "
+            + (
+                "adaptive precision-targeted replications "
+                "(see extra['adaptive'])"
+                if target is not None
+                else f"{n_replications} version-pair replications"
+            )
+            + f"; {int(np.count_nonzero(covered))}/80 demands covered in "
+            "the disjoint shape"
         ),
+        extra={"adaptive": extra} if extra else {},
     )

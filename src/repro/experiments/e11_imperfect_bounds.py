@@ -15,21 +15,63 @@ measurements run on the batch engine's §4.1 binomial-detection kernel
 from __future__ import annotations
 
 from ..core import SameSuite
-from ..core.bounds import imperfect_system_bounds, imperfect_testing_bounds
+from ..core.bounds import (
+    BoundsReport,
+    imperfect_system_bounds,
+    imperfect_system_envelope,
+    imperfect_testing_bounds,
+    imperfect_version_envelope,
+)
 from ..testing import ImperfectFixing, ImperfectOracle
-from ..rng import as_generator, spawn
-from .base import Claim, ExperimentResult, engine_kwargs
+from ..rng import as_generator, spawn, spawn_many
+from .base import Claim, ExperimentResult, engine_kwargs, require_batch_engine
 from .models import standard_scenario
 from .registry import register
 
 
 @register("e11")
-def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
-    """Run E11 and return its result table and claims."""
+def run(
+    seed: int = 0, fast: bool = True, precision=None
+) -> ExperimentResult:
+    """Run E11 and return its result table and claims.
+
+    ``precision`` (a :class:`repro.adaptive.PrecisionTarget` or a mapping
+    of its fields) replaces the fixed per-grid-point replication count
+    with the adaptive precision engine: each point's version-level and
+    system-level measurements escalate independently until the target
+    half-width is met (budget-capped at the full-mode count), so tight
+    grid points stop early and the noisy low-detection tail gets the
+    replications it actually needs.  Per-point convergence reports land
+    in ``result.extra["adaptive"]``.
+    """
+    from ..adaptive import PrecisionTarget
+
+    target = PrecisionTarget.coerce(precision)
+    if target is not None:
+        require_batch_engine("precision-targeted e11")
     n_replications = 300 if fast else 3000
     scenario = standard_scenario(seed)
     rng = as_generator(seed + 1100)
     regime = SameSuite(scenario.generator)
+    envelopes = None
+    if target is not None:
+        # the §4.1 envelopes do not depend on the grid's (detection, fix)
+        # pair; compute them once instead of seven times
+        version_env_stream, system_env_stream = spawn_many(spawn(rng), 2)
+        envelopes = (
+            imperfect_version_envelope(
+                scenario.population,
+                scenario.generator,
+                scenario.profile,
+                rng=version_env_stream,
+            ),
+            imperfect_system_envelope(
+                regime,
+                scenario.population,
+                scenario.profile,
+                rng=system_env_stream,
+            ),
+        )
 
     grid = [
         (1.0, 1.0),
@@ -43,29 +85,37 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
     rows = []
     claims = []
     version_means = []
+    extra = {}
     for detection, fix in grid:
         oracle = ImperfectOracle(detection)
         fixing = ImperfectFixing(fix)
-        version_report = imperfect_testing_bounds(
-            scenario.population,
-            scenario.generator,
-            scenario.profile,
-            oracle,
-            fixing,
-            n_replications=n_replications,
-            rng=spawn(rng),
-            **engine_kwargs(),
-        )
-        system_report = imperfect_system_bounds(
-            regime,
-            scenario.population,
-            scenario.profile,
-            oracle,
-            fixing,
-            n_replications=n_replications,
-            rng=spawn(rng),
-            **engine_kwargs(),
-        )
+        if target is not None:
+            version_report, system_report, payload, point_hw = _adaptive_point(
+                scenario, regime, oracle, fixing, target, rng, envelopes
+            )
+            extra[f"d={detection}, f={fix}"] = payload
+        else:
+            point_hw = 0.0
+            version_report = imperfect_testing_bounds(
+                scenario.population,
+                scenario.generator,
+                scenario.profile,
+                oracle,
+                fixing,
+                n_replications=n_replications,
+                rng=spawn(rng),
+                **engine_kwargs(),
+            )
+            system_report = imperfect_system_bounds(
+                regime,
+                scenario.population,
+                scenario.profile,
+                oracle,
+                fixing,
+                n_replications=n_replications,
+                rng=spawn(rng),
+                **engine_kwargs(),
+            )
         version_means.append(version_report.measured)
         rows.append(
             [
@@ -78,7 +128,9 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
                 system_report.upper,
             ]
         )
-        slack = 0.01 if fast else 0.003
+        # under adaptive control the target half-width, not the fixed
+        # count, sets the measurement noise the envelope check must absorb
+        slack = max(0.01 if fast else 0.003, point_hw)
         claims.append(
             Claim(
                 f"version pfd within [perfect, untested] at d={detection}, "
@@ -146,7 +198,79 @@ def run(seed: int = 0, fast: bool = True) -> ExperimentResult:
         rows=rows,
         claims=claims,
         notes=(
-            f"{n_replications} replications per grid point; same-suite "
-            "regime for the system-level check; slack absorbs MC noise"
+            (
+                "adaptive precision-targeted replications per grid point "
+                "(see extra['adaptive'])"
+                if target is not None
+                else f"{n_replications} replications per grid point"
+            )
+            + "; same-suite regime for the system-level check; slack "
+            "absorbs MC noise"
         ),
+        extra={"adaptive": extra} if extra else {},
     )
+
+
+def _adaptive_point(scenario, regime, oracle, fixing, target, rng, envelopes):
+    """Adaptively measure one (detection, fix) grid point of e11.
+
+    The analytic envelopes are shared across the grid (``envelopes`` is
+    the pre-computed ``(version, system)`` pair); each point runs only its
+    version-level and system-level measurements through the adaptive
+    controller (budget-capped at the full-mode count).  Returns the two
+    :class:`BoundsReport`\\ s, the convergence payload for ``extra``, and
+    the larger achieved half-width (folded into the claim slack).
+    """
+    from ..adaptive import adaptive_marginal_system_pfd, adaptive_version_pfd
+
+    config = engine_kwargs()
+    full_budget = 3000
+    (version_envelope, system_envelope) = envelopes
+    version_run = adaptive_version_pfd(
+        scenario.population,
+        scenario.generator,
+        scenario.profile,
+        target,
+        oracle=oracle,
+        fixing=fixing,
+        rng=spawn(rng),
+        n_jobs=config["n_jobs"],
+        default_budget=full_budget,
+    )
+    version_metric = version_run.only
+    lower, upper = version_envelope
+    version_report = BoundsReport(
+        lower=lower,
+        upper=upper,
+        measured=version_metric.estimate.mean,
+        n_replications=version_metric.replications,
+        label="version pfd under imperfect testing",
+    )
+    system_run = adaptive_marginal_system_pfd(
+        regime,
+        scenario.population,
+        scenario.profile,
+        target,
+        oracle=oracle,
+        fixing=fixing,
+        rng=spawn(rng),
+        n_jobs=config["n_jobs"],
+        default_budget=full_budget,
+    )
+    lower, upper = system_envelope
+    system_metric = system_run.only
+    system_report = BoundsReport(
+        lower=lower,
+        upper=upper,
+        measured=system_metric.estimate.mean,
+        n_replications=system_metric.replications,
+        label=f"system pfd under imperfect testing ({regime.label})",
+    )
+    payload = {
+        "version": version_run.to_payload(),
+        "system": system_run.to_payload(),
+    }
+    point_hw = max(
+        version_metric.estimate.half_width, system_metric.estimate.half_width
+    )
+    return version_report, system_report, payload, point_hw

@@ -41,6 +41,21 @@ def _format_table(columns: Sequence[str], rows: List[Sequence[object]]) -> str:
     return "\n".join(lines)
 
 
+def _adaptive_totals(extra: dict) -> tuple:
+    """``(replications, converged, total)`` over nested adaptive payloads."""
+    from ..adaptive.controller import iter_adaptive_runs
+
+    replications = 0
+    converged = 0
+    total = 0
+    for run in iter_adaptive_runs(extra):
+        replications += int(run["replications"])
+        metrics = run["metrics"].values()
+        total += len(run["metrics"])
+        converged += sum(bool(metric["converged"]) for metric in metrics)
+    return replications, converged, total
+
+
 def format_result(result: ExperimentResult) -> str:
     """Render one experiment as a plain-text block."""
     lines = []
@@ -49,6 +64,13 @@ def format_result(result: ExperimentResult) -> str:
     lines.append(f"paper: {result.paper_reference}")
     if result.notes:
         lines.append(f"notes: {result.notes}")
+    adaptive = result.extra.get("adaptive") if result.extra else None
+    if isinstance(adaptive, dict):
+        replications, converged, total = _adaptive_totals(adaptive)
+        lines.append(
+            f"adaptive: {replications} replications, {converged}/{total} "
+            "metrics converged to target"
+        )
     lines.append("")
     lines.append(_format_table(result.columns, result.rows))
     lines.append("")

@@ -35,7 +35,7 @@ from ..extensions import (
 )
 from ..testing import BackToBackComparator, OperationalSuiteGenerator
 from ..versions import shared_fault_outputs
-from .base import Claim, ExperimentResult, engine_kwargs
+from .base import Claim, ExperimentResult, engine_kwargs, require_batch_engine
 from .models import standard_scenario
 from .registry import register
 
@@ -46,6 +46,7 @@ def run(
     fast: bool = True,
     suite_size: int = 25,
     n_replications: int | None = None,
+    precision=None,
 ) -> ExperimentResult:
     """Run X3 and return its result table and claims.
 
@@ -54,7 +55,24 @@ def run(
     budgets matched), and ``n_replications`` overrides the fast/full
     version-pair count — the axes a sweep varies to study how campaign
     composition effects move with testing effort.
+
+    ``precision`` (a :class:`repro.adaptive.PrecisionTarget` or a mapping
+    of its fields) replaces the fixed version-pair count with the adaptive
+    precision engine.  A delivered campaign's pfd sits near zero, so a
+    *relative* target is anchored to the scale the campaigns are compared
+    against — the exact untested system pfd: ``rel_hw=0.05`` reads "the
+    campaign means are resolved to 5% of the untested baseline".  With
+    both knobs set, ``n_replications`` is the adaptive run's budget.  The
+    per-campaign convergence reports land in ``result.extra["adaptive"]``.
     """
+    from ..adaptive import PrecisionTarget
+
+    target = PrecisionTarget.coerce(precision)
+    if target is not None:
+        require_batch_engine("precision-targeted x3")
+    # an explicit n_replications is the user's budget; otherwise adaptive
+    # runs may escalate up to the full-mode count
+    adaptive_budget = n_replications if n_replications is not None else 1500
     if n_replications is None:
         n_replications = 150 if fast else 1500
     scenario = standard_scenario(seed)
@@ -91,18 +109,37 @@ def run(
 
     results = {}
     rows = []
+    extra = {}
     for label, campaign in (
         ("diversity-preserving", diverse),
         ("commonality-heavy", common),
         ("commonality-heavy + mistake", common_with_mistake),
     ):
-        estimator = campaign.mean_final_system_pfd_estimator(
-            scenario.population,
-            scenario.profile,
-            n_replications=n_replications,
-            rng=seed + 3000,
-            **engine_kwargs(),
-        )
+        if target is not None:
+            from ..adaptive import adaptive_campaign_pfd
+
+            config = engine_kwargs()
+            theta = scenario.population.difficulty()
+            report = adaptive_campaign_pfd(
+                campaign,
+                scenario.population,
+                scenario.profile,
+                target,
+                rng=seed + 3000,
+                n_jobs=config["n_jobs"],
+                default_budget=adaptive_budget,
+                scale=float(scenario.profile.expectation(theta * theta)),
+            )
+            estimator = report.only.as_estimator()
+            extra[label] = report.to_payload()
+        else:
+            estimator = campaign.mean_final_system_pfd_estimator(
+                scenario.population,
+                scenario.profile,
+                n_replications=n_replications,
+                rng=seed + 3000,
+                **engine_kwargs(),
+            )
         results[label] = estimator.mean
         rows.append([label, estimator.mean, estimator.std_error()])
 
@@ -166,8 +203,14 @@ def run(
         rows=rows,
         claims=claims,
         notes=(
-            f"{n_replications} version-pair replications per campaign; "
-            f"budgets matched at two {suite_size}-test stages plus one "
+            (
+                "adaptive precision-targeted version-pair replications "
+                "per campaign (see extra['adaptive'])"
+                if target is not None
+                else f"{n_replications} version-pair replications per campaign"
+            )
+            + f"; budgets matched at two {suite_size}-test stages plus one "
             "clarification/cross-check step"
         ),
+        extra={"adaptive": extra} if extra else {},
     )

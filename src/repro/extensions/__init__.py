@@ -38,6 +38,7 @@ from .mistakes import (
 from .stopping import (
     bayes_pfd_upper_bound,
     classical_pfd_upper_bound,
+    replications_for_half_width,
     tests_needed_for_target,
 )
 from .campaign import (
@@ -62,6 +63,7 @@ __all__ = [
     "classical_pfd_upper_bound",
     "bayes_pfd_upper_bound",
     "tests_needed_for_target",
+    "replications_for_half_width",
     "Activity",
     "SharedTestingActivity",
     "IndependentTestingActivity",

@@ -33,6 +33,7 @@ __all__ = [
     "classical_pfd_upper_bound",
     "bayes_pfd_upper_bound",
     "tests_needed_for_target",
+    "replications_for_half_width",
 ]
 
 
@@ -105,3 +106,31 @@ def tests_needed_for_target(target_pfd: float, confidence: float) -> int:
         )
     n = math.log(1.0 - confidence) / math.log(1.0 - target_pfd)
     return int(math.ceil(n))
+
+
+def replications_for_half_width(
+    std: float, half_width: float, confidence: float
+) -> int:
+    """Observations needed for a normal CI half-width of ``half_width``.
+
+    The Monte-Carlo counterpart of :func:`tests_needed_for_target`: solves
+    ``z(confidence) · σ / √n ≤ half_width`` for the smallest integer
+    ``n``.  The adaptive controller (:mod:`repro.adaptive.controller`)
+    uses this to *project* its next round size from the sample standard
+    deviation instead of blindly doubling — and, in the sweep layer's
+    Neyman allocation, to translate per-point variance estimates into
+    replication budgets.  A zero (degenerate) standard deviation needs one
+    observation; an infinite one is reported as the caller's cue to fall
+    back to geometric escalation.
+    """
+    _check_confidence(confidence)
+    if half_width <= 0.0:
+        raise ModelError(f"half_width must be > 0, got {half_width}")
+    if std < 0.0 or math.isnan(std):
+        raise ModelError(f"std must be a non-negative number, got {std}")
+    if std == 0.0:
+        return 1
+    if math.isinf(std):
+        raise ModelError("std must be finite")
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    return max(1, int(math.ceil((z * std / half_width) ** 2)))

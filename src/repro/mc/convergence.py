@@ -1,16 +1,29 @@
-"""Sequential estimation with a stopping rule.
+"""Sequential estimation with a stopping rule (legacy thin wrapper).
 
 The paper (§2) notes that "the size of the test suite ... is determined
 with respect to some stopping rule which gives the tester sufficiently high
 confidence that the goal has been achieved" (citing Littlewood & Wright's
-conservative stopping rules).  The same idea applies to our own Monte-Carlo
-runs: :func:`estimate_until` keeps adding replications in batches until the
-confidence interval is narrow enough, and raises
-:class:`~repro.errors.ConvergenceError` if the budget runs out first.
+conservative stopping rules).  That idea now lives in the **adaptive
+precision engine** (:mod:`repro.adaptive`): declarative
+:class:`~repro.adaptive.PrecisionTarget` criteria, exactly-mergeable chunk
+accumulators, variance-reduction kernels, and an escalating-round
+controller that integrates with the batch engine and the sweep layer.
+
+:func:`estimate_until` predates that engine.  It is kept with its public
+signature as a thin wrapper for callers that drive a mutable estimator
+through a callback, but its stopping decision is now *defined by* the
+shared primitives — :meth:`PrecisionTarget.met` on
+:func:`repro.adaptive.estimator_half_width` — so there is exactly one
+stopping rule in the codebase.  The callback protocol itself is the
+deprecated part: it cannot merge with batch/worker results (the callback
+owns the randomness and mutates in place), so new code should use
+:func:`repro.adaptive.run_adaptive` or the ``precision=`` keyword on the
+``simulate_*`` drivers instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Union
 
@@ -46,14 +59,6 @@ class SequentialResult:
     half_width: float
 
 
-def _half_width(estimator: Estimator, confidence: float) -> float:
-    if isinstance(estimator, ProportionEstimator):
-        low, high = estimator.wilson_interval(confidence)
-    else:
-        low, high = estimator.normal_interval(confidence)
-    return (high - low) / 2.0
-
-
 def estimate_until(
     run_batch: Callable[[Estimator, object], None],
     estimator: Estimator,
@@ -64,6 +69,13 @@ def estimate_until(
     raise_on_failure: bool = False,
 ) -> SequentialResult:
     """Run estimation batches until the CI half-width meets the target.
+
+    .. deprecated::
+        The callback protocol cannot merge with batch-engine or
+        multi-process results; use :func:`repro.adaptive.run_adaptive`
+        (or ``precision=`` on the ``simulate_*`` drivers) for new code.
+        This wrapper remains for scalar callback loops and now delegates
+        its stopping decision to the adaptive engine's shared predicate.
 
     Parameters
     ----------
@@ -93,16 +105,33 @@ def estimate_until(
         )
     if max_batches < 1:
         raise ModelError(f"max_batches must be >= 1, got {max_batches}")
+    warnings.warn(
+        "estimate_until is deprecated: its callback protocol cannot merge "
+        "with batch/worker results; use repro.adaptive.run_adaptive (or "
+        "precision= on the simulate_* drivers) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # imported lazily: repro.adaptive builds on repro.mc.estimator, so a
+    # module-level import here would be circular
+    from ..adaptive.accumulators import estimator_half_width
+    from ..adaptive.targets import PrecisionTarget
+
+    target = PrecisionTarget(abs_hw=target_half_width, confidence=confidence)
     rng = as_generator(rng)
     batches = 0
     for _ in range(max_batches):
         run_batch(estimator, spawn(rng))
         batches += 1
         if estimator.count >= 2:
-            width = _half_width(estimator, confidence)
-            if width <= target_half_width:
+            width = estimator_half_width(estimator, confidence)
+            if target.met(estimator.mean, width):
                 return SequentialResult(estimator, batches, True, width)
-    width = _half_width(estimator, confidence) if estimator.count >= 2 else float("inf")
+    width = (
+        estimator_half_width(estimator, confidence)
+        if estimator.count >= 2
+        else float("inf")
+    )
     if raise_on_failure:
         raise ConvergenceError(
             f"half-width {width:.3g} above target {target_half_width:.3g} "

@@ -92,6 +92,27 @@ class ProportionEstimator(object):
         )
         return max(0.0, centre - spread), min(1.0, centre + spread)
 
+    def half_width(self, confidence: float = 0.99) -> float:
+        """Wilson-interval half-width — the adaptive stopping quantity.
+
+        Deliberately *not* the normal half-width: a degenerate all-failure
+        or no-failure sample keeps a small positive width (the Wilson
+        interval never collapses to a point at finite ``n``), so a
+        proportion target can only be met by genuine evidence.
+        """
+        low, high = self.wilson_interval(confidence)
+        return (high - low) / 2.0
+
+    @property
+    def counts(self) -> Tuple[int, int]:
+        """The sufficient statistics ``(successes, count)``.
+
+        Integer totals merge exactly, so shipping these between processes
+        (or into :class:`repro.adaptive.ProportionAccumulator` chunks)
+        loses nothing.
+        """
+        return self._successes, self._count
+
     def contains(self, value: float, confidence: float = 0.99) -> bool:
         """True iff ``value`` lies in the Wilson interval."""
         low, high = self.wilson_interval(confidence)
@@ -140,6 +161,8 @@ class MeanEstimator:
         """
         if count < 0:
             raise ModelError(f"count must be >= 0, got {count}")
+        if m2 < 0.0:
+            raise ModelError(f"m2 must be >= 0, got {m2}")
         if count == 0:
             return
         if self._count == 0:
@@ -164,11 +187,27 @@ class MeanEstimator:
         return self._mean
 
     @property
+    def moments(self) -> Tuple[int, float, float]:
+        """The Welford sufficient statistics ``(count, mean, m2)``.
+
+        The exact inverse of :meth:`add_moments` — what a worker process
+        (or :class:`repro.adaptive.MeanAccumulator` chunk) ships instead
+        of raw observations.
+        """
+        return self._count, self._mean, self._m2
+
+    @property
     def variance(self) -> float:
-        """Unbiased sample variance."""
+        """Unbiased sample variance (clamped at the floating-point floor).
+
+        The clamp guards merged moments: :meth:`add_moments` chains can
+        leave ``m2`` a few ulps below zero for (near-)constant samples,
+        and an unclamped value would surface as ``NaN`` from the square
+        root in :meth:`std_error`.
+        """
         if self._count < 2:
             return 0.0
-        return self._m2 / (self._count - 1)
+        return max(self._m2, 0.0) / (self._count - 1)
 
     def std_error(self) -> float:
         """Standard error of the mean."""
@@ -183,6 +222,25 @@ class MeanEstimator:
         z = _z_value(confidence)
         half = z * self.std_error()
         return self.mean - half, self.mean + half
+
+    def half_width(self, confidence: float = 0.99) -> float:
+        """Normal-interval half-width — the adaptive stopping quantity.
+
+        A *degenerate* sample — every observation identical, ``m2 = 0``,
+        e.g. a stratum of versions that never fail — reports a zero
+        half-width even at ``n = 1`` (the spread genuinely observed is
+        zero, and NaN/inf would poison stratified combinations); any
+        nonzero spread at ``n = 1`` is unreachable, and ``n = 1`` via
+        :meth:`std_error` still reports ``inf`` for callers that want the
+        conservative reading.  Samplers that need a minimum sample before
+        trusting a zero width enforce it at the controller level
+        (``PrecisionTarget.initial``).
+        """
+        if self._count == 0:
+            raise ModelError("no observations recorded")
+        if self._m2 <= 0.0:
+            return 0.0
+        return _z_value(confidence) * self.std_error()
 
     def contains(self, value: float, confidence: float = 0.99) -> bool:
         """True iff ``value`` lies in the normal interval."""

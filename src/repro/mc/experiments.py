@@ -25,6 +25,16 @@ The default ``engine="auto"`` picks the batch path whenever
 :func:`repro.mc.batch.batch_supported` accepts the testing process and
 falls back to the scalar loop otherwise, so existing callers transparently
 get the fast path.
+
+Every estimator also accepts ``precision=`` — a
+:class:`repro.adaptive.PrecisionTarget` (or a mapping of its fields).
+When set, the fixed ``n_replications`` becomes a *budget default* and the
+adaptive precision engine (:mod:`repro.adaptive`) runs escalating rounds
+until the target half-width is met, returning the same estimator type
+(with the :class:`~repro.adaptive.AdaptiveReport` attached as an
+``adaptive`` attribute).  Adaptive runs always use the batch kernels, so
+``engine="scalar"`` and custom oracle/fixing policies are rejected with
+``precision=``.
 """
 
 from __future__ import annotations
@@ -52,6 +62,19 @@ _ENGINES = ("auto", "batch", "scalar")
 def _check_replications(n_replications: int) -> None:
     if n_replications < 1:
         raise ModelError(f"n_replications must be >= 1, got {n_replications}")
+
+
+def _coerce_precision(precision, engine: str):
+    """Normalise a ``precision=`` argument, rejecting scalar-engine runs."""
+    from ..adaptive.targets import PrecisionTarget
+
+    target = PrecisionTarget.coerce(precision)
+    if target is not None and engine == "scalar":
+        raise ModelError(
+            "precision-targeted estimation runs on the batch kernels; "
+            "engine='scalar' cannot be combined with precision="
+        )
+    return target
 
 
 def _use_batch(
@@ -89,12 +112,28 @@ def simulate_untested_joint_on_demand(
     engine: str = "auto",
     chunk_size: int | None = None,
     n_jobs: int = 1,
+    precision=None,
 ) -> ProportionEstimator:
     """Estimate ``P(both untested versions fail on x)`` — eq. (4) check.
 
     Draws independent version pairs and scores them on the fixed demand.
     The analytic prediction is ``θ_A(x) θ_B(x)``.
     """
+    target = _coerce_precision(precision, engine)
+    if target is not None:
+        from ..adaptive.controller import adaptive_untested_joint_on_demand
+
+        report = adaptive_untested_joint_on_demand(
+            population_a,
+            demand,
+            target,
+            population_b=population_b,
+            rng=rng,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+            default_budget=n_replications,
+        )
+        return report.only.as_estimator(report)
     if _use_batch(engine):
         from .batch import simulate_untested_joint_on_demand_batch
 
@@ -131,6 +170,7 @@ def simulate_joint_on_demand(
     engine: str = "auto",
     chunk_size: int | None = None,
     n_jobs: int = 1,
+    precision=None,
 ) -> ProportionEstimator:
     """Estimate ``P(both tested versions fail on x)`` — eqs. (16)–(21) check.
 
@@ -139,6 +179,24 @@ def simulate_joint_on_demand(
     or fixing policy is supplied), then score both tested versions on the
     fixed demand.
     """
+    target = _coerce_precision(precision, engine)
+    if target is not None:
+        from ..adaptive.controller import adaptive_joint_on_demand
+
+        report = adaptive_joint_on_demand(
+            regime,
+            population_a,
+            demand,
+            target,
+            population_b=population_b,
+            oracle=oracle,
+            fixing=fixing,
+            rng=rng,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+            default_budget=n_replications,
+        )
+        return report.only.as_estimator(report)
     if _use_batch(engine, oracle, fixing):
         from .batch import simulate_joint_on_demand_batch
 
@@ -186,6 +244,7 @@ def simulate_marginal_system_pfd(
     engine: str = "auto",
     chunk_size: int | None = None,
     n_jobs: int = 1,
+    precision=None,
 ) -> MeanEstimator:
     """Estimate the marginal system pfd — eqs. (22)–(25) check.
 
@@ -196,6 +255,29 @@ def simulate_marginal_system_pfd(
     conditioning argument).  Set it to ``False`` to simulate the raw 0/1
     outcome on a drawn demand instead.
     """
+    target = _coerce_precision(precision, engine)
+    if target is not None:
+        if not rao_blackwell:
+            raise ModelError(
+                "precision-targeted estimation is always Rao-Blackwellised; "
+                "rao_blackwell=False cannot be combined with precision="
+            )
+        from ..adaptive.controller import adaptive_marginal_system_pfd
+
+        report = adaptive_marginal_system_pfd(
+            regime,
+            population_a,
+            profile,
+            target,
+            population_b=population_b,
+            oracle=oracle,
+            fixing=fixing,
+            rng=rng,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+            default_budget=n_replications,
+        )
+        return report.only.as_estimator(report)
     if _use_batch(engine, oracle, fixing):
         from .batch import simulate_marginal_system_pfd_batch
 
@@ -248,12 +330,30 @@ def simulate_version_pfd(
     engine: str = "auto",
     chunk_size: int | None = None,
     n_jobs: int = 1,
+    precision=None,
 ) -> MeanEstimator:
     """Estimate the mean post-test pfd of a single tested version.
 
     The analytic prediction under perfect testing is ``E_Q[ζ(X)]``
     (eq. (14) integrated over the usage profile).
     """
+    target = _coerce_precision(precision, engine)
+    if target is not None:
+        from ..adaptive.controller import adaptive_version_pfd
+
+        report = adaptive_version_pfd(
+            population,
+            generator,
+            profile,
+            target,
+            oracle=oracle,
+            fixing=fixing,
+            rng=rng,
+            n_jobs=n_jobs,
+            chunk_size=chunk_size,
+            default_budget=n_replications,
+        )
+        return report.only.as_estimator(report)
     if _use_batch(engine, oracle, fixing):
         from .batch import simulate_version_pfd_batch
 

@@ -38,7 +38,7 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def inverse_cdf_indices(cdf: np.ndarray, rng: SeedLike, size=None):
+def inverse_cdf_indices(cdf: np.ndarray, rng: SeedLike, size=None, uniforms=None):
     """Draw indices by inverse-CDF sampling, clamped into range.
 
     ``cdf`` is a cumulative-probability vector; returns a scalar int when
@@ -49,9 +49,17 @@ def inverse_cdf_indices(cdf: np.ndarray, rng: SeedLike, size=None):
     past the end.  Every inverse-CDF sampler (usage profiles, finite
     populations, enumerable suite generators) routes through here so the
     clamp cannot drift out of sync.
+
+    ``uniforms`` supplies the uniform draws instead of consuming ``rng``
+    (``size`` is then ignored) — how the antithetic variance-reduction
+    kernel shares one uniform block between a ``u`` / ``1 − u`` pair while
+    keeping this single definition of the search-and-clamp.
     """
-    generator = as_generator(rng)
     last = len(cdf) - 1
+    if uniforms is not None:
+        indices = np.searchsorted(cdf, np.asarray(uniforms), side="right")
+        return np.minimum(indices, last).astype(np.int64)
+    generator = as_generator(rng)
     if size is None:
         index = int(np.searchsorted(cdf, generator.random(), side="right"))
         return min(index, last)

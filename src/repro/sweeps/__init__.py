@@ -24,15 +24,18 @@ Command-line counterpart::
 """
 
 from .aggregate import comparison_table, render_table, summary_table
-from .runner import Sweep, SweepReport
-from .spec import SweepPoint, SweepSpec, load_grid
+from .runner import Sweep, SweepReport, allocate_budgets, record_sigma
+from .spec import PrecisionPlan, SweepPoint, SweepSpec, load_grid
 
 __all__ = [
     "Sweep",
     "SweepReport",
     "SweepPoint",
     "SweepSpec",
+    "PrecisionPlan",
     "load_grid",
+    "allocate_budgets",
+    "record_sigma",
     "comparison_table",
     "summary_table",
     "render_table",

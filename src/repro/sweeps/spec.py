@@ -20,8 +20,22 @@ Grid file format (TOML; an identically-shaped JSON object also loads)::
     [experiment_params.x3]        # optional: extra axes for one id
     suite_size = [15, 25]
 
+    [precision]                   # optional: adaptive replication control
+    rel_hw = 0.05                 # PrecisionTarget fields (docs/adaptive.md)
+    vr = "auto"
+    budget_total = 100000         # optional: Neyman cross-point allocation
+
 Scalar axis values are promoted to single-point axes, so ``fast = true``
 style pinning works for knobs too.
+
+A ``[precision]`` table pins the adaptive precision engine's target onto
+every experiment in the sweep that exposes a ``precision`` knob (at least
+one must).  With ``budget_total`` set, the sweep runs Neyman-style
+cross-point budget allocation: a cheap pilot pass estimates each point's
+per-replication spread, and the total replication budget is then split
+across points proportionally to it — spending replications where the
+estimated variance is highest (``pilot`` overrides the pilot budget per
+point; default is the target's ``initial``).
 """
 
 from __future__ import annotations
@@ -33,14 +47,77 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .._version import __version__
+from ..adaptive.targets import PrecisionTarget
 from ..errors import ModelError
 
 # the package import (not .registry directly) so the experiment modules
 # register themselves before any id validation happens
-from ..experiments import get_runner, validate_params
+from ..experiments import get_runner, runner_params, validate_params
 from ..store.records import cache_key
 
-__all__ = ["SweepPoint", "SweepSpec", "load_grid"]
+__all__ = ["PrecisionPlan", "SweepPoint", "SweepSpec", "load_grid"]
+
+
+@dataclass(frozen=True)
+class PrecisionPlan:
+    """The sweep-level adaptive precision configuration.
+
+    ``target`` is the validated :class:`~repro.adaptive.PrecisionTarget`
+    every precision-capable point runs under (passed to runners as their
+    ``precision`` knob mapping); ``budget_total``/``pilot`` configure the
+    optional Neyman cross-point allocation pass (see
+    :meth:`repro.sweeps.Sweep.run`).
+    """
+
+    target: PrecisionTarget
+    budget_total: Optional[int] = None
+    pilot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.budget_total is not None and self.budget_total < 1:
+            raise ModelError(
+                f"budget_total must be >= 1, got {self.budget_total}"
+            )
+        if self.pilot is not None and self.pilot < 1:
+            raise ModelError(f"pilot must be >= 1, got {self.pilot}")
+
+    @property
+    def pilot_budget(self) -> int:
+        """Replications per point in the pilot pass (default: ``initial``)."""
+        return self.pilot if self.pilot is not None else self.target.initial
+
+    def knob(self, budget: Optional[int] = None) -> Dict[str, object]:
+        """The ``precision`` knob mapping for one point.
+
+        ``budget`` overrides the target's budget — how the Neyman pass
+        pins per-point allocations (and the pilot pass its pilot budget).
+        """
+        params = self.target.to_params()
+        if budget is not None:
+            params["budget"] = int(budget)
+            params["initial"] = min(self.target.initial, int(budget))
+        return {
+            name: value for name, value in params.items() if value is not None
+        }
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, object]) -> "PrecisionPlan":
+        """Parse a grid's ``[precision]`` table."""
+        extras = {"budget_total", "pilot"}
+        target = PrecisionTarget.from_mapping(
+            {
+                name: value
+                for name, value in mapping.items()
+                if name not in extras
+            }
+        )
+        budget_total = mapping.get("budget_total")
+        pilot = mapping.get("pilot")
+        return cls(
+            target=target,
+            budget_total=None if budget_total is None else int(budget_total),
+            pilot=None if pilot is None else int(pilot),
+        )
 
 
 @dataclass(frozen=True)
@@ -113,6 +190,7 @@ class SweepSpec:
         fast: bool = True,
         params: Optional[Mapping[str, object]] = None,
         experiment_params: Optional[Mapping[str, Mapping[str, object]]] = None,
+        precision: Optional[object] = None,
     ) -> None:
         experiments = list(experiments)
         if not experiments:
@@ -156,6 +234,31 @@ class SweepSpec:
         self.experiments = experiments
         self.seeds = seeds
         self.fast = bool(fast)
+        if precision is None or isinstance(precision, PrecisionPlan):
+            self.precision = precision
+        else:
+            self.precision = PrecisionPlan.from_mapping(precision)
+        self.precision_experiments: Tuple[str, ...] = ()
+        if self.precision is not None:
+            capable = tuple(
+                eid
+                for eid in experiments
+                if "precision" in runner_params(eid)
+            )
+            if not capable:
+                raise ModelError(
+                    "[precision] given but no experiment in the sweep has "
+                    f"a 'precision' knob: {experiments}"
+                )
+            if any(
+                "precision" in self._axes_by_experiment[eid]
+                for eid in capable
+            ):
+                raise ModelError(
+                    "'precision' cannot be both a [precision] table and an "
+                    "explicit param axis"
+                )
+            self.precision_experiments = capable
 
     def axes(self, experiment_id: str) -> Dict[str, List[object]]:
         """The resolved knob axes for one experiment (copy)."""
@@ -228,7 +331,7 @@ def load_grid(path) -> SweepSpec:
     sweep = data["sweep"]
     if not isinstance(sweep, Mapping):
         raise ModelError(f"grid {path}: [sweep] must be a table")
-    known_top = {"sweep", "params", "experiment_params"}
+    known_top = {"sweep", "params", "experiment_params", "precision"}
     stray = sorted(set(data) - known_top)
     if stray:
         raise ModelError(
@@ -267,10 +370,14 @@ def load_grid(path) -> SweepSpec:
         raise ModelError(
             f"grid {path}: [experiment_params.<id>] entries must be tables"
         )
+    precision = data.get("precision")
+    if precision is not None and not isinstance(precision, Mapping):
+        raise ModelError(f"grid {path}: [precision] must be a table")
     return SweepSpec(
         experiments=experiments,
         seeds=seeds,
         fast=fast,
         params=params,
         experiment_params=experiment_params,
+        precision=precision,
     )

@@ -48,3 +48,43 @@ class TestCli:
         main(["a5", "--engine", "scalar", "--summary-only"])
         assert engine_config().engine == "auto"
         assert engine_config().n_jobs == 1
+
+
+class TestCliPrecisionFlags:
+    def test_adaptive_run_prints_convergence_line(self, capsys):
+        code = main(["e01", "--target-rel-hw", "0.1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "adaptive:" in captured.out
+        assert "metrics converged to target" in captured.out
+
+    def test_incapable_ids_fall_back_with_note(self, capsys):
+        code = main(["a5", "--target-rel-hw", "0.1", "--summary-only"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no 'precision' knob on a5" in captured.err
+
+    def test_budget_requires_a_target(self, capsys):
+        assert main(["e01", "--budget", "500"]) == 2
+        assert "--budget needs" in capsys.readouterr().err
+
+    def test_vr_requires_a_target(self, capsys):
+        # an explicit --vr with no target would otherwise be silently
+        # ignored (the run falls back to fixed-n with no adaptive report)
+        assert main(["e01", "--vr", "control"]) == 2
+        assert "--vr needs" in capsys.readouterr().err
+
+    def test_vr_and_budget_flags_flow_through(self, capsys):
+        code = main(
+            [
+                "e01",
+                "--target-rel-hw",
+                "0.2",
+                "--budget",
+                "600",
+                "--vr",
+                "control",
+                "--summary-only",
+            ]
+        )
+        assert code == 0

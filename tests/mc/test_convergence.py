@@ -1,10 +1,16 @@
-"""Tests for sequential estimation."""
+"""Tests for sequential estimation (the legacy wrapper over the adaptive
+precision engine's shared stopping predicate)."""
 
 import numpy as np
 import pytest
 
 from repro.errors import ConvergenceError, ModelError
 from repro.mc import MeanEstimator, ProportionEstimator, estimate_until
+
+# estimate_until is deprecated in favour of repro.adaptive; its behaviour
+# is still under contract, so the suite exercises it with the warning
+# silenced (and asserts the warning itself once, below)
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def _coin_batch(p: float, batch: int):
@@ -72,6 +78,30 @@ class TestEstimateUntil:
                 target_half_width=0.1,
                 max_batches=0,
             )
+
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="run_adaptive"):
+            estimate_until(
+                _coin_batch(0.3, 500),
+                ProportionEstimator(),
+                target_half_width=0.05,
+                rng=0,
+            )
+
+    def test_stopping_predicate_matches_adaptive_target(self):
+        """The wrapper and the adaptive engine share one stopping rule."""
+        from repro.adaptive import PrecisionTarget, estimator_half_width
+
+        result = estimate_until(
+            _coin_batch(0.3, 500),
+            ProportionEstimator(),
+            target_half_width=0.05,
+            rng=0,
+        )
+        target = PrecisionTarget(abs_hw=0.05, confidence=0.99)
+        width = estimator_half_width(result.estimator, 0.99)
+        assert result.half_width == width
+        assert result.converged == target.met(result.estimator.mean, width)
 
     def test_deterministic_given_seed(self):
         a = estimate_until(

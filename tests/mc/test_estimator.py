@@ -1,5 +1,7 @@
 """Tests for the streaming estimators."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -104,3 +106,69 @@ class TestMeanEstimator:
             if estimator.contains(5.0, confidence=0.95):
                 covered += 1
         assert covered / trials >= 0.9
+
+
+class TestHalfWidthEdgeCases:
+    """Regression tests for the zero-variance / n = 1 degenerate cases
+    (the adaptive controller's stopping quantity must never be NaN)."""
+
+    def test_degenerate_all_zero_sample_zero_half_width(self):
+        estimator = MeanEstimator()
+        for _ in range(5):
+            estimator.add(0.0)
+        assert estimator.half_width(0.99) == 0.0
+        assert not math.isnan(estimator.half_width(0.99))
+
+    def test_degenerate_single_observation_zero_half_width(self):
+        estimator = MeanEstimator()
+        estimator.add(0.0)
+        # std_error stays conservative (inf) but the stopping quantity
+        # reports the observed spread: zero
+        assert estimator.std_error() == float("inf")
+        assert estimator.half_width(0.99) == 0.0
+
+    def test_half_width_matches_normal_interval_when_nondegenerate(self):
+        estimator = MeanEstimator()
+        estimator.add_many([0.1, 0.4, 0.2, 0.9])
+        low, high = estimator.normal_interval(0.95)
+        assert estimator.half_width(0.95) == pytest.approx((high - low) / 2)
+
+    def test_half_width_empty_raises(self):
+        with pytest.raises(ModelError):
+            MeanEstimator().half_width(0.99)
+
+    def test_variance_clamped_against_merged_rounding(self):
+        # long chains of near-constant merges can leave m2 a few ulps
+        # below zero without the clamp; construct the worst case directly
+        estimator = MeanEstimator()
+        estimator._count, estimator._mean, estimator._m2 = 10, 0.5, -1e-18
+        assert estimator.variance == 0.0
+        assert estimator.std_error() == 0.0
+        assert estimator.half_width(0.99) == 0.0
+
+    def test_add_moments_rejects_negative_m2(self):
+        estimator = MeanEstimator()
+        with pytest.raises(ModelError):
+            estimator.add_moments(3, 0.5, -1.0)
+
+    def test_moments_roundtrip(self):
+        estimator = MeanEstimator()
+        estimator.add_many([0.1, 0.2, 0.7])
+        count, mean, m2 = estimator.moments
+        other = MeanEstimator()
+        other.add_moments(count, mean, m2)
+        assert other.moments == estimator.moments
+
+    def test_proportion_half_width_is_wilson(self):
+        estimator = ProportionEstimator()
+        estimator.add_many(0, 100)
+        low, high = estimator.wilson_interval(0.99)
+        assert estimator.half_width(0.99) == pytest.approx((high - low) / 2)
+        # degenerate all-zero proportion keeps a positive (honest) width
+        assert estimator.half_width(0.99) > 0.0
+
+    def test_proportion_counts_roundtrip(self):
+        estimator = ProportionEstimator()
+        estimator.add_many(3, 10)
+        successes, count = estimator.counts
+        assert (successes, count) == (3, 10)

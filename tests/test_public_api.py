@@ -33,6 +33,7 @@ class TestExports:
             "repro.experiments",
             "repro.store",
             "repro.sweeps",
+            "repro.adaptive",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and consolidate it into ``BENCH_adaptive.json``.
+
+The adaptive precision engine's headline numbers are *replication counts*:
+how many replications each estimand needs to reach a relative half-width
+target under plain sampling, and the speedup variance reduction buys
+(plain / VR replications-to-target).  This tool measures them directly
+through :func:`benchmarks.bench_adaptive.measure` and writes one
+consolidated, deterministic JSON record::
+
+    PYTHONPATH=src python tools/bench_all.py                 # adaptive suite
+    PYTHONPATH=src python tools/bench_all.py --full          # + wall-times
+    PYTHONPATH=src python tools/bench_all.py --out custom.json
+
+``--full`` additionally runs the whole pytest-benchmark suite
+(``benchmarks/``) with ``--benchmark-json`` and folds each benchmark's
+mean wall-time into the record — slower, but gives the complete
+trajectory point.  Exit status is non-zero when any VR speedup falls
+below 1 (the same gate CI enforces), so the file is only written from a
+healthy run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_adaptive.json"
+
+
+def _load_bench_adaptive():
+    """Import benchmarks/bench_adaptive.py by path (benchmarks/ is not a
+    package); its ESTIMANDS registry and measure() are the single source
+    of truth for what gets benchmarked."""
+    path = ROOT / "benchmarks" / "bench_adaptive.py"
+    spec = importlib.util.spec_from_file_location("bench_adaptive", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_adaptive_suite(rel_hw: float, budget: int) -> dict:
+    """Replications-to-target and VR speedups for every estimand."""
+    bench = _load_bench_adaptive()
+    estimands = {}
+    for label in sorted(bench.ESTIMANDS):
+        print(f"measuring {label} (rel_hw={rel_hw}) ...", flush=True)
+        record = bench.measure(label, rel_hw=rel_hw, budget=budget)
+        estimands[label] = record
+        print(
+            f"  plain {record['replications_plain']} -> vr "
+            f"{record['replications_vr']} replications "
+            f"(speedup {record['vr_speedup']:.2f}x)",
+            flush=True,
+        )
+    return estimands
+
+
+def run_full_benchmarks() -> dict:
+    """The pytest-benchmark suite's mean wall-times, keyed by test name."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "bench.json"
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(ROOT / "benchmarks"),
+                "-q",
+                f"--benchmark-json={out}",
+            ],
+            cwd=ROOT,
+        )
+        if completed.returncode != 0:
+            raise SystemExit("pytest-benchmark suite failed")
+        data = json.loads(out.read_text())
+    return {
+        bench["name"]: {
+            "mean_seconds": bench["stats"]["mean"],
+            "extra_info": bench.get("extra_info", {}),
+        }
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Consolidate the benchmark suite into BENCH_adaptive.json"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        metavar="FILE",
+        help=f"output path (default {DEFAULT_OUT.name} at the repo root)",
+    )
+    parser.add_argument(
+        "--rel-hw",
+        type=float,
+        default=0.05,
+        help="relative half-width target for the replications-to-target "
+        "measurements (default 0.05)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=120_000,
+        help="replication budget per measurement (default 120000)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the pytest-benchmark suite and record wall-times",
+    )
+    args = parser.parse_args(argv)
+
+    record = {
+        "suite": "adaptive-precision",
+        "rel_hw": args.rel_hw,
+        "budget": args.budget,
+        "estimands": run_adaptive_suite(args.rel_hw, args.budget),
+    }
+    speedups = [
+        entry["vr_speedup"] for entry in record["estimands"].values()
+    ]
+    record["min_vr_speedup"] = min(speedups)
+    record["gate_vr_speedup_ge_1"] = all(s >= 1.0 for s in speedups)
+    if args.full:
+        record["wall_times"] = run_full_benchmarks()
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    if not record["gate_vr_speedup_ge_1"]:
+        print(
+            f"FAIL: min VR speedup {record['min_vr_speedup']:.2f} < 1",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"min VR speedup: {record['min_vr_speedup']:.2f}x (gate: >= 1)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

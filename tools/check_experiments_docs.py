@@ -21,10 +21,22 @@ CATALOG = pathlib.Path(__file__).resolve().parent.parent / "docs" / "experiments
 # catalog rows carry their id as the first, backticked table cell
 _ROW_PATTERN = re.compile(r"^\|\s*`([a-z][a-z0-9]*)`", re.MULTILINE)
 
+# a row's full line, for per-row column checks
+_LINE_PATTERN = re.compile(r"^\|\s*`([a-z][a-z0-9]*)`.*$", re.MULTILINE)
+
 
 def documented_ids(text: str) -> list:
     """Experiment ids listed in the catalog, in order of appearance."""
     return _ROW_PATTERN.findall(text)
+
+
+def documented_precision_ids(text: str) -> list:
+    """Ids whose catalog row marks the adaptive `precision` knob."""
+    out = []
+    for match in _LINE_PATTERN.finditer(text):
+        if "`precision`" in match.group(0):
+            out.append(match.group(1))
+    return out
 
 
 def main() -> int:
@@ -34,15 +46,27 @@ def main() -> int:
     if not CATALOG.exists():
         print(f"missing catalog: {CATALOG}", file=sys.stderr)
         return 1
-    documented = documented_ids(CATALOG.read_text())
+    from repro.experiments import runner_params
+
+    text = CATALOG.read_text()
+    documented = documented_ids(text)
     missing = [eid for eid in registered if eid not in documented]
     extra = [eid for eid in documented if eid not in registered]
     duplicated = sorted(
         {eid for eid in documented if documented.count(eid) > 1}
     )
-    if not (missing or extra or duplicated):
+    # the adaptive column must mirror which runners accept a `precision`
+    # knob (the adaptive precision engine's entry point)
+    capable = sorted(
+        eid for eid in registered if "precision" in runner_params(eid)
+    )
+    marked = sorted(documented_precision_ids(text))
+    unmarked = [eid for eid in capable if eid not in marked]
+    overmarked = [eid for eid in marked if eid not in capable]
+    if not (missing or extra or duplicated or unmarked or overmarked):
         print(
-            f"docs/experiments.md in sync: {len(registered)} experiment ids"
+            f"docs/experiments.md in sync: {len(registered)} experiment "
+            f"ids, {len(capable)} precision-capable"
         )
         return 0
     if missing:
@@ -51,6 +75,17 @@ def main() -> int:
         print(f"ids documented but not registered: {extra}", file=sys.stderr)
     if duplicated:
         print(f"ids documented more than once: {duplicated}", file=sys.stderr)
+    if unmarked:
+        print(
+            f"precision-capable ids not marked in the adaptive column: "
+            f"{unmarked}",
+            file=sys.stderr,
+        )
+    if overmarked:
+        print(
+            f"ids marked `precision` but without the knob: {overmarked}",
+            file=sys.stderr,
+        )
     return 1
 
 
