@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Load harness for the simulation service: warm/cold/coalescible mix.
+
+Measures the serving layer's headline numbers against a live server
+(spawned in-process when ``--url`` is not given):
+
+* **cold** — wall time of one uncached run (a fresh seed, full
+  Monte-Carlo cost through the scheduler and a worker);
+* **warm** — p50/p99 latency of repeated identical requests (two-tier
+  cache hits; never touch a worker).  Gate: ``cold / warm_p50 >= 50``;
+* **coalesce** — N clients fire the *same* uncached request
+  simultaneously; the scheduler must run exactly **one** underlying
+  computation and attach the other N−1 requests to it.  Gate: the
+  server-side completed-jobs counter moves by 1 and the coalesced
+  counter by N−1;
+* **mixed** — N concurrent clients × M requests each over a 70 % warm /
+  20 % cold / 10 % coalescible-hot workload: throughput and p50/p99.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                # self-hosted
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke        # short burst
+    PYTHONPATH=src python benchmarks/bench_service.py --url http://127.0.0.1:8752
+
+Writes one JSON record (default ``BENCH_service.json`` at the repo root)
+and exits non-zero when a gate fails, so the committed file only ever
+comes from a healthy run.  ``tools/bench_all.py`` runs this suite
+alongside the adaptive one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_service.json"
+
+
+def _quantile(values, q):
+    values = sorted(values)
+    return values[min(int(q * len(values)), len(values) - 1)]
+
+
+def _latency_summary(latencies):
+    return {
+        "count": len(latencies),
+        "mean_seconds": statistics.fmean(latencies),
+        "p50_seconds": _quantile(latencies, 0.50),
+        "p99_seconds": _quantile(latencies, 0.99),
+        "max_seconds": max(latencies),
+    }
+
+
+def _fresh_seed_base() -> int:
+    """A seed nonce so repeated harness runs against a persistent server
+    still hit genuinely cold points."""
+    return (os.getpid() * 1_000_003 + int(time.time())) % 2**30
+
+
+def _measure_cold_warm(make_client, experiment, seed, warm_requests):
+    client = make_client()
+    try:
+        start = time.perf_counter()
+        job = client.run(experiment, seed=seed)
+        cold_seconds = time.perf_counter() - start
+        assert not job["cached"], "cold request was unexpectedly cached"
+        warm_latencies = []
+        for _ in range(warm_requests):
+            start = time.perf_counter()
+            job = client.run(experiment, seed=seed)
+            warm_latencies.append(time.perf_counter() - start)
+            assert job["cached"], "warm request missed the cache"
+    finally:
+        client.close()
+    return cold_seconds, warm_latencies
+
+
+def _measure_coalesce(make_client, experiment, seed, clients):
+    metrics_client = make_client()
+    before = metrics_client.metrics()["jobs"]
+    barrier = threading.Barrier(clients)
+
+    def fire(_index):
+        client = make_client()
+        try:
+            barrier.wait(timeout=60)
+            start = time.perf_counter()
+            job = client.run(experiment, seed=seed)
+            return time.perf_counter() - start, job["id"]
+        finally:
+            client.close()
+
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        outcomes = list(pool.map(fire, range(clients)))
+    after = metrics_client.metrics()["jobs"]
+    metrics_client.close()
+    latencies = [latency for latency, _ in outcomes]
+    job_ids = {job_id for _, job_id in outcomes}
+    return {
+        "clients": clients,
+        "distinct_jobs": len(job_ids),
+        "executions": after["completed"] - before["completed"],
+        "coalesced": after["coalesced"] - before["coalesced"],
+        "latency": _latency_summary(latencies),
+    }
+
+
+def _measure_mixed(
+    make_client, experiment, warm_seeds, cold_base, hot_base, clients, requests
+):
+    """N clients × M requests: 70% warm pool / 20% cold / 10% shared hot."""
+    cold_counter = iter(range(10_000_000))
+    counter_lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def drive(worker):
+        client = make_client()
+        latencies = []
+        try:
+            barrier.wait(timeout=60)
+            for index in range(requests):
+                slot = (worker + index) % 10
+                if slot < 7:  # warm: small shared pool, cached after first hit
+                    seed = warm_seeds[index % len(warm_seeds)]
+                elif slot < 9:  # cold: globally unique seed
+                    with counter_lock:
+                        seed = cold_base + next(cold_counter)
+                else:  # hot: same fresh seed across workers per wave
+                    seed = hot_base + index
+                start = time.perf_counter()
+                client.run(experiment, seed=seed)
+                latencies.append(time.perf_counter() - start)
+            return latencies
+        finally:
+            client.close()
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        per_worker = list(pool.map(drive, range(clients)))
+    wall = time.perf_counter() - start
+    latencies = [latency for worker in per_worker for latency in worker]
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "wall_seconds": wall,
+        "throughput_rps": len(latencies) / wall,
+        "latency": _latency_summary(latencies),
+    }
+
+
+def run_benchmark(
+    url=None,
+    cold_experiment="e02",
+    mixed_experiment="x3",
+    clients=8,
+    warm_requests=50,
+    mixed_requests=48,
+    procs=1,
+    smoke=False,
+):
+    """Run every phase against ``url`` (or a self-hosted server) and
+    return the consolidated record."""
+    from repro.service import ServiceClient
+    from repro.service.http import ThreadedServer
+
+    if smoke:
+        cold_experiment = "e07"
+        warm_requests = min(warm_requests, 12)
+        mixed_requests = min(mixed_requests, 12)
+
+    import tempfile
+
+    hosted = None
+    tmp = None
+    if url is None:
+        tmp = tempfile.TemporaryDirectory(prefix="bench_service_")
+        hosted = ThreadedServer(
+            store_path=tmp.name, procs=procs, queue_limit=256
+        )
+        url = hosted.url
+    try:
+        def make_client():
+            return ServiceClient(url)
+
+        base = _fresh_seed_base()
+        print(f"target {url}  (seed base {base})", flush=True)
+
+        print(f"cold/warm: {cold_experiment}, {warm_requests} warm "
+              "requests ...", flush=True)
+        cold_seconds, warm_latencies = _measure_cold_warm(
+            make_client, cold_experiment, base, warm_requests
+        )
+        warm = _latency_summary(warm_latencies)
+        warm_speedup = cold_seconds / warm["p50_seconds"]
+        print(
+            f"  cold {cold_seconds * 1e3:.1f} ms, warm p50 "
+            f"{warm['p50_seconds'] * 1e3:.2f} ms -> {warm_speedup:.0f}x",
+            flush=True,
+        )
+
+        print(
+            f"coalesce: {clients} simultaneous identical cold requests ...",
+            flush=True,
+        )
+        coalesce = _measure_coalesce(
+            make_client, cold_experiment, base + 1, clients
+        )
+        print(
+            f"  {coalesce['executions']} execution(s), "
+            f"{coalesce['coalesced']} coalesced, "
+            f"{coalesce['distinct_jobs']} distinct job id(s)",
+            flush=True,
+        )
+
+        print(
+            f"mixed: {clients} clients x {mixed_requests} requests "
+            f"({mixed_experiment}; 70% warm / 20% cold / 10% hot) ...",
+            flush=True,
+        )
+        warm_seeds = list(range(5))
+        client = make_client()
+        for seed in warm_seeds:  # pre-warm the pool
+            client.run(mixed_experiment, seed=seed)
+        client.close()
+        mixed = _measure_mixed(
+            make_client,
+            mixed_experiment,
+            warm_seeds,
+            cold_base=base + 10_000,
+            hot_base=base + 20_000_000,
+            clients=clients,
+            requests=mixed_requests,
+        )
+        print(
+            f"  {mixed['throughput_rps']:.0f} req/s, p50 "
+            f"{mixed['latency']['p50_seconds'] * 1e3:.2f} ms, p99 "
+            f"{mixed['latency']['p99_seconds'] * 1e3:.2f} ms",
+            flush=True,
+        )
+
+        final_metrics_client = make_client()
+        server_metrics = final_metrics_client.metrics()
+        final_metrics_client.close()
+    finally:
+        if hosted is not None:
+            hosted.stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+    record = {
+        "suite": "service-load",
+        "smoke": smoke,
+        "self_hosted": hosted is not None,
+        "procs": procs if hosted is not None else None,
+        "cold_experiment": cold_experiment,
+        "mixed_experiment": mixed_experiment,
+        "cold_seconds": cold_seconds,
+        "warm": warm,
+        "warm_speedup_vs_cold": warm_speedup,
+        "coalesce": coalesce,
+        "mixed": mixed,
+        "cache_hit_ratio": server_metrics["cache"]["hit_ratio"],
+        "cache": server_metrics["cache"],
+        "server_jobs": server_metrics["jobs"],
+        "gate_warm_speedup_ge_50": warm_speedup >= 50.0,
+        "gate_coalesce_single_execution": (
+            coalesce["executions"] == 1
+            and coalesce["coalesced"] == clients - 1
+            and coalesce["distinct_jobs"] == 1
+        ),
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Load-test the simulation service (warm/cold/"
+        "coalescible mix) and write BENCH_service.json"
+    )
+    parser.add_argument(
+        "--url",
+        metavar="URL",
+        help="target a running server (default: host one in-process on a "
+        "temporary store)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        metavar="FILE",
+        help=f"output path (default {DEFAULT_OUT.name} at the repo root)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent client threads (default 8)",
+    )
+    parser.add_argument(
+        "--warm-requests",
+        type=int,
+        default=50,
+        help="repeated warm requests measured (default 50)",
+    )
+    parser.add_argument(
+        "--mixed-requests",
+        type=int,
+        default=48,
+        help="requests per client in the mixed phase (default 48)",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="worker processes for the self-hosted server (default 1)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short burst (CI): cheaper cold experiment, fewer requests",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(
+        url=args.url,
+        clients=args.clients,
+        warm_requests=args.warm_requests,
+        mixed_requests=args.mixed_requests,
+        procs=args.procs,
+        smoke=args.smoke,
+    )
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    failed = []
+    if not record["gate_warm_speedup_ge_50"]:
+        failed.append(
+            f"warm speedup {record['warm_speedup_vs_cold']:.1f}x < 50x"
+        )
+    if not record["gate_coalesce_single_execution"]:
+        failed.append(
+            f"coalescing ran {record['coalesce']['executions']} "
+            f"executions for {record['coalesce']['clients']} identical "
+            "requests (want exactly 1)"
+        )
+    if failed:
+        print("FAIL: " + "; ".join(failed), file=sys.stderr)
+        return 1
+    print(
+        f"gates ok: warm {record['warm_speedup_vs_cold']:.0f}x >= 50x, "
+        f"coalesce {record['coalesce']['coalesced']}/"
+        f"{record['coalesce']['clients'] - 1} shared on 1 execution"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,9 @@ from .controller import (
     adaptive_untested_joint_pfd,
     adaptive_version_pfd,
     iter_adaptive_runs,
+    round_observer,
     run_adaptive,
+    set_round_observer,
 )
 from .targets import VR_MODES, PrecisionTarget
 from .variance import fault_count_pmf, pair_fault_count_pmf, resolve_vr
@@ -72,5 +74,7 @@ __all__ = [
     "moments_of",
     "pair_fault_count_pmf",
     "resolve_vr",
+    "round_observer",
     "run_adaptive",
+    "set_round_observer",
 ]

@@ -34,6 +34,7 @@ controller for the library's standard estimands.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -66,7 +67,9 @@ __all__ = [
     "MetricReport",
     "MetricSpec",
     "iter_adaptive_runs",
+    "round_observer",
     "run_adaptive",
+    "set_round_observer",
     "adaptive_version_pfd",
     "adaptive_untested_joint_pfd",
     "adaptive_untested_joint_on_demand",
@@ -80,6 +83,36 @@ _DEFAULT_CHUNK = 8192
 #: smallest round worth dispatching — avoids long tails of tiny top-up
 #: rounds when the projection lands just short
 _MIN_ROUND = 64
+
+# ambient per-thread round observer (see set_round_observer); thread-local
+# so concurrent adaptive runs in different worker threads cannot observe
+# each other's rounds
+_ROUND_OBSERVER = threading.local()
+
+
+def set_round_observer(
+    callback: Optional[Callable[[Dict[str, object]], None]],
+) -> Optional[Callable[[Dict[str, object]], None]]:
+    """Install an ambient per-thread progress callback; returns the previous.
+
+    While installed, every :func:`run_adaptive` round on this thread calls
+    ``callback`` with the same payload an explicit ``on_round`` argument
+    receives (see :func:`run_adaptive`).  This is how long-lived hosts —
+    the ``repro.service`` job scheduler in particular — observe convergence
+    progress from adaptive runs buried deep inside experiment runners
+    without threading a callback through every layer, mirroring
+    :func:`repro.experiments.base.set_engine_config`.  Pass ``None`` to
+    uninstall.  Callback exceptions propagate: observers must be
+    fire-and-forget.
+    """
+    previous = getattr(_ROUND_OBSERVER, "callback", None)
+    _ROUND_OBSERVER.callback = callback
+    return previous
+
+
+def round_observer() -> Optional[Callable[[Dict[str, object]], None]]:
+    """The ambient round observer installed on this thread, if any."""
+    return getattr(_ROUND_OBSERVER, "callback", None)
 
 
 @dataclass(frozen=True)
@@ -351,12 +384,37 @@ def _round_allotment(
     return max(allotment, 0)
 
 
+def _round_payload(
+    round_number: int,
+    names: Sequence[str],
+    states: Dict[str, "_MetricState"],
+    target: PrecisionTarget,
+) -> Dict[str, object]:
+    """The progress payload emitted after one controller round."""
+    metrics: Dict[str, object] = {}
+    for name in sorted(names):
+        state = states[name]
+        estimate = state.estimate(target.confidence)
+        threshold = target.threshold(estimate.mean, state.spec.scale)
+        metrics[name] = {
+            "replications": int(state.replications),
+            "mean": float(estimate.mean),
+            "half_width": float(estimate.half_width),
+            "threshold": float(threshold),
+            "converged": bool(
+                target.met(estimate.mean, estimate.half_width, state.spec.scale)
+            ),
+        }
+    return {"round": int(round_number), "metrics": metrics}
+
+
 def run_adaptive(
     metrics: Sequence[MetricSpec],
     target: PrecisionTarget,
     rng: SeedLike = None,
     n_jobs: int = 1,
     chunk_size: Optional[int] = None,
+    on_round: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> AdaptiveReport:
     """Estimate every metric to its precision target (or budget).
 
@@ -364,6 +422,14 @@ def run_adaptive(
     ``n_jobs``: chunk seeds are drawn per metric in declaration order
     before any work runs, and accumulators reduce in chunk-index order
     regardless of completion order.
+
+    After each round, ``on_round`` (and the ambient per-thread observer
+    installed with :func:`set_round_observer`, if any) receives a progress
+    payload — ``{"round": n, "metrics": {name: {"replications",
+    "mean", "half_width", "threshold", "converged"}}}`` covering the
+    metrics that ran in that round.  Observation never changes results:
+    the payload is derived from the same accumulator state the stopping
+    decision reads.
     """
     if not metrics:
         raise ModelError("run_adaptive needs at least one metric")
@@ -440,6 +506,15 @@ def run_adaptive(
         )
         for name, index, replications, payload in results:
             states[name].absorb(index, replications, payload)
+        observer = round_observer()
+        if on_round is not None or observer is not None:
+            progress = _round_payload(
+                rounds, sorted({name for name, _ in tasks}), states, target
+            )
+            if on_round is not None:
+                on_round(progress)
+            if observer is not None:
+                observer(progress)
     reports = {}
     for name in names:
         state = states[name]

@@ -1,6 +1,6 @@
 """CLI entry point: ``python -m repro.experiments [ids…] [options]``.
 
-Three invocation shapes:
+Four invocation shapes:
 
 * **run** (default, no subcommand) — run the requested reproduction
   experiments (all by default), print each result table, exit non-zero if
@@ -8,9 +8,17 @@ Three invocation shapes:
 * **sweep** — execute a declarative parameter grid
   (``sweep --grid grid.toml --out results/``), persisting every completed
   point to a resumable result store (re-runs are cache hits, interrupted
-  sweeps resume where they stopped);
+  sweeps resume where they stopped); with ``--via-service URL`` the grid
+  points fan out through a running simulation server instead of local
+  processes;
 * **aggregate** — join a result store back into comparison tables
-  (``aggregate --store results/ [--experiment id]``).
+  (``aggregate --store results/ [--experiment id]``);
+* **serve** — host the long-lived simulation service
+  (``serve --host 127.0.0.1 --port 8752 --procs 4 --store results/``):
+  an asyncio JSON/HTTP API with request coalescing, a two-tier result
+  cache over the store, per-job priorities and adaptive-run progress
+  streaming (API reference: ``docs/service.md``).  SIGINT/SIGTERM drain
+  cleanly — in-flight jobs complete and persist, queued jobs cancel.
 
 The catalog of experiment ids, the paper claim each one reproduces, its
 knobs and expected runtimes live in ``docs/experiments.md``; the grid file
@@ -265,6 +273,14 @@ def sweep_main(argv: List[str]) -> int:
         action="store_true",
         help="list every grid point and its cache status without running",
     )
+    parser.add_argument(
+        "--via-service",
+        metavar="URL",
+        help="fan grid points through a running simulation server "
+        "(e.g. http://127.0.0.1:8752) instead of local worker processes; "
+        "--procs becomes the number of concurrent requests and records "
+        "are mirrored into --out",
+    )
     _add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -292,10 +308,114 @@ def sweep_main(argv: List[str]) -> int:
     def progress(point, status):
         print(f"{status:<9} {point.label()}", flush=True)
 
-    report = sweep.run(n_procs=args.procs, progress=progress)
+    if args.via_service:
+        report = sweep.run_via_service(
+            args.via_service, n_procs=args.procs, progress=progress
+        )
+    else:
+        report = sweep.run(n_procs=args.procs, progress=progress)
     print(report.summary())
     print(f"store: {store.path}")
     return EXIT_OK if report.passed else EXIT_CLAIM_FAILURES
+
+
+def serve_main(argv: List[str]) -> int:
+    """``serve --port 8752 --procs 4 --store results/``: host the service."""
+    import asyncio
+    import signal
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Host the long-lived simulation service: JSON/HTTP API "
+        "with request coalescing, a two-tier result cache and a bounded "
+        "priority job queue (API reference: docs/service.md).",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1; bind 0.0.0.0 only behind "
+        "a trusted network — the API is unauthenticated)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8752,
+        help="bind port (default 8752; 0 picks a free port, printed on "
+        "startup)",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes computing jobs (default 1; 0 runs jobs on "
+        "a single in-process thread — no subprocesses, for debugging)",
+    )
+    parser.add_argument(
+        "--store",
+        default="results",
+        metavar="DIR",
+        help="result store backing the cache (default: results/); records "
+        "computed by the server persist there and records already there "
+        "are served warm",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run without a persistent store (memory cache only; results "
+        "are lost on shutdown)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="in-memory LRU capacity in records (default 1024)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded job queue depth; submissions beyond it get HTTP 429 "
+        "(default 64)",
+    )
+    args = parser.parse_args(argv)
+
+    from ..service import JobScheduler, ServiceServer, TwoTierCache
+    from ..store import ResultStore
+
+    async def _serve() -> None:
+        store = None if args.no_store else ResultStore(args.store)
+        cache = TwoTierCache(store, capacity=args.cache_size)
+        scheduler = JobScheduler(
+            cache, procs=args.procs, queue_limit=args.queue_limit
+        )
+        await scheduler.start()
+        server = ServiceServer(scheduler, host=args.host, port=args.port)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        store_label = str(store.path) if store is not None else "none"
+        print(
+            f"serving {server.url} (procs={args.procs}, "
+            f"store={store_label})",
+            flush=True,
+        )
+        await stop.wait()
+        print(
+            "shutting down: queued jobs cancelled, in-flight jobs "
+            "draining ...",
+            flush=True,
+        )
+        await server.close()
+        await scheduler.close()
+        print("shutdown complete", flush=True)
+
+    asyncio.run(_serve())
+    return EXIT_OK
 
 
 def aggregate_main(argv: List[str]) -> int:
@@ -359,6 +479,8 @@ def main(argv: List[str] | None = None) -> int:
             return sweep_main(argv[1:])
         if argv and argv[0] == "aggregate":
             return aggregate_main(argv[1:])
+        if argv and argv[0] == "serve":
+            return serve_main(argv[1:])
         return run_main(argv)
     except ModelError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -1,0 +1,139 @@
+"""Two-tier result cache: in-memory LRU over a persistent ``ResultStore``.
+
+The service's warm path.  Tier 1 is a bounded least-recently-used map of
+complete store records; tier 2 is an optional append-only
+:class:`~repro.store.ResultStore` shared with the sweep layer, so results
+computed by offline sweeps are warm the moment the server starts, and
+results computed by the server survive restarts.  A hit in either tier
+returns without touching a worker process — the property the scheduler's
+submit path relies on.
+
+Only records carrying a ``result`` payload are cacheable: identity-only
+records mark a point as *known*, not as *computed* (exactly the
+distinction :meth:`repro.sweeps.Sweep.partition` draws), and serving one
+would hand a client a result-less answer.
+
+The cache is deliberately not thread-safe: the scheduler drives it from
+the event loop only.  Hit/miss/eviction counters feed ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import ModelError
+from ..store import ResultStore
+
+__all__ = ["TwoTierCache"]
+
+
+class TwoTierCache:
+    """A bounded LRU of store records over an optional persistent store."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        capacity: int = 1024,
+    ) -> None:
+        if capacity < 1:
+            raise ModelError(f"cache capacity must be >= 1, got {capacity}")
+        self.store = store
+        self.capacity = capacity
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self.memory_hits = 0
+        self.store_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- reading ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The complete record under ``key``, or None (counted as a miss)."""
+        record, _ = self.lookup(key)
+        return record
+
+    def lookup(self, key: str) -> Tuple[Optional[dict], Optional[str]]:
+        """Like :meth:`get`, also reporting which tier answered.
+
+        Returns ``(record, source)`` with source ``"memory"``, ``"store"``
+        or ``None``.  Memory hits refresh the entry's recency; store hits
+        promote the record into memory so a repeat is a memory hit.
+        """
+        record = self._memory.get(key)
+        if record is not None:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            return record, "memory"
+        if self.store is not None:
+            record = self.store.get(key)
+            if record is not None and "result" in record:
+                self.store_hits += 1
+                self._remember(key, record)
+                return record, "store"
+        self.misses += 1
+        return None, None
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        if self.store is None:
+            return False
+        record = self.store.get(key)
+        return record is not None and "result" in record
+
+    # -- writing ---------------------------------------------------------
+
+    def put(self, record: Mapping[str, object]) -> str:
+        """Persist a freshly computed record into both tiers.
+
+        The store write happens first — a crash after it loses only the
+        memory tier, which rebuilds from the store; the other order could
+        serve a record that never reached disk.
+        """
+        if "result" not in record:
+            raise ModelError(
+                f"cache refuses identity-only record "
+                f"{record.get('key', '<unkeyed>')!r} (no result payload)"
+            )
+        record = dict(record)
+        if self.store is not None:
+            key = self.store.put(record)
+        else:
+            from ..store.records import validate_record
+
+            validate_record(record)
+            key = record["key"]
+        self._remember(key, record)
+        return key
+
+    def _remember(self, key: str, record: dict) -> None:
+        self._memory[key] = dict(record)
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.store_hits
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot for ``GET /metrics``."""
+        lookups = self.hits + self.misses
+        return {
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_ratio": (self.hits / lookups) if lookups else 0.0,
+            "memory_size": len(self._memory),
+            "memory_capacity": self.capacity,
+            "store_records": len(self.store) if self.store is not None else 0,
+            "store_path": (
+                str(self.store.path) if self.store is not None else None
+            ),
+        }

@@ -1,0 +1,222 @@
+"""Blocking HTTP client for the simulation service.
+
+A thin, dependency-free (stdlib ``http.client``) wrapper used by the test
+suite, the load harness and the sweep layer's ``--via-service`` path.  One
+:class:`ServiceClient` holds one keep-alive connection and is therefore
+**not thread-safe** — concurrent load generators give each worker thread
+its own client (connections are cheap; the server multiplexes).
+
+Error responses (4xx/5xx) raise :class:`~repro.service.errors.ServiceError`
+carrying the HTTP status and the server's message — including the
+did-you-mean hints for unknown experiment ids.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """A blocking JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 630.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ServiceError(
+                f"only http:// service URLs are supported, got {base_url!r}"
+            )
+        if not parts.hostname:
+            raise ServiceError(f"service URL has no host: {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 8752
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (reopened on the next request)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Mapping] = None
+    ) -> Tuple[int, dict]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        for attempt in range(2):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                socket.timeout,
+                OSError,
+            ) as error:
+                # a stale keep-alive connection (server restarted, idle
+                # timeout) fails exactly once; reconnect and retry once
+                self.close()
+                last_error = error
+        else:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{last_error}",
+                status=503,
+            )
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"service returned non-JSON ({response.status}): "
+                f"{raw[:200]!r}",
+                status=502,
+            )
+        if response.status >= 400:
+            message = (
+                parsed.get("error", raw.decode("utf-8", "replace"))
+                if isinstance(parsed, dict)
+                else str(parsed)
+            )
+            raise ServiceError(message, status=response.status)
+        return response.status, parsed
+
+    # -- API -------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The server's liveness payload."""
+        return self._request("GET", "/healthz")[1]
+
+    def metrics(self) -> dict:
+        """The server's counter snapshot."""
+        return self._request("GET", "/metrics")[1]
+
+    def experiments(self) -> dict:
+        """The experiment catalog with each runner's knobs."""
+        return self._request("GET", "/experiments")[1]
+
+    def submit(
+        self,
+        experiment_id: str,
+        seed: int = 0,
+        fast: bool = True,
+        params: Optional[Mapping[str, object]] = None,
+        engine: str = "auto",
+        n_jobs: int = 1,
+        priority: int = 0,
+        wait: bool = False,
+    ) -> dict:
+        """``POST /run``; returns the job payload (result record when done).
+
+        With ``wait=True`` the server blocks the request until the job
+        reaches a terminal state (coalesced requests all unblock on the
+        shared computation).  Cache hits return immediately either way.
+        """
+        payload: Dict[str, object] = {
+            "experiment_id": experiment_id,
+            "seed": seed,
+            "fast": fast,
+            "engine": engine,
+            "n_jobs": n_jobs,
+            "priority": priority,
+            "wait": wait,
+        }
+        if params:
+            payload["params"] = dict(params)
+        return self._request("POST", "/run", payload)[1]
+
+    def run(
+        self,
+        experiment_id: str,
+        seed: int = 0,
+        fast: bool = True,
+        params: Optional[Mapping[str, object]] = None,
+        engine: str = "auto",
+        n_jobs: int = 1,
+        priority: int = 0,
+    ) -> dict:
+        """Submit and block until terminal; raise unless the job completed.
+
+        Returns the terminal job payload, whose ``record`` field is the
+        store record (identity + ``result``) of the computed point.
+        """
+        job = self.submit(
+            experiment_id,
+            seed=seed,
+            fast=fast,
+            params=params,
+            engine=engine,
+            n_jobs=n_jobs,
+            priority=priority,
+            wait=True,
+        )
+        if job["state"] not in _TERMINAL:
+            job = self.wait(job["id"])
+        if job["state"] != "done":
+            raise ServiceError(
+                f"job {job['id']} ({experiment_id}) ended {job['state']}: "
+                f"{job.get('error') or 'no error detail'}",
+                status=500,
+            )
+        return job
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``: status, progress, record when done."""
+        return self._request("GET", f"/jobs/{job_id}")[1]
+
+    def jobs(self) -> dict:
+        """``GET /jobs``: recent job summaries, newest first."""
+        return self._request("GET", "/jobs")[1]
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.05
+    ) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in _TERMINAL:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for job {job_id} "
+                    f"(state {job['state']})",
+                    status=504,
+                )
+            time.sleep(poll)
+
+    def cancel(self, job_id: str) -> dict:
+        """``POST /jobs/<id>/cancel``; ``cancelled`` is False for running jobs."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")[1]

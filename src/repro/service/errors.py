@@ -1,0 +1,27 @@
+"""Service-layer errors.
+
+All subclass :class:`~repro.errors.ModelError` so existing CLI error
+handling (usage errors exit 2) covers service failures without special
+cases, and carry the HTTP status the server responds with.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+
+__all__ = ["QueueFullError", "ServiceError"]
+
+
+class ServiceError(ModelError):
+    """A service-level failure, carrying its HTTP status code."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+class QueueFullError(ServiceError):
+    """The scheduler's bounded queue rejected a submission (HTTP 429)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, status=429)

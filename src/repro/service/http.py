@@ -1,0 +1,423 @@
+"""Dependency-free asyncio JSON/HTTP API over the job scheduler.
+
+A deliberately small HTTP/1.1 server (stdlib only — ``asyncio`` streams,
+no frameworks) exposing the scheduler's whole surface:
+
+========================  ==================================================
+``GET /healthz``          liveness + queue/running gauges
+``GET /metrics``          hit/miss/coalesce/queue-depth/latency counters
+``GET /experiments``      the registry catalog with each runner's knobs
+``POST /run``             submit a run (``wait: true`` blocks until done)
+``GET /jobs``             recent jobs, newest first
+``GET /jobs/<id>``        one job's status, progress and (when done) record
+``POST /jobs/<id>/cancel``  cancel a queued job (running jobs finish)
+========================  ==================================================
+
+Connections are keep-alive (the load harness reuses one connection per
+client); errors map :class:`~repro.service.errors.ServiceError` statuses
+(400 usage, 429 queue full, 503 shutting down) onto JSON ``{"error": …}``
+bodies, so the did-you-mean experiment-id hints and unknown-knob messages
+reach HTTP clients verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ModelError
+from ..experiments import all_experiment_ids, runner_params
+from ..experiments.base import canonical_cell
+from .cache import TwoTierCache
+from .errors import ServiceError
+from .jobs import DONE, JobScheduler, JobSpec
+
+__all__ = ["ServiceServer", "ThreadedServer"]
+
+_MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADERS = 100
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"invalid JSON body: {error}", status=400)
+
+
+def _knob_payload(default: object) -> object:
+    """A runner knob's default as a JSON-safe value."""
+    import inspect
+
+    if default is inspect.Parameter.empty:
+        return "<required>"
+    try:
+        return canonical_cell(default)
+    except Exception:
+        return repr(default)
+
+
+def _experiments_payload() -> Dict[str, object]:
+    experiments = []
+    for experiment_id in all_experiment_ids():
+        params = runner_params(experiment_id)
+        experiments.append(
+            {
+                "id": experiment_id,
+                "params": {
+                    name: _knob_payload(default)
+                    for name, default in sorted(params.items())
+                },
+                "precision": "precision" in params,
+            }
+        )
+    return {"experiments": experiments}
+
+
+class ServiceServer:
+    """The asyncio HTTP front-end bound to one :class:`JobScheduler`."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        host: str = "127.0.0.1",
+        port: int = 8752,
+        wait_timeout: float = 600.0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.wait_timeout = wait_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> "ServiceServer":
+        """Bind and start accepting; ``port=0`` picks a free port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def url(self) -> str:
+        """The server's base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then close the listener."""
+        await stop.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop listening and drop open keep-alive connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ServiceError as error:
+                    # malformed request: answer once, then drop the link
+                    self._write_response(
+                        writer, error.status, {"error": str(error)}, True
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                close_after = (
+                    request.headers.get("connection", "").lower() == "close"
+                )
+                try:
+                    status, payload = await self._route(request)
+                except ServiceError as error:
+                    status, payload = error.status, {"error": str(error)}
+                except ModelError as error:
+                    status, payload = 400, {"error": str(error)}
+                except asyncio.TimeoutError:
+                    status, payload = 503, {
+                        "error": "timed out waiting for the job; poll "
+                        "GET /jobs/<id> instead"
+                    }
+                except Exception:
+                    traceback.print_exc(file=sys.stderr)
+                    status, payload = 500, {"error": "internal server error"}
+                self._write_response(writer, status, payload, close_after)
+                await writer.drain()
+                if close_after:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # client went away mid-exchange
+        except asyncio.CancelledError:
+            pass  # server closing: drop the connection quietly
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[_Request]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ServiceError("malformed request line", status=400)
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ServiceError("too many headers", status=400)
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ServiceError("bad Content-Length", status=400)
+        if length > _MAX_BODY:
+            raise ServiceError("request body too large", status=413)
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return _Request(method=method, path=path, headers=headers, body=body)
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: object,
+        close_after: bool,
+    ) -> None:
+        try:
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        except (TypeError, ValueError):
+            # a non-JSON-safe value leaked into a payload (e.g. a NaN in
+            # free-form progress data): canonicalize and retry
+            body = json.dumps(canonical_cell(payload)).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close_after else 'keep-alive'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+
+    # -- routing ---------------------------------------------------------
+
+    async def _route(self, request: _Request) -> Tuple[int, object]:
+        method, path = request.method, request.path
+        segments = [part for part in path.split("/") if part]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET /healthz"}
+            scheduler = self.scheduler
+            return 200, {
+                "status": "ok",
+                "queue_depth": scheduler.queue_depth,
+                "running": scheduler.running,
+                "store": scheduler.cache.stats()["store_path"],
+            }
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET /metrics"}
+            return 200, self.scheduler.metrics_snapshot()
+        if path == "/experiments":
+            if method != "GET":
+                return 405, {"error": "use GET /experiments"}
+            return 200, _experiments_payload()
+        if path == "/run":
+            if method != "POST":
+                return 405, {"error": "use POST /run"}
+            return await self._handle_run(request)
+        if segments and segments[0] == "jobs":
+            return await self._handle_jobs(request, segments)
+        return 404, {"error": f"no route for {method} {path}"}
+
+    async def _handle_run(self, request: _Request) -> Tuple[int, object]:
+        body = request.json()
+        spec = JobSpec.from_request(body)
+        priority = body.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise ServiceError(
+                f"priority must be an integer, got {priority!r}", status=400
+            )
+        wait = body.get("wait", False)
+        if not isinstance(wait, bool):
+            raise ServiceError(
+                f"wait must be a boolean, got {wait!r}", status=400
+            )
+        job = self.scheduler.submit(spec, priority=priority)
+        if wait and not job.done:
+            try:
+                await job.wait(timeout=self.wait_timeout)
+            except asyncio.TimeoutError:
+                # hand the caller the job handle (202) instead of a
+                # dead-end error: the job keeps running and can be polled
+                pass
+        status = 200 if job.done else 202
+        return status, job.to_payload(include_record=job.state == DONE)
+
+    async def _handle_jobs(
+        self, request: _Request, segments: list
+    ) -> Tuple[int, object]:
+        if len(segments) == 1:
+            if request.method != "GET":
+                return 405, {"error": "use GET /jobs"}
+            return 200, {"jobs": self.scheduler.jobs_snapshot()}
+        job = self.scheduler.get(segments[1])
+        if job is None:
+            return 404, {"error": f"no such job: {segments[1]}"}
+        if len(segments) == 2:
+            if request.method == "GET":
+                return 200, job.to_payload(include_record=job.state == DONE)
+            if request.method == "DELETE":
+                cancelled = self.scheduler.cancel(job.id)
+                return 200, {
+                    "id": job.id,
+                    "cancelled": cancelled,
+                    "state": job.state,
+                }
+            return 405, {"error": "use GET or DELETE /jobs/<id>"}
+        if len(segments) == 3 and segments[2] == "cancel":
+            if request.method != "POST":
+                return 405, {"error": "use POST /jobs/<id>/cancel"}
+            cancelled = self.scheduler.cancel(job.id)
+            return 200, {
+                "id": job.id,
+                "cancelled": cancelled,
+                "state": job.state,
+            }
+        return 404, {"error": f"no route for {request.method} {request.path}"}
+
+
+class ThreadedServer:
+    """A full service (scheduler + HTTP) hosted on a background thread.
+
+    The in-process harness tests and the load generator use: the calling
+    thread gets a bound URL back, the event loop runs elsewhere, and
+    :meth:`stop` drains the scheduler cleanly.  For production-style
+    hosting use the CLI's ``serve`` subcommand instead.
+    """
+
+    def __init__(
+        self,
+        store_path=None,
+        procs: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_capacity: int = 1024,
+        queue_limit: int = 64,
+    ) -> None:
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self.url: Optional[str] = None
+        self.scheduler: Optional[JobScheduler] = None
+
+        def _main() -> None:
+            async def _run() -> None:
+                from ..store import ResultStore
+
+                store = (
+                    ResultStore(store_path) if store_path is not None else None
+                )
+                cache = TwoTierCache(store, capacity=cache_capacity)
+                scheduler = JobScheduler(
+                    cache, procs=procs, queue_limit=queue_limit
+                )
+                await scheduler.start()
+                server = ServiceServer(scheduler, host=host, port=port)
+                await server.start()
+                self._loop = asyncio.get_running_loop()
+                self._stop = asyncio.Event()
+                self.url = server.url
+                self.scheduler = scheduler
+                self._ready.set()
+                await self._stop.wait()
+                await server.close()
+                await scheduler.close()
+
+            try:
+                asyncio.run(_run())
+            except BaseException as error:  # surface startup failures
+                self._startup_error = error
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=_main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"service thread failed to start: {self._startup_error}",
+                status=500,
+            )
+        if self.url is None:
+            raise ServiceError("service thread did not come up", status=500)
+
+    def stop(self) -> None:
+        """Drain the scheduler and join the hosting thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=120.0)
+
+    def __enter__(self) -> "ThreadedServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -31,6 +31,8 @@ allocation, hence the same final-point identities.
 from __future__ import annotations
 
 import math
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -336,6 +338,94 @@ class Sweep:
                 progress(point, "executed")
 
         run_tasks(_execute_point, tasks, n_procs, on_result=persist)
+
+    def run_via_service(
+        self,
+        service,
+        n_procs: int = 1,
+        progress: Optional[Callable[[SweepPoint, str], None]] = None,
+    ) -> SweepReport:
+        """Execute the grid by fanning points through a running service.
+
+        ``service`` is a base URL (or a
+        :class:`~repro.service.ServiceClient`, whose address is reused —
+        clients are not thread-safe, so each worker thread opens its own
+        connection).  The cheap-path split happens twice: points whose
+        records are already in the *local* store are served locally
+        without a request, and points the *service* answers from its
+        cache count as cached in the report.  Every record the service
+        computes is mirrored into the local store, so a later offline
+        ``aggregate`` or re-run needs no service at all.
+
+        Points run with this sweep's ``engine``/``n_jobs`` (part of the
+        cache identity / forwarded per request), and ``n_procs`` becomes
+        the number of concurrent client threads — the service's own queue
+        and worker pool bound actual compute concurrency.  A
+        ``[precision]`` plan's per-point targets flow through like any
+        other knob, but ``budget_total`` (Neyman allocation) needs the
+        two-phase local driver and is rejected.
+        """
+        from ..service.client import ServiceClient
+
+        if n_procs < 1:
+            raise ModelError(f"n_procs must be >= 1, got {n_procs}")
+        plan = self.spec.precision
+        if plan is not None and plan.budget_total is not None:
+            raise ModelError(
+                "a [precision] budget_total (Neyman allocation) sweep "
+                "needs the two-phase local driver; run without "
+                "--via-service or drop budget_total"
+            )
+        if isinstance(service, ServiceClient):
+            url = f"http://{service.host}:{service.port}"
+        else:
+            url = str(service)
+        report = SweepReport()
+        cached, pending = self._partition(self.effective_points())
+        report.total = len(cached) + len(pending)
+        report.cached = len(cached)
+        for point in cached:
+            key = point.cache_key(engine=self.engine)
+            if not self.store.get(key)["result"]["passed"]:
+                report.failed_keys.append(key)
+            report.outcomes.append((point, "cached"))
+            if progress is not None:
+                progress(point, "cached")
+        if not pending:
+            return report
+        local = threading.local()
+
+        def call(point: SweepPoint) -> dict:
+            if not hasattr(local, "client"):
+                local.client = ServiceClient(url)
+            return local.client.run(
+                point.experiment_id,
+                seed=point.seed,
+                fast=point.fast,
+                params=point.params_dict or None,
+                engine=self.engine,
+                n_jobs=self.n_jobs,
+            )
+
+        workers = min(n_procs, len(pending))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(call, point): point for point in pending}
+            for future in as_completed(futures):
+                point = futures[future]
+                job = future.result()  # ServiceError propagates loudly
+                record = job["record"]
+                self.store.put(record)
+                status = "cached" if job.get("cached") else "executed"
+                if status == "cached":
+                    report.cached += 1
+                else:
+                    report.executed += 1
+                if not record["result"]["passed"]:
+                    report.failed_keys.append(record["key"])
+                report.outcomes.append((point, status))
+                if progress is not None:
+                    progress(point, status)
+        return report
 
     def run(
         self,

@@ -1,0 +1,91 @@
+"""Clean-shutdown guarantee: SIGINT drains in-flight work, store stays whole.
+
+Covers the serving layer's crash-consistency contract end to end, against
+a real ``serve`` subprocess: on SIGINT the in-flight job completes and
+persists, queued jobs are marked cancelled (never partially written), and
+the store file contains only complete JSONL lines afterwards.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient
+from repro.store import ResultStore
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def _spawn_server(store: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "serve",
+            "--port",
+            "0",
+            "--procs",
+            "1",
+            "--store",
+            str(store),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = process.stdout.readline()
+    assert "serving http://" in banner, banner
+    url = banner.split()[1]
+    return process, url
+
+
+@pytest.mark.slow
+class TestSigintShutdown:
+    def test_inflight_persists_queued_cancels_store_stays_whole(
+        self, tmp_path
+    ):
+        store_dir = tmp_path / "store"
+        process, url = _spawn_server(store_dir)
+        try:
+            client = ServiceClient(url)
+            # e02 (~0.6 s) occupies the single worker; a4 queues behind it
+            running = client.submit("e02", seed=900, wait=False)
+            queued = client.submit("a4", seed=901, wait=False)
+            deadline = time.monotonic() + 60
+            while client.job(running["id"])["state"] != "running":
+                assert time.monotonic() < deadline, "job never started"
+                time.sleep(0.02)
+            client.close()
+            os.kill(process.pid, signal.SIGINT)
+            output, _ = process.communicate(timeout=120)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0, output
+        assert "shutdown complete" in output
+        # the in-flight job completed and persisted; the queued one did not
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no partial-line warnings
+            loaded = ResultStore(store_dir).load()
+        keys = {record["key"] for record in loaded}
+        assert running["key"] in keys
+        assert queued["key"] not in keys
+        # every line on disk is complete, parseable JSON
+        content = loaded.path.read_text(encoding="utf-8")
+        assert content.endswith("\n")
+        for line in content.splitlines():
+            json.loads(line)

@@ -1,23 +1,30 @@
 #!/usr/bin/env python
-"""Run the benchmark suite and consolidate it into ``BENCH_adaptive.json``.
+"""Run the benchmark suites: ``BENCH_adaptive.json`` + ``BENCH_service.json``.
 
-The adaptive precision engine's headline numbers are *replication counts*:
-how many replications each estimand needs to reach a relative half-width
-target under plain sampling, and the speedup variance reduction buys
-(plain / VR replications-to-target).  This tool measures them directly
-through :func:`benchmarks.bench_adaptive.measure` and writes one
-consolidated, deterministic JSON record::
+Two suites, selectable with ``--suites`` (default: both):
 
-    PYTHONPATH=src python tools/bench_all.py                 # adaptive suite
-    PYTHONPATH=src python tools/bench_all.py --full          # + wall-times
-    PYTHONPATH=src python tools/bench_all.py --out custom.json
+* **adaptive** — the precision engine's headline numbers are *replication
+  counts*: how many replications each estimand needs to reach a relative
+  half-width target under plain sampling, and the speedup variance
+  reduction buys (plain / VR replications-to-target), measured through
+  :func:`benchmarks.bench_adaptive.measure`;
+* **service** — the serving layer's load harness
+  (``benchmarks/bench_service.py``): cold vs warm (cached) latency,
+  request coalescing, and mixed-workload throughput/p50/p99 against an
+  in-process server.
+
+::
+
+    PYTHONPATH=src python tools/bench_all.py                 # both suites
+    PYTHONPATH=src python tools/bench_all.py --suites adaptive --full
+    PYTHONPATH=src python tools/bench_all.py --suites service --service-smoke
 
 ``--full`` additionally runs the whole pytest-benchmark suite
 (``benchmarks/``) with ``--benchmark-json`` and folds each benchmark's
-mean wall-time into the record — slower, but gives the complete
-trajectory point.  Exit status is non-zero when any VR speedup falls
-below 1 (the same gate CI enforces), so the file is only written from a
-healthy run.
+mean wall-time into the adaptive record — slower, but gives the complete
+trajectory point.  Exit status is non-zero when any gate fails (VR
+speedup < 1, warm speedup < 50x, or broken coalescing — the same gates
+CI enforces), so the files are only written from healthy runs.
 """
 
 from __future__ import annotations
@@ -32,17 +39,23 @@ import tempfile
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = ROOT / "BENCH_adaptive.json"
+DEFAULT_SERVICE_OUT = ROOT / "BENCH_service.json"
+SUITES = ("adaptive", "service")
 
 
-def _load_bench_adaptive():
-    """Import benchmarks/bench_adaptive.py by path (benchmarks/ is not a
-    package); its ESTIMANDS registry and measure() are the single source
-    of truth for what gets benchmarked."""
-    path = ROOT / "benchmarks" / "bench_adaptive.py"
-    spec = importlib.util.spec_from_file_location("bench_adaptive", path)
+def _load_bench(name: str):
+    """Import a benchmarks/*.py module by path (benchmarks/ is not a
+    package); each module's registry/measure functions are the single
+    source of truth for what gets benchmarked."""
+    path = ROOT / "benchmarks" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_bench_adaptive():
+    return _load_bench("bench_adaptive")
 
 
 def run_adaptive_suite(rel_hw: float, budget: int) -> dict:
@@ -117,33 +130,67 @@ def main(argv=None) -> int:
         action="store_true",
         help="also run the pytest-benchmark suite and record wall-times",
     )
+    parser.add_argument(
+        "--suites",
+        default="adaptive,service",
+        metavar="LIST",
+        help="comma-separated suites to run (default: adaptive,service)",
+    )
+    parser.add_argument(
+        "--service-out",
+        default=str(DEFAULT_SERVICE_OUT),
+        metavar="FILE",
+        help="service-suite output path "
+        f"(default {DEFAULT_SERVICE_OUT.name} at the repo root)",
+    )
+    parser.add_argument(
+        "--service-smoke",
+        action="store_true",
+        help="short service burst (cheaper cold experiment, fewer requests)",
+    )
     args = parser.parse_args(argv)
 
-    record = {
-        "suite": "adaptive-precision",
-        "rel_hw": args.rel_hw,
-        "budget": args.budget,
-        "estimands": run_adaptive_suite(args.rel_hw, args.budget),
-    }
-    speedups = [
-        entry["vr_speedup"] for entry in record["estimands"].values()
-    ]
-    record["min_vr_speedup"] = min(speedups)
-    record["gate_vr_speedup_ge_1"] = all(s >= 1.0 for s in speedups)
-    if args.full:
-        record["wall_times"] = run_full_benchmarks()
+    suites = [name.strip() for name in args.suites.split(",") if name.strip()]
+    unknown = sorted(set(suites) - set(SUITES))
+    if unknown:
+        parser.error(f"unknown suite(s) {unknown}; known: {list(SUITES)}")
 
-    out = pathlib.Path(args.out)
-    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out}")
-    if not record["gate_vr_speedup_ge_1"]:
-        print(
-            f"FAIL: min VR speedup {record['min_vr_speedup']:.2f} < 1",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"min VR speedup: {record['min_vr_speedup']:.2f}x (gate: >= 1)")
-    return 0
+    exit_code = 0
+    if "adaptive" in suites:
+        record = {
+            "suite": "adaptive-precision",
+            "rel_hw": args.rel_hw,
+            "budget": args.budget,
+            "estimands": run_adaptive_suite(args.rel_hw, args.budget),
+        }
+        speedups = [
+            entry["vr_speedup"] for entry in record["estimands"].values()
+        ]
+        record["min_vr_speedup"] = min(speedups)
+        record["gate_vr_speedup_ge_1"] = all(s >= 1.0 for s in speedups)
+        if args.full:
+            record["wall_times"] = run_full_benchmarks()
+
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        if not record["gate_vr_speedup_ge_1"]:
+            print(
+                f"FAIL: min VR speedup {record['min_vr_speedup']:.2f} < 1",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print(
+                f"min VR speedup: {record['min_vr_speedup']:.2f}x (gate: >= 1)"
+            )
+    if "service" in suites:
+        bench_service = _load_bench("bench_service")
+        service_argv = ["--out", args.service_out]
+        if args.service_smoke:
+            service_argv.append("--smoke")
+        exit_code = max(exit_code, bench_service.main(service_argv))
+    return exit_code
 
 
 if __name__ == "__main__":
