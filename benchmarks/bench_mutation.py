@@ -1,0 +1,208 @@
+"""Benchmark the mutation harness: generation throughput and resume hits.
+
+Three phases, written to ``BENCH_mutation.json`` (via
+``tools/bench_all.py --suites mutation`` or directly)::
+
+    PYTHONPATH=src python benchmarks/bench_mutation.py
+
+* **generate** — AST mutant generation throughput over the whole bundled
+  corpus (mutants/second; pure CPU, no subprocesses);
+* **campaign** — a real sandboxed campaign on a capped corpus target,
+  cold (every mutant executes a pytest subprocess) versus warm (every
+  mutant is a store cache hit).  The warm/cold ratio is the price
+  resumability saves, and the warm hit ratio must be 1.0 — the
+  exactly-once store contract;
+* **fit** — size-biased multinomial fits over every committed
+  measurement (fits/second; the estimator must stay interactive).
+
+Gates (same spirit as the other suites — the file is only written from a
+healthy run): warm campaigns execute zero mutants, the resume speedup is
+at least 5x, and generation sustains at least 50 mutants/second.
+
+A pytest-benchmark test (``test_bench_generation``) rides the
+``python -m pytest benchmarks/`` suite for trajectory tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = ROOT / "BENCH_mutation.json"
+
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+#: campaign phase: one corpus target, capped — enough subprocesses to
+#: measure the cold path honestly, few enough to keep the suite quick
+CAMPAIGN_TARGET = "stats"
+CAMPAIGN_CAP = 6
+
+
+def measure_generation() -> dict:
+    from repro.mutation import bundled_targets, generate_mutants
+
+    sources = {
+        name: target.source for name, target in bundled_targets().items()
+    }
+    # warm-up parse/compile caches so the measurement is steady-state
+    for source in sources.values():
+        generate_mutants(source)
+    start = time.perf_counter()
+    rounds = 5
+    total = 0
+    for _ in range(rounds):
+        for source in sources.values():
+            total += len(generate_mutants(source))
+    elapsed = time.perf_counter() - start
+    return {
+        "targets": len(sources),
+        "mutants_generated": total,
+        "elapsed_seconds": elapsed,
+        "mutants_per_second": total / elapsed,
+    }
+
+
+def measure_campaign() -> dict:
+    from repro.mutation import MutationCampaign, bundled_target
+    from repro.store import ResultStore
+
+    target = bundled_target(CAMPAIGN_TARGET)
+    with tempfile.TemporaryDirectory(prefix="bench-mutation-") as tmp:
+        store = ResultStore(pathlib.Path(tmp) / "campaign.jsonl")
+
+        def run():
+            campaign = MutationCampaign(
+                target, store, timeout=30.0, max_mutants=CAMPAIGN_CAP, seed=0
+            )
+            start = time.perf_counter()
+            report = campaign.run()
+            return time.perf_counter() - start, report
+
+        cold_seconds, cold = run()
+        warm_seconds, warm = run()
+    return {
+        "target": CAMPAIGN_TARGET,
+        "mutants": cold.total,
+        "n_tests": cold.n_tests,
+        "mutation_score": cold.mutation_score,
+        "cold_seconds": cold_seconds,
+        "cold_executed": cold.executed,
+        "warm_seconds": warm_seconds,
+        "warm_cached": warm.cached,
+        "warm_executed": warm.executed,
+        "warm_hit_ratio": warm.cached / warm.total if warm.total else 0.0,
+        "resume_speedup": cold_seconds / warm_seconds,
+    }
+
+
+def measure_fit() -> dict:
+    from repro.mutation import (
+        fit_size_biased_multinomial,
+        measured_detection_data,
+        measured_target_names,
+    )
+
+    datasets = {
+        name: measured_detection_data(name)
+        for name in measured_target_names()
+    }
+    for data in datasets.values():  # warm-up
+        fit_size_biased_multinomial(data)
+    rounds = 20
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for data in datasets.values():
+            fit_size_biased_multinomial(data)
+    elapsed = time.perf_counter() - start
+    fits = rounds * len(datasets)
+    return {
+        "targets": len(datasets),
+        "fits": fits,
+        "elapsed_seconds": elapsed,
+        "fits_per_second": fits / elapsed,
+    }
+
+
+def run_benchmark() -> dict:
+    print("measuring mutant generation ...", flush=True)
+    generation = measure_generation()
+    print(
+        f"  {generation['mutants_per_second']:.0f} mutants/s over "
+        f"{generation['targets']} targets",
+        flush=True,
+    )
+    print(
+        f"measuring campaign cold vs warm ({CAMPAIGN_TARGET}, "
+        f"{CAMPAIGN_CAP} mutants) ...",
+        flush=True,
+    )
+    campaign = measure_campaign()
+    print(
+        f"  cold {campaign['cold_seconds']:.2f}s -> warm "
+        f"{campaign['warm_seconds']:.3f}s "
+        f"(speedup {campaign['resume_speedup']:.0f}x, hit ratio "
+        f"{campaign['warm_hit_ratio']:.2f})",
+        flush=True,
+    )
+    print("measuring estimator fits ...", flush=True)
+    fit = measure_fit()
+    print(f"  {fit['fits_per_second']:.0f} fits/s", flush=True)
+
+    record = {
+        "suite": "mutation",
+        "generate": generation,
+        "campaign": campaign,
+        "fit": fit,
+    }
+    record["gate_warm_executes_nothing"] = campaign["warm_executed"] == 0
+    record["gate_resume_speedup_ge_5"] = campaign["resume_speedup"] >= 5.0
+    record["gate_generation_ge_50_per_s"] = (
+        generation["mutants_per_second"] >= 50.0
+    )
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the mutation harness and write "
+        "BENCH_mutation.json"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(DEFAULT_OUT),
+        metavar="FILE",
+        help=f"output path (default {DEFAULT_OUT.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark()
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    failed = [key for key in record if key.startswith("gate_") and not record[key]]
+    for key in failed:
+        print(f"FAIL: {key}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+# -- pytest-benchmark hook (python -m pytest benchmarks/) ----------------
+
+
+def test_bench_generation(benchmark):
+    from repro.mutation import bundled_target, generate_mutants
+
+    source = bundled_target("leap").source
+    mutants = benchmark(lambda: generate_mutants(source))
+    assert len(mutants) > 40
+    benchmark.extra_info["mutants"] = len(mutants)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Binary search over a sorted list — loop-bound mutation territory.
+
+A mutation-campaign corpus target.  The ``lo < hi`` loop guards are the
+interesting sites: several of their mutants loop forever, which is how the
+campaign runner's per-mutant timeout path gets exercised by real data.
+"""
+
+
+def insertion_index(items, value):
+    """Leftmost index where ``value`` can be inserted keeping order."""
+    lo = 0
+    hi = len(items)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if items[mid] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def find(items, value):
+    """Index of ``value`` in sorted ``items``, or -1."""
+    index = insertion_index(items, value)
+    if index < len(items) and items[index] == value:
+        return index
+    return -1
+
+
+def contains(items, value):
+    """True iff ``value`` occurs in sorted ``items``."""
+    return find(items, value) >= 0
+
+
+def count_occurrences(items, value):
+    """How many times ``value`` occurs in sorted ``items``."""
+    first = insertion_index(items, value)
+    last = first
+    while last < len(items) and items[last] == value:
+        last = last + 1
+    return last - first

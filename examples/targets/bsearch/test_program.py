@@ -1,0 +1,47 @@
+"""Test suite the mutation campaign runs against the binary-search target."""
+
+from program import contains, count_occurrences, find, insertion_index
+
+
+def test_insertion_index_empty():
+    assert insertion_index([], 5) == 0
+
+
+def test_insertion_index_front_and_back():
+    assert insertion_index([2, 4, 6], 1) == 0
+    assert insertion_index([2, 4, 6], 7) == 3
+
+
+def test_insertion_index_between():
+    assert insertion_index([2, 4, 6], 3) == 1
+    assert insertion_index([2, 4, 6], 5) == 2
+
+
+def test_insertion_index_is_leftmost_on_ties():
+    assert insertion_index([1, 3, 3, 3, 9], 3) == 1
+
+
+def test_find_present():
+    assert find([1, 3, 5, 7], 1) == 0
+    assert find([1, 3, 5, 7], 7) == 3
+    assert find([1, 3, 5, 7], 5) == 2
+
+
+def test_find_absent():
+    assert find([1, 3, 5, 7], 4) == -1
+    assert find([], 4) == -1
+
+
+def test_contains():
+    assert contains([1, 2, 3], 2)
+    assert not contains([1, 2, 3], 0)
+
+
+def test_count_occurrences():
+    assert count_occurrences([1, 3, 3, 3, 9], 3) == 3
+    assert count_occurrences([1, 3, 3, 3, 9], 9) == 1
+    assert count_occurrences([1, 3, 3, 3, 9], 2) == 0
+
+
+def test_count_occurrences_whole_list():
+    assert count_occurrences([4, 4, 4], 4) == 3

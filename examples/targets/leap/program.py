@@ -1,0 +1,43 @@
+"""Calendar arithmetic — leap years, month lengths, day-of-year.
+
+A mutation-campaign corpus target: modular arithmetic and boundary
+comparisons give the AST mutator plenty of off-by-one opportunities.
+"""
+
+_MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def is_leap(year):
+    """Gregorian leap-year rule."""
+    if year % 400 == 0:
+        return True
+    if year % 100 == 0:
+        return False
+    return year % 4 == 0
+
+
+def days_in_month(year, month):
+    """Number of days in ``month`` (1-12) of ``year``."""
+    if month < 1 or month > 12:
+        raise ValueError("month out of range")
+    days = _MONTH_DAYS[month - 1]
+    if month == 2 and is_leap(year):
+        days = days + 1
+    return days
+
+
+def day_of_year(year, month, day):
+    """Ordinal day number (1-366) of a calendar date."""
+    if day < 1 or day > days_in_month(year, month):
+        raise ValueError("day out of range")
+    total = day
+    for earlier in range(1, month):
+        total = total + days_in_month(year, earlier)
+    return total
+
+
+def days_in_year(year):
+    """365 or 366."""
+    if is_leap(year):
+        return 366
+    return 365

@@ -1,0 +1,60 @@
+"""Test suite the mutation campaign runs against the calendar target."""
+
+import pytest
+
+from program import day_of_year, days_in_month, days_in_year, is_leap
+
+
+def test_leap_divisible_by_four():
+    assert is_leap(2024)
+    assert not is_leap(2023)
+
+
+def test_century_rule():
+    assert not is_leap(1900)
+    assert is_leap(2000)
+
+
+def test_february_lengths():
+    assert days_in_month(2023, 2) == 28
+    assert days_in_month(2024, 2) == 29
+
+
+def test_month_lengths_non_february():
+    assert days_in_month(2023, 1) == 31
+    assert days_in_month(2023, 4) == 30
+    assert days_in_month(2023, 12) == 31
+
+
+def test_month_out_of_range():
+    with pytest.raises(ValueError):
+        days_in_month(2023, 0)
+    with pytest.raises(ValueError):
+        days_in_month(2023, 13)
+
+
+def test_day_of_year_january():
+    assert day_of_year(2023, 1, 1) == 1
+    assert day_of_year(2023, 1, 31) == 31
+
+
+def test_day_of_year_crosses_february():
+    assert day_of_year(2023, 3, 1) == 60
+    assert day_of_year(2024, 3, 1) == 61
+
+
+def test_day_of_year_end_of_year():
+    assert day_of_year(2023, 12, 31) == 365
+    assert day_of_year(2024, 12, 31) == 366
+
+
+def test_day_out_of_range():
+    with pytest.raises(ValueError):
+        day_of_year(2023, 2, 29)
+    with pytest.raises(ValueError):
+        day_of_year(2023, 1, 0)
+
+
+def test_days_in_year():
+    assert days_in_year(2023) == 365
+    assert days_in_year(2024) == 366

@@ -1,0 +1,47 @@
+"""Streaming descriptive statistics — arithmetic-dense corpus target.
+
+A mutation-campaign corpus target: means, sample variance and medians are
+built from small arithmetic expressions where most operator mutants are
+observably wrong (and a few are classically equivalent, so the target also
+feeds the surviving-mutant tail of the measured distribution).
+"""
+
+
+def mean(values):
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    total = 0.0
+    for value in values:
+        total = total + value
+    return total / len(values)
+
+
+def variance(values):
+    """Unbiased sample variance (n - 1 denominator); needs >= 2 values."""
+    if len(values) < 2:
+        raise ValueError("variance needs at least two values")
+    center = mean(values)
+    total = 0.0
+    for value in values:
+        deviation = value - center
+        total = total + deviation * deviation
+    return total / (len(values) - 1)
+
+
+def median(values):
+    """Median of a non-empty sequence (average of the middle pair)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def value_range(values):
+    """max - min of a non-empty sequence."""
+    if not values:
+        raise ValueError("range of empty sequence")
+    return max(values) - min(values)

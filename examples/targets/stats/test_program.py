@@ -1,0 +1,55 @@
+"""Test suite the mutation campaign runs against the statistics target."""
+
+import pytest
+
+from program import mean, median, value_range, variance
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3, 4]) == 2.5
+    assert mean([7]) == 7
+
+
+def test_mean_empty_rejected():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_variance_known_value():
+    assert variance([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(32 / 7)
+
+
+def test_variance_constant_sequence_is_zero():
+    assert variance([3, 3, 3]) == 0
+
+
+def test_variance_needs_two_values():
+    with pytest.raises(ValueError):
+        variance([1])
+
+
+def test_median_odd():
+    assert median([5, 1, 3]) == 3
+
+
+def test_median_even_averages_middle_pair():
+    assert median([4, 1, 3, 2]) == 2.5
+
+
+def test_median_single():
+    assert median([9]) == 9
+
+
+def test_median_empty_rejected():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_value_range():
+    assert value_range([3, 9, 4]) == 6
+    assert value_range([5]) == 0
+
+
+def test_value_range_empty_rejected():
+    with pytest.raises(ValueError):
+        value_range([])

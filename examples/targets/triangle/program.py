@@ -1,0 +1,41 @@
+"""Triangle classification — the classic mutation-testing target.
+
+A corpus program for the mutation campaign harness (`repro.mutation`):
+small, pure, branch-heavy, with arithmetic and comparison operators that
+the AST mutator can rewrite.  `test_program.py` next to it is the suite
+the campaign measures kill rates against.
+"""
+
+
+def classify(a, b, c):
+    """Classify a triangle by its side lengths.
+
+    Returns one of ``"invalid"``, ``"equilateral"``, ``"isosceles"`` or
+    ``"scalene"``.  A triangle is invalid when any side is non-positive or
+    the triangle inequality fails.
+    """
+    sides = sorted((a, b, c))
+    if sides[0] <= 0:
+        return "invalid"
+    if sides[0] + sides[1] <= sides[2]:
+        return "invalid"
+    if a == b and b == c:
+        return "equilateral"
+    if a == b or b == c or a == c:
+        return "isosceles"
+    return "scalene"
+
+
+def perimeter(a, b, c):
+    """Perimeter of a valid triangle; raises ValueError otherwise."""
+    if classify(a, b, c) == "invalid":
+        raise ValueError("not a triangle")
+    return a + b + c
+
+
+def is_right(a, b, c):
+    """True iff the (valid) triangle is right-angled (Pythagoras)."""
+    if classify(a, b, c) == "invalid":
+        return False
+    x, y, z = sorted((a, b, c))
+    return x * x + y * y == z * z

@@ -1,0 +1,55 @@
+"""Test suite the mutation campaign runs against the triangle target."""
+
+import pytest
+
+from program import classify, is_right, perimeter
+
+
+def test_equilateral():
+    assert classify(3, 3, 3) == "equilateral"
+
+
+def test_isosceles_each_pair():
+    assert classify(3, 3, 2) == "isosceles"
+    assert classify(2, 3, 3) == "isosceles"
+    assert classify(3, 2, 3) == "isosceles"
+
+
+def test_scalene():
+    assert classify(4, 5, 6) == "scalene"
+
+
+def test_zero_and_negative_sides_invalid():
+    assert classify(0, 3, 3) == "invalid"
+    assert classify(-1, 3, 3) == "invalid"
+
+
+def test_triangle_inequality_boundary():
+    assert classify(1, 2, 3) == "invalid"  # degenerate: a + b == c
+    assert classify(2, 2, 3) == "isosceles"
+
+
+def test_inequality_applies_to_largest_side():
+    assert classify(10, 2, 3) == "invalid"
+
+
+def test_perimeter_of_valid_triangle():
+    assert perimeter(3, 4, 5) == 12
+
+
+def test_perimeter_rejects_invalid():
+    with pytest.raises(ValueError):
+        perimeter(1, 1, 5)
+
+
+def test_right_triangle():
+    assert is_right(3, 4, 5)
+    assert is_right(5, 4, 3)
+
+
+def test_not_right_triangle():
+    assert not is_right(3, 4, 6)
+
+
+def test_right_rejects_invalid():
+    assert not is_right(0, 4, 5)

@@ -53,6 +53,9 @@ from . import (  # noqa: F401  (registration side effect)
     a4_constant_difficulty,
     a5_variance_extreme,
     a6_n_version_sweep,
+    m1_measured_growth,
+    m2_detection_distribution,
+    m3_campaign_summary,
     x1_clarifications,
     x2_common_mistakes,
     x3_combined_campaign,

@@ -1,6 +1,6 @@
 """CLI entry point: ``python -m repro.experiments [ids…] [options]``.
 
-Four invocation shapes:
+Five invocation shapes:
 
 * **run** (default, no subcommand) — run the requested reproduction
   experiments (all by default), print each result table, exit non-zero if
@@ -13,6 +13,11 @@ Four invocation shapes:
   processes;
 * **aggregate** — join a result store back into comparison tables
   (``aggregate --store results/ [--experiment id]``);
+* **mutate** — run a sandboxed mutation campaign against a bundled
+  corpus target, the package's own code, or an arbitrary program
+  (``mutate --target stats --store campaigns/``), persisting per-mutant
+  kill outcomes resumably and optionally gating on ``--min-score``
+  (design and walkthrough: ``docs/mutation.md``);
 * **serve** — host the long-lived simulation service
   (``serve --host 127.0.0.1 --port 8752 --procs 4 --store results/``):
   an asyncio JSON/HTTP API with request coalescing, a two-tier result
@@ -418,6 +423,184 @@ def serve_main(argv: List[str]) -> int:
     return EXIT_OK
 
 
+def mutate_main(argv: List[str]) -> int:
+    """``mutate --target stats --store campaigns/``: run a mutation campaign."""
+    from ..mutation import (
+        DetectionData,
+        MutationCampaign,
+        bundled_targets,
+        fit_size_biased_multinomial,
+        self_target,
+    )
+    from ..mutation.targets import TargetProgram
+    from ..store import ResultStore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments mutate",
+        description="Run a sandboxed mutation campaign: generate mutants of "
+        "a target program, execute its test suite against each one in a "
+        "subprocess, and persist per-mutant kill outcomes to a resumable "
+        "result store (design: docs/mutation.md).",
+    )
+    parser.add_argument(
+        "--target",
+        metavar="NAME",
+        help="a bundled corpus target (see --list-targets) or 'self' for "
+        "the self-mutation target (repro.rng judged by its own tests)",
+    )
+    parser.add_argument(
+        "--program",
+        metavar="FILE",
+        help="mutate an arbitrary single-file program instead of a bundled "
+        "target (requires --tests)",
+    )
+    parser.add_argument(
+        "--tests",
+        nargs="+",
+        metavar="FILE",
+        help="pytest files judging the mutants of --program",
+    )
+    parser.add_argument(
+        "--support",
+        nargs="*",
+        default=[],
+        metavar="FILE",
+        help="extra files the tests import (copied into the sandbox)",
+    )
+    parser.add_argument(
+        "--list-targets",
+        action="store_true",
+        help="list the bundled corpus targets and exit",
+    )
+    parser.add_argument(
+        "--store",
+        default="campaigns",
+        metavar="DIR",
+        help="campaign result store (default: campaigns/); stored mutants "
+        "are served as cache hits, so interrupted campaigns resume",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        metavar="SECONDS",
+        help="per-mutant suite timeout (default 20; a timed-out mutant "
+        "counts as detected by the whole suite)",
+    )
+    parser.add_argument(
+        "--max-mutants",
+        type=int,
+        metavar="N",
+        help="cap the campaign to a deterministic subsample of N mutants",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="subsampling seed (default 0)"
+    )
+    parser.add_argument(
+        "--min-score",
+        type=float,
+        metavar="S",
+        help="fail (exit 1) when the mutation score ends below S — the "
+        "CI mutation-score gate",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_targets:
+        for name, target in sorted(bundled_targets().items()):
+            print(
+                f"{name:<12} {target.source_path.name} "
+                f"({len(target.test_paths)} test file(s), "
+                f"sha {target.source_sha})"
+            )
+        print("self         src/repro/rng.py (tier-1 rng tests)")
+        return EXIT_OK
+
+    if args.program is not None:
+        if not args.tests:
+            raise ModelError("--program requires --tests")
+        if args.target is not None:
+            raise ModelError("--program and --target are mutually exclusive")
+        from pathlib import Path
+
+        program = Path(args.program)
+        target = TargetProgram(
+            name=program.stem,
+            module=program.stem,
+            source_path=program,
+            test_paths=tuple(Path(p) for p in args.tests),
+            support_paths=tuple(Path(p) for p in args.support),
+        )
+    elif args.target == "self":
+        target = self_target()
+    elif args.target is not None:
+        targets = bundled_targets()
+        if args.target not in targets:
+            raise ModelError(
+                f"unknown bundled target {args.target!r} "
+                f"(known: {', '.join(sorted(targets))}, self)"
+            )
+        target = targets[args.target]
+    else:
+        raise ModelError(
+            "pick a target: --target NAME, --target self, or "
+            "--program FILE --tests FILE... (--list-targets to browse)"
+        )
+
+    store = ResultStore(args.store)
+    campaign = MutationCampaign(
+        target,
+        store,
+        timeout=args.timeout,
+        max_mutants=args.max_mutants,
+        seed=args.seed,
+    )
+
+    def progress(outcome, was_cached):
+        origin = "cached " if was_cached else "ran    "
+        print(
+            f"{origin} {outcome.mutant_id}  {outcome.status:<9} "
+            f"detected {outcome.detected}/{outcome.n_tests}  "
+            f"{outcome.description}",
+            flush=True,
+        )
+
+    try:
+        report = campaign.run(on_mutant=progress)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted — completed mutants are stored; re-run the same "
+            "command to resume",
+            file=sys.stderr,
+        )
+        return 130
+    data = DetectionData.from_outcomes(report.outcomes)
+    fit = fit_size_biased_multinomial(data)
+    print(
+        f"campaign {campaign.experiment_id}: {report.total} mutants "
+        f"({report.executed} executed, {report.cached} cached) in "
+        f"{report.elapsed_seconds:.1f}s"
+    )
+    print(
+        f"  killed {report.killed}, survived {report.survived}, "
+        f"timeouts {report.timeouts}, errors {report.errors} "
+        f"({report.n_tests} tests)"
+    )
+    print(
+        f"  mutation score {report.mutation_score:.3f}, "
+        f"alpha {fit.alpha:.3f}, "
+        f"mean detection prob {fit.mean_detection_prob:.3f}"
+    )
+    print(f"store: {store.path}")
+    if args.min_score is not None and report.mutation_score < args.min_score:
+        print(
+            f"mutation score {report.mutation_score:.3f} below the "
+            f"--min-score gate {args.min_score}",
+            file=sys.stderr,
+        )
+        return EXIT_CLAIM_FAILURES
+    return EXIT_OK
+
+
 def aggregate_main(argv: List[str]) -> int:
     """``aggregate --store results/``: join stored records into tables."""
     from ..store import ResultStore
@@ -481,6 +664,8 @@ def main(argv: List[str] | None = None) -> int:
             return aggregate_main(argv[1:])
         if argv and argv[0] == "serve":
             return serve_main(argv[1:])
+        if argv and argv[0] == "mutate":
+            return mutate_main(argv[1:])
         return run_main(argv)
     except ModelError as error:
         print(f"error: {error}", file=sys.stderr)

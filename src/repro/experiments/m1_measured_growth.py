@@ -1,0 +1,180 @@
+"""M1 — reliability growth on measured versus assumed fault sizes.
+
+The headline experiment of the mutation bridge: take the committed
+mutation-campaign measurements for one corpus target, fit the
+size-biased multinomial detection model, and build two Bernoulli fault
+populations that differ **only** in their region-size profile — one
+using the measured per-mutant detection probabilities, one forcing the
+classical equal-size assumption at the same aggregate detection rate.
+Exact reliability-growth curves on the two populations then show what
+the equal-size simplification costs: measured (heterogeneous) fault
+sizes bend the growth curve — big faults die early, the measured tail
+of small faults keeps residual pfd alive long after the equal-size
+model predicts it gone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..demand import DemandSpace, uniform_profile
+from ..growth import system_growth_curves, version_growth_curve
+# submodule imports (not the repro.mutation package) keep the import
+# graph acyclic: repro.mutation.campaign pulls in the store, which pulls
+# in this experiments package
+from ..mutation.bridge import (
+    assumed_population,
+    measured_population,
+    region_sizes_from_fit,
+)
+from ..mutation.estimators import fit_size_biased_multinomial
+from ..mutation.measured import measured_detection_data
+from .base import Claim, ExperimentResult
+from .registry import register
+
+
+def _subsample(data, max_faults: int, seed: int):
+    """A deterministic mutant subsample bounding the exact-engine cost.
+
+    The closed-form engine's inclusion–exclusion walk is exponential in
+    the number of faults covering one demand, so campaigns with many
+    mutants (leap has 46) must be thinned before becoming a fault
+    universe.  The subsample is uniform over mutants — size-unbiased —
+    and a pure function of ``(campaign, max_faults, seed)``.
+    """
+    from ..mutation.estimators import DetectionData
+
+    if data.n_mutants <= max_faults:
+        return data
+    rng = np.random.default_rng(seed + 77_003)
+    chosen = sorted(
+        int(i)
+        for i in rng.choice(data.n_mutants, size=max_faults, replace=False)
+    )
+    return DetectionData(
+        counts=tuple(data.counts[i] for i in chosen),
+        n_tests=data.n_tests,
+        labels=tuple(data.labels[i] for i in chosen),
+    )
+
+
+@register("m1")
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    target: str = "triangle",
+    presence_prob: float = 0.35,
+    max_faults: int = 16,
+) -> ExperimentResult:
+    """Run M1 and return its result table and claims."""
+    data = _subsample(measured_detection_data(target), max_faults, seed)
+    fit = fit_size_biased_multinomial(data)
+    space = DemandSpace(120)
+    profile = uniform_profile(space)
+    sizes = [0, 5, 10, 20, 40, 80, 160]
+
+    measured = measured_population(fit, space, presence_prob, seed=seed)
+    assumed = assumed_population(fit, space, presence_prob, seed=seed)
+
+    measured_version = version_growth_curve(measured, profile, sizes)
+    assumed_version = version_growth_curve(assumed, profile, sizes)
+    measured_system = system_growth_curves(measured, profile, sizes)[
+        "independent suites"
+    ]
+    assumed_system = system_growth_curves(assumed, profile, sizes)[
+        "independent suites"
+    ]
+
+    rows = []
+    for index, n in enumerate(sizes):
+        measured_pfd = float(measured_version.values[index])
+        assumed_pfd = float(assumed_version.values[index])
+        rows.append(
+            [
+                n,
+                measured_pfd,
+                assumed_pfd,
+                measured_pfd - assumed_pfd,
+                float(measured_system.values[index]),
+                float(assumed_system.values[index]),
+            ]
+        )
+
+    region_sizes = region_sizes_from_fit(fit, space)
+    gaps = np.abs(
+        np.asarray(measured_version.values)
+        - np.asarray(assumed_version.values)
+    )
+    divergence = float(np.max(gaps))
+    untested_gap = float(gaps[0])
+    tested_divergence = float(np.max(gaps[1:]))
+    claims = [
+        Claim(
+            "both growth curves decrease monotonically with testing effort",
+            measured_version.is_nonincreasing()
+            and assumed_version.is_nonincreasing(),
+        ),
+        Claim(
+            "measured fault sizes are heterogeneous (the equal-size "
+            "assumption is counterfactual for this campaign)",
+            len(set(region_sizes)) > 1,
+            f"region sizes span [{min(region_sizes)}, {max(region_sizes)}]",
+        ),
+        Claim(
+            "the measured and assumed growth curves demonstrably diverge",
+            divergence > 1e-3,
+            f"max |measured - assumed| version pfd = {divergence:.6f}",
+        ),
+        Claim(
+            "testing widens the measured-vs-assumed gap beyond the "
+            "untested mismatch (the divergence is a *growth* effect, not "
+            "just a size-budget artefact)",
+            tested_divergence > untested_gap + 1e-12,
+            f"untested gap {untested_gap:.6f} vs max tested divergence "
+            f"{tested_divergence:.6f}",
+        ),
+        Claim(
+            "the 1-out-of-2 system is at least as reliable as one version "
+            "under both size models",
+            bool(
+                np.all(
+                    np.asarray(measured_system.values)
+                    <= np.asarray(measured_version.values) + 1e-12
+                )
+                and np.all(
+                    np.asarray(assumed_system.values)
+                    <= np.asarray(assumed_version.values) + 1e-12
+                )
+            ),
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="m1",
+        title="Reliability growth under measured vs assumed fault sizes",
+        paper_reference=(
+            "section 2 fault-size assumptions, grounded by mutation "
+            "measurement (arXiv:2406.04360)"
+        ),
+        columns=[
+            "suite size",
+            "version pfd (measured)",
+            "version pfd (assumed)",
+            "pfd difference",
+            "system pfd (measured)",
+            "system pfd (assumed)",
+        ],
+        rows=rows,
+        claims=claims,
+        notes=(
+            f"target {target!r}: {data.n_mutants} mutants x "
+            f"{data.n_tests} tests, alpha = {fit.alpha:.3f}, mutation "
+            f"score {fit.mutation_score:.2f}; exact curves on a "
+            f"{space.size}-demand space, presence prob {presence_prob}; "
+            "identical placement streams, only the size profile differs"
+        ),
+        extra={
+            "alpha": fit.alpha,
+            "mutation_score": fit.mutation_score,
+            "region_sizes": region_sizes,
+        },
+    )

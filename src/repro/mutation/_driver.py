@@ -1,0 +1,49 @@
+"""Standalone pytest driver executed inside the mutation sandbox.
+
+This file is copied into the sandbox directory and run there as a plain
+script (``python _mutation_driver.py out.json test_a.py ...``), so it
+must not import anything from :mod:`repro` — the package under test may
+be the mutated one.  It runs the given test files through pytest with a
+result-collecting plugin and writes one JSON object::
+
+    {"exit": <pytest exit code>, "tests": {"<nodeid>": "<outcome>", ...}}
+
+Outcomes are ``"passed"``/``"failed"`` from the test call phase;
+setup/teardown failures surface as ``"error"``.  Collection failures
+leave ``tests`` empty with a nonzero exit code, which the campaign
+treats as every test detecting the mutant.
+"""
+
+import json
+import sys
+
+import pytest
+
+
+class _Collector:
+    def __init__(self):
+        self.tests = {}
+
+    def pytest_runtest_logreport(self, report):
+        if report.when == "call":
+            self.tests[report.nodeid] = report.outcome
+        elif report.failed:
+            # setup or teardown blew up: the mutant broke the harness
+            self.tests[report.nodeid] = "error"
+
+
+def main(argv):
+    out_path = argv[0]
+    test_paths = argv[1:]
+    collector = _Collector()
+    exit_code = pytest.main(
+        ["-q", "--tb=no", "-p", "no:cacheprovider", *test_paths],
+        plugins=[collector],
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"exit": int(exit_code), "tests": collector.tests}, handle)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

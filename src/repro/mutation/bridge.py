@@ -1,0 +1,117 @@
+"""Bridge: fitted detection distributions → model fault populations.
+
+This closes the loop the tentpole is about: instead of *assuming* a
+fault-size profile (uniform, Zipf with a chosen exponent, …), build a
+:class:`~repro.faults.FaultUniverse` whose region sizes come from the
+**measured** per-mutant detection probabilities of a real mutation
+campaign, then hand it to the existing ``simulate_*`` machinery
+unchanged.
+
+The mapping treats the judging test suite as a uniform probe of the
+demand space: a mutant detected by fraction ``p̂_i`` of the tests maps to
+a fault whose failure region covers ``round(p̂_i · |D|)`` demands
+(clamped to at least one demand — a fault with an empty region is no
+fault).  The *assumed* counterpart keeps everything identical — same
+fault count, same demand space, same random placement streams — but
+forces every region to the common mean size, which is exactly the
+classical equal-size assumption the paper's model starts from.  Any
+difference between experiments run on the two populations is therefore
+attributable to measured size heterogeneity alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..demand import DemandSpace
+from ..errors import ModelError
+from ..faults import FaultUniverse
+from ..populations import BernoulliFaultPopulation
+from ..rng import SeedLike, as_generator, spawn_many
+from .estimators import SizeBiasedMultinomialFit
+
+__all__ = [
+    "region_sizes_from_fit",
+    "universe_from_fit",
+    "measured_population",
+    "assumed_population",
+]
+
+
+def region_sizes_from_fit(
+    fit: SizeBiasedMultinomialFit, space: DemandSpace
+) -> List[int]:
+    """Measured region sizes, one per mutant, in input mutant order."""
+    sizes = []
+    for prob in fit.detection_probs:
+        size = int(round(float(prob) * space.size))
+        sizes.append(max(1, min(space.size, size)))
+    return sizes
+
+
+def _universe_with_sizes(
+    space: DemandSpace, sizes: Sequence[int], seed: SeedLike
+) -> FaultUniverse:
+    """Faults with the given region sizes, placed uniformly at random.
+
+    Each fault's region is drawn without replacement from its own
+    spawned stream, so fault ``i``'s placement is identical between the
+    measured and assumed universes whenever its size is — only the size
+    profile differs between the two constructions.
+    """
+    root = as_generator(seed)
+    streams = spawn_many(root, len(sizes))
+    regions = []
+    for size, stream in zip(sizes, streams):
+        if not 1 <= size <= space.size:
+            raise ModelError(
+                f"region size {size} outside [1, {space.size}]"
+            )
+        regions.append(np.sort(stream.choice(space.size, size=size, replace=False)))
+    return FaultUniverse.from_regions(space, regions)
+
+
+def universe_from_fit(
+    fit: SizeBiasedMultinomialFit,
+    space: DemandSpace,
+    seed: SeedLike = 0,
+) -> FaultUniverse:
+    """A fault universe whose region sizes are the measured ones."""
+    return _universe_with_sizes(space, region_sizes_from_fit(fit, space), seed)
+
+
+def measured_population(
+    fit: SizeBiasedMultinomialFit,
+    space: DemandSpace,
+    presence_prob: float = 0.35,
+    seed: SeedLike = 0,
+) -> BernoulliFaultPopulation:
+    """Bernoulli population over the measured-size universe."""
+    universe = universe_from_fit(fit, space, seed)
+    return BernoulliFaultPopulation.uniform(universe, presence_prob)
+
+
+def assumed_population(
+    fit: SizeBiasedMultinomialFit,
+    space: DemandSpace,
+    presence_prob: float = 0.35,
+    seed: SeedLike = 0,
+    size: Optional[int] = None,
+) -> BernoulliFaultPopulation:
+    """The equal-size twin of :func:`measured_population`.
+
+    Same fault count, same placement streams, same presence probability;
+    every region forced to ``size`` (default: the rounded mean of the
+    measured sizes).  This is the population the classical equal-size
+    model would postulate given only the campaign's aggregate detection
+    rate.
+    """
+    measured_sizes = region_sizes_from_fit(fit, space)
+    if size is None:
+        size = max(1, int(round(float(np.mean(measured_sizes)))))
+    if not 1 <= size <= space.size:
+        raise ModelError(f"assumed size {size} outside [1, {space.size}]")
+    universe = _universe_with_sizes(space, [size] * len(measured_sizes), seed)
+    return BernoulliFaultPopulation.uniform(universe, presence_prob)

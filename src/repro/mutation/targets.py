@@ -1,0 +1,152 @@
+"""Target programs the mutation campaign can run against.
+
+A :class:`TargetProgram` names one mutable source file, the pytest files
+that judge its mutants, and any support files those tests import.  Two
+kinds of targets exist:
+
+* **bundled corpus targets** — the small pure-Python programs under
+  ``examples/targets/<name>/`` (each a ``program.py`` plus
+  ``test_program.py``), discovered by :func:`bundled_targets`;
+* the **self-mutation target** — :mod:`repro.rng` itself, judged by the
+  repo's own tier-1 tests for that module, built by :func:`self_target`.
+
+Content hashes (:attr:`TargetProgram.source_sha`,
+:attr:`TargetProgram.tests_sha`) enter every campaign record's cache
+identity, so editing a target program or its tests invalidates stored
+kill outcomes instead of silently serving stale ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+
+__all__ = [
+    "TargetProgram",
+    "bundled_targets",
+    "bundled_target",
+    "self_target",
+]
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+_TARGETS_DIR = _REPO_ROOT / "examples" / "targets"
+
+
+def _sha(paths: Sequence[Path]) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(paths):
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TargetProgram:
+    """One program a mutation campaign mutates and judges.
+
+    Parameters
+    ----------
+    name:
+        Campaign identity (``mutation:<name>`` in store records).
+    module:
+        Module name the mutated source is installed as.  A dotted name
+        (e.g. ``repro.rng``) means the target lives inside a package; the
+        whole package rooted at ``package_root`` is copied into the
+        sandbox and the named submodule's file is overwritten.
+    source_path:
+        The file whose source is mutated.
+    test_paths:
+        pytest files executed against each mutant.
+    support_paths:
+        Extra files the tests import (e.g. a ``conftest.py``), copied
+        into the sandbox root unchanged.
+    package_root:
+        For dotted ``module`` names: the directory containing the
+        top-level package (``src`` for ``repro.rng``).  ``None`` for
+        flat single-file targets.
+    """
+
+    name: str
+    module: str
+    source_path: Path
+    test_paths: Tuple[Path, ...]
+    support_paths: Tuple[Path, ...] = field(default=())
+    package_root: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        for path in (self.source_path, *self.test_paths, *self.support_paths):
+            if not path.is_file():
+                raise ModelError(f"target {self.name!r}: no such file: {path}")
+        if "." in self.module and self.package_root is None:
+            raise ModelError(
+                f"target {self.name!r}: dotted module {self.module!r} "
+                "requires package_root"
+            )
+
+    @property
+    def source(self) -> str:
+        return self.source_path.read_text(encoding="utf-8")
+
+    @property
+    def source_sha(self) -> str:
+        """Content hash of the mutated file (cache-identity component)."""
+        return _sha([self.source_path])
+
+    @property
+    def tests_sha(self) -> str:
+        """Content hash of the judging tests and support files."""
+        return _sha([*self.test_paths, *self.support_paths])
+
+
+def bundled_targets(targets_dir: Optional[Path] = None) -> Dict[str, TargetProgram]:
+    """The corpus targets shipped under ``examples/targets/``, by name."""
+    root = Path(targets_dir) if targets_dir is not None else _TARGETS_DIR
+    if not root.is_dir():
+        raise ModelError(
+            f"bundled target corpus not found at {root} (checkout incomplete?)"
+        )
+    targets: Dict[str, TargetProgram] = {}
+    for program in sorted(root.glob("*/program.py")):
+        directory = program.parent
+        tests = tuple(sorted(directory.glob("test_*.py")))
+        if not tests:
+            raise ModelError(f"corpus target {directory.name!r} has no tests")
+        targets[directory.name] = TargetProgram(
+            name=directory.name,
+            module="program",
+            source_path=program,
+            test_paths=tests,
+        )
+    if not targets:
+        raise ModelError(f"no corpus targets found under {root}")
+    return targets
+
+
+def bundled_target(name: str) -> TargetProgram:
+    """One bundled corpus target by name (clear error listing the rest)."""
+    targets = bundled_targets()
+    try:
+        return targets[name]
+    except KeyError:
+        known = ", ".join(sorted(targets))
+        raise ModelError(
+            f"unknown bundled target {name!r} (known: {known})"
+        ) from None
+
+
+def self_target() -> TargetProgram:
+    """The self-mutation target: ``repro.rng`` judged by its tier-1 tests."""
+    return TargetProgram(
+        name="self-rng",
+        module="repro.rng",
+        source_path=_REPO_ROOT / "src" / "repro" / "rng.py",
+        test_paths=(_REPO_ROOT / "tests" / "test_rng.py",),
+        support_paths=(_REPO_ROOT / "tests" / "conftest.py",),
+        package_root=_REPO_ROOT / "src",
+    )

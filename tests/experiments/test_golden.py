@@ -45,7 +45,11 @@ GOLDEN_SEED = _TOOL.GOLDEN_SEED
 # ids cheap enough for the default (non-slow) tier; everything else is a
 # simulation-driven experiment gated behind the `slow` marker, mirroring
 # test_runs.py
-CHEAP_IDS = {"e01", "e02", "e13", "a1", "a2", "a3", "a4", "a5", "a6", "x1"}
+CHEAP_IDS = {
+    "e01", "e02", "e13", "a1", "a2", "a3", "a4", "a5", "a6", "x1",
+    # m* read committed campaign measurements — exact, no simulation
+    "m1", "m2", "m3",
+}
 
 ALL_IDS = all_experiment_ids()
 

@@ -1,0 +1,106 @@
+"""Shared fixtures: tiny on-disk targets for fast campaign tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mutation import TargetProgram
+from repro.store import ResultStore
+
+# sign() is judged by three tests; shift() is deliberately untested, so
+# its mutants (and the off-by-one constant in sign's first guard) survive
+TINY_PROGRAM = """\
+def sign(x):
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0
+
+
+def shift(x):
+    return x + 1
+"""
+
+TINY_TESTS = """\
+from program import sign
+
+
+def test_positive():
+    assert sign(5) == 1
+
+
+def test_negative():
+    assert sign(-5) == -1
+
+
+def test_zero():
+    assert sign(0) == 0
+"""
+
+# drain() admits exactly four mutants, one of which (n - 1 -> n + 1)
+# never terminates — the timeout path in one cheap campaign
+LOOP_PROGRAM = """\
+def drain(n):
+    while n > 0:
+        n = n - 1
+    return n
+"""
+
+LOOP_TESTS = """\
+from program import drain
+
+
+def test_drain_positive():
+    assert drain(3) == 0
+
+
+def test_drain_zero():
+    assert drain(0) == 0
+"""
+
+
+def write_target(directory, name, program, tests) -> TargetProgram:
+    directory.mkdir(parents=True, exist_ok=True)
+    program_path = directory / "program.py"
+    tests_path = directory / "test_program.py"
+    program_path.write_text(program, encoding="utf-8")
+    tests_path.write_text(tests, encoding="utf-8")
+    return TargetProgram(
+        name=name,
+        module="program",
+        source_path=program_path,
+        test_paths=(tests_path,),
+    )
+
+
+@pytest.fixture
+def make_target(tmp_path):
+    """Factory fixture: write a (program, tests) pair under tmp_path."""
+
+    def _make(name, program, tests, subdir=None):
+        return write_target(
+            tmp_path / (subdir or name), name, program, tests
+        )
+
+    return _make
+
+
+@pytest.fixture
+def tiny_tests_source() -> str:
+    return TINY_TESTS
+
+
+@pytest.fixture
+def tiny_target(tmp_path) -> TargetProgram:
+    return write_target(tmp_path / "tiny", "tiny", TINY_PROGRAM, TINY_TESTS)
+
+
+@pytest.fixture
+def loop_target(tmp_path) -> TargetProgram:
+    return write_target(tmp_path / "loop", "loop", LOOP_PROGRAM, LOOP_TESTS)
+
+
+@pytest.fixture
+def campaign_store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "campaign.jsonl")

@@ -1,0 +1,61 @@
+"""The ``mutate`` CLI subcommand: listing, running, resuming, gating."""
+
+from __future__ import annotations
+
+from repro.experiments.__main__ import main
+
+
+def _mutate_args(target, store_path, extra=()):
+    return [
+        "mutate",
+        "--program",
+        str(target.source_path),
+        "--tests",
+        *(str(p) for p in target.test_paths),
+        "--store",
+        str(store_path),
+        "--timeout",
+        "30",
+        *extra,
+    ]
+
+
+def test_list_targets_names_the_corpus_and_self(capsys):
+    assert main(["mutate", "--list-targets"]) == 0
+    out = capsys.readouterr().out
+    for name in ("triangle", "leap", "bsearch", "stats", "self"):
+        assert name in out
+
+
+def test_mutate_runs_and_resumes_an_arbitrary_program(
+    tiny_target, tmp_path, capsys
+):
+    store_path = tmp_path / "cli.jsonl"
+    assert main(_mutate_args(tiny_target, store_path)) == 0
+    out = capsys.readouterr().out
+    assert "9 mutants (9 executed, 0 cached)" in out
+    assert "mutation score 0.667" in out
+    assert out.count("ran    ") == 9
+    # second invocation: pure cache hit, same summary numbers
+    assert main(_mutate_args(tiny_target, store_path)) == 0
+    out = capsys.readouterr().out
+    assert "9 mutants (0 executed, 9 cached)" in out
+    assert out.count("cached ") == 9
+
+
+def test_min_score_gate_fails_on_a_weak_suite(tiny_target, tmp_path, capsys):
+    store_path = tmp_path / "gate.jsonl"
+    # the tiny suite scores 6/9 ≈ 0.667: below a 0.9 floor, above 0.5
+    assert main(_mutate_args(tiny_target, store_path, ["--min-score", "0.9"])) == 1
+    assert "below the --min-score gate" in capsys.readouterr().err
+    assert main(_mutate_args(tiny_target, store_path, ["--min-score", "0.5"])) == 0
+
+
+def test_target_selection_errors_are_usage_errors(tmp_path, capsys):
+    assert main(["mutate", "--store", str(tmp_path / "s.jsonl")]) != 0
+    assert "pick a target" in capsys.readouterr().err
+    code = main(
+        ["mutate", "--target", "nope", "--store", str(tmp_path / "s.jsonl")]
+    )
+    assert code != 0
+    assert "unknown bundled target" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Integration tests for the measured experiment family (m1–m3).
+
+The golden suite pins exact payloads; these tests pin the *meaning*:
+m1's measured and assumed growth curves must demonstrably diverge under
+identical seeds and placement streams — the acceptance criterion of the
+mutation bridge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_result, run_experiment
+from repro.mutation.measured import measured_target_names
+
+
+def test_m1_measured_diverges_from_assumed_baseline():
+    result = run_experiment("m1", seed=0, fast=True)
+    assert result.passed, format_result(result)
+    measured_curve = [row[1] for row in result.rows]
+    assumed_curve = [row[2] for row in result.rows]
+    # identical seeds, identical placement streams — yet the curves
+    # measurably part ways once testing starts removing faults
+    divergence = max(
+        abs(m - a) for m, a in zip(measured_curve, assumed_curve)
+    )
+    assert divergence > 1e-3
+    # the divergence is a growth effect: larger after testing than before
+    assert divergence > abs(measured_curve[0] - assumed_curve[0])
+    # both curves are genuine growth curves
+    assert measured_curve == sorted(measured_curve, reverse=True)
+    assert assumed_curve == sorted(assumed_curve, reverse=True)
+
+
+@pytest.mark.parametrize("target", sorted(measured_target_names()))
+def test_m1_runs_on_every_measured_target(target):
+    result = run_experiment(
+        "m1", seed=0, fast=True, params={"target": target}
+    )
+    assert result.passed, format_result(result)
+    assert result.extra["alpha"] > 0.25  # measured heterogeneity is real
+    assert len(set(result.extra["region_sizes"])) > 1
+
+
+def test_m1_seed_changes_placement_but_not_the_claims():
+    # max_faults above the campaign size: no subsampling, so the seed
+    # moves only the fault placements, never the measured size profile
+    params = {"target": "stats", "max_faults": 64}
+    baseline = run_experiment("m1", seed=0, fast=True, params=params)
+    other = run_experiment("m1", seed=3, fast=True, params=params)
+    assert other.passed, format_result(other)
+    assert baseline.rows != other.rows  # different placements
+    assert baseline.extra["region_sizes"] == other.extra["region_sizes"]
+
+
+def test_m1_max_faults_subsample_is_deterministic_and_bounding():
+    capped = run_experiment(
+        "m1", seed=0, fast=True, params={"target": "leap", "max_faults": 10}
+    )
+    again = run_experiment(
+        "m1", seed=0, fast=True, params={"target": "leap", "max_faults": 10}
+    )
+    assert capped.rows == again.rows
+    assert len(capped.extra["region_sizes"]) == 10
+
+
+def test_m2_fit_beats_equal_size_on_its_default_target():
+    result = run_experiment("m2", seed=0, fast=True)
+    assert result.passed, format_result(result)
+    assert result.extra["tv_fitted"] < result.extra["tv_equal_size"]
+    # rows are (count k, empirical, fitted, equal-size) — each a pmf
+    for column in (1, 2, 3):
+        total = sum(row[column] for row in result.rows)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+def test_m3_summarises_every_measured_target():
+    result = run_experiment("m3", seed=0, fast=True)
+    assert result.passed, format_result(result)
+    assert [row[0] for row in result.rows] == sorted(measured_target_names())
+    scores = [row[5] for row in result.rows]
+    assert all(score >= 0.5 for score in scores)
+
+
+def test_m_family_is_seed_invariant_where_exact():
+    """m2/m3 read committed data and involve no random placement at all."""
+    for experiment_id in ("m2", "m3"):
+        a = run_experiment(experiment_id, seed=0, fast=True)
+        b = run_experiment(experiment_id, seed=9, fast=True)
+        assert a.rows == b.rows

@@ -1,0 +1,73 @@
+"""The committed measurements must describe the current corpus.
+
+This is the staleness gate `repro.mutation.measured` promises: editing a
+corpus program or its tests without re-running
+``tools/update_measured.py`` fails here instead of silently running the
+``m*`` experiments on measurements of a different program.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mutation import (
+    bundled_targets,
+    enumerate_mutations,
+    measured_detection_data,
+    measured_target_names,
+)
+from repro.mutation.measured import MEASURED
+from repro.mutation.mutants import MUTATOR_VERSION
+
+
+def test_every_bundled_target_has_committed_measurements():
+    assert measured_target_names() == sorted(bundled_targets())
+
+
+def test_measured_shas_match_the_current_corpus():
+    targets = bundled_targets()
+    for name in measured_target_names():
+        entry = MEASURED[name]
+        target = targets[name]
+        assert entry["program_sha"] == target.source_sha, (
+            f"{name}: program.py changed since measurement — rerun "
+            "tools/update_measured.py"
+        )
+        assert entry["tests_sha"] == target.tests_sha, (
+            f"{name}: tests changed since measurement — rerun "
+            "tools/update_measured.py"
+        )
+
+
+def test_measured_mutant_ids_match_the_current_generator():
+    """The committed ids must be a subset of today's enumeration.
+
+    A mutator-version bump renumbers sites; this catches a bumped
+    generator with stale committed measurements.
+    """
+    assert MUTATOR_VERSION == "1"
+    targets = bundled_targets()
+    for name in measured_target_names():
+        enumerated = {m.mutant_id for m in enumerate_mutations(targets[name].source)}
+        committed = {m["id"] for m in MEASURED[name]["mutants"]}
+        assert committed == enumerated, f"{name}: mutant ids drifted"
+
+
+def test_measured_detection_data_is_well_formed():
+    for name in measured_target_names():
+        data = measured_detection_data(name)
+        assert data.n_mutants >= 15  # a corpus target is not a toy
+        assert data.n_tests >= 5  # satellite floor: real suites only
+        assert all(0 <= k <= data.n_tests for k in data.counts)
+        # statuses agree with counts
+        for mutant in MEASURED[name]["mutants"]:
+            if mutant["status"] == "survived":
+                assert mutant["count"] == 0
+            else:
+                assert mutant["count"] >= 1
+
+
+def test_unknown_target_raises_with_the_known_names():
+    with pytest.raises(ModelError, match="bsearch"):
+        measured_detection_data("nope")

@@ -1,0 +1,123 @@
+"""The mutant generator: determinism, stable ids, subsampling, operators."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mutation import enumerate_mutations, generate_mutants
+
+SOURCE = """\
+LIMIT = 10
+
+
+def sign(x):
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0
+
+
+def clamp(value):
+    if value > LIMIT and value != -LIMIT:
+        return LIMIT
+    return value
+
+
+def describe(x) -> str:
+    if not x:
+        return "zero"
+    return "nonzero"
+"""
+
+
+def test_enumeration_is_deterministic():
+    first = enumerate_mutations(SOURCE)
+    second = enumerate_mutations(SOURCE)
+    assert first == second
+    assert [m.mutant_id for m in first] == [
+        f"m{i:03d}" for i in range(len(first))
+    ]
+
+
+def test_enumeration_covers_the_operator_families():
+    operators = {m.operator for m in enumerate_mutations(SOURCE)}
+    assert "flip-compare" in operators
+    assert "flip-boolop" in operators
+    assert "tweak-constant" in operators
+    assert "drop-not" in operators
+    assert "drop-negate" in operators  # -LIMIT, a negated name
+
+
+def test_arith_flip_present_when_source_has_arithmetic():
+    mutations = enumerate_mutations("def f(a, b):\n    return a + b * 2\n")
+    assert {m.operator for m in mutations} >= {"flip-arith", "tweak-constant"}
+
+
+def test_negated_literal_is_constant_tweak_not_drop_negate():
+    # -1 is UnaryOp(USub, Constant(1)): dropping the minus would just be
+    # another constant tweak, so only tweak-constant applies
+    mutations = enumerate_mutations("def f():\n    return -1\n")
+    assert [m.operator for m in mutations] == ["tweak-constant"]
+
+
+def test_annotations_and_main_guard_are_never_mutated():
+    guarded = SOURCE + "\n\nif __name__ == \"__main__\":\n    pass\n"
+    plain = enumerate_mutations(SOURCE)
+    with_guard = enumerate_mutations(guarded)
+    # the guard's == comparison adds no site; annotations are skipped
+    assert [m.description for m in with_guard] == [
+        m.description for m in plain
+    ]
+
+
+def test_each_mutant_differs_from_source_and_compiles():
+    mutants = generate_mutants(SOURCE)
+    normalized = ast.unparse(ast.parse(SOURCE))
+    for mutant in mutants:
+        assert ast.unparse(ast.parse(mutant.source)) != normalized
+        compile(mutant.source, "<mutant>", "exec")
+
+
+def test_mutants_are_single_point():
+    """Each mutant differs from the unparsed source in exactly one AST site."""
+    baseline = ast.dump(ast.parse(SOURCE))
+    for mutant in generate_mutants(SOURCE):
+        assert ast.dump(ast.parse(mutant.source)) != baseline
+
+
+def test_subsampling_is_deterministic_and_preserves_ids():
+    full = generate_mutants(SOURCE)
+    assert len(full) > 6
+    capped_a = generate_mutants(SOURCE, max_mutants=5, seed=3)
+    capped_b = generate_mutants(SOURCE, max_mutants=5, seed=3)
+    assert [m.mutant_id for m in capped_a] == [m.mutant_id for m in capped_b]
+    assert len(capped_a) == 5
+    # ids index the full enumeration, so every capped mutant equals its
+    # full-enumeration counterpart exactly
+    by_id = {m.mutant_id: m for m in full}
+    for mutant in capped_a:
+        assert mutant == by_id[mutant.mutant_id]
+
+
+def test_different_seeds_pick_different_subsamples():
+    picks = {
+        tuple(m.mutant_id for m in generate_mutants(SOURCE, max_mutants=4, seed=s))
+        for s in range(10)
+    }
+    assert len(picks) > 1
+
+
+def test_cap_larger_than_enumeration_is_a_noop():
+    full = generate_mutants(SOURCE)
+    assert generate_mutants(SOURCE, max_mutants=10_000, seed=9) == full
+
+
+def test_invalid_cap_and_unmutable_source_raise():
+    with pytest.raises(ModelError):
+        generate_mutants(SOURCE, max_mutants=0)
+    with pytest.raises(ModelError):
+        generate_mutants("def f(x):\n    return x\n")

@@ -1,0 +1,81 @@
+"""Target discovery and content-hash identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mutation import (
+    TargetProgram,
+    bundled_target,
+    bundled_targets,
+    self_target,
+)
+
+
+def test_bundled_corpus_has_the_documented_targets():
+    targets = bundled_targets()
+    assert {"triangle", "leap", "bsearch", "stats"} <= set(targets)
+    for target in targets.values():
+        assert target.module == "program"
+        assert target.test_paths
+        assert target.source_path.name == "program.py"
+
+
+def test_bundled_target_lookup_and_error():
+    assert bundled_target("stats").name == "stats"
+    with pytest.raises(ModelError, match="stats"):
+        bundled_target("nope")
+
+
+def test_content_hashes_are_stable_and_content_sensitive(tmp_path):
+    program = tmp_path / "program.py"
+    test_file = tmp_path / "test_program.py"
+    program.write_text("def f():\n    return 1 + 1\n")
+    test_file.write_text("from program import f\n\ndef test_f():\n    assert f() == 2\n")
+
+    def build():
+        return TargetProgram(
+            name="tiny",
+            module="program",
+            source_path=program,
+            test_paths=(test_file,),
+        )
+
+    target = build()
+    assert target.source_sha == build().source_sha
+    assert target.tests_sha == build().tests_sha
+    original_source_sha = target.source_sha
+    original_tests_sha = target.tests_sha
+    program.write_text("def f():\n    return 2 + 0\n")
+    assert build().source_sha != original_source_sha
+    assert build().tests_sha == original_tests_sha
+    test_file.write_text("from program import f\n\ndef test_f():\n    assert f()\n")
+    assert build().tests_sha != original_tests_sha
+
+
+def test_missing_files_and_dotted_module_validation(tmp_path):
+    with pytest.raises(ModelError, match="no such file"):
+        TargetProgram(
+            name="ghost",
+            module="program",
+            source_path=tmp_path / "absent.py",
+            test_paths=(),
+        )
+    program = tmp_path / "program.py"
+    program.write_text("x = 1\n")
+    with pytest.raises(ModelError, match="package_root"):
+        TargetProgram(
+            name="dotted",
+            module="pkg.program",
+            source_path=program,
+            test_paths=(),
+        )
+
+
+def test_self_target_points_at_rng_and_its_tier1_tests():
+    target = self_target()
+    assert target.module == "repro.rng"
+    assert target.package_root is not None
+    assert "spawn" in target.source  # really the rng module
+    assert any(p.name == "test_rng.py" for p in target.test_paths)

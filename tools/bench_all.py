@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Run the benchmark suites: ``BENCH_adaptive.json`` + ``BENCH_service.json``.
+"""Run the benchmark suites: ``BENCH_adaptive.json`` + ``BENCH_service.json``
++ ``BENCH_mutation.json``.
 
-Two suites, selectable with ``--suites`` (default: both):
+Three suites, selectable with ``--suites`` (default: all):
 
 * **adaptive** — the precision engine's headline numbers are *replication
   counts*: how many replications each estimand needs to reach a relative
@@ -11,13 +12,17 @@ Two suites, selectable with ``--suites`` (default: both):
 * **service** — the serving layer's load harness
   (``benchmarks/bench_service.py``): cold vs warm (cached) latency,
   request coalescing, and mixed-workload throughput/p50/p99 against an
-  in-process server.
+  in-process server;
+* **mutation** — the mutation harness (``benchmarks/bench_mutation.py``):
+  mutant-generation throughput, a real campaign's cold-vs-warm (resume
+  cache hit) ratio, and estimator fit throughput.
 
 ::
 
-    PYTHONPATH=src python tools/bench_all.py                 # both suites
+    PYTHONPATH=src python tools/bench_all.py                 # all suites
     PYTHONPATH=src python tools/bench_all.py --suites adaptive --full
     PYTHONPATH=src python tools/bench_all.py --suites service --service-smoke
+    PYTHONPATH=src python tools/bench_all.py --suites mutation
 
 ``--full`` additionally runs the whole pytest-benchmark suite
 (``benchmarks/``) with ``--benchmark-json`` and folds each benchmark's
@@ -40,7 +45,8 @@ import tempfile
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = ROOT / "BENCH_adaptive.json"
 DEFAULT_SERVICE_OUT = ROOT / "BENCH_service.json"
-SUITES = ("adaptive", "service")
+DEFAULT_MUTATION_OUT = ROOT / "BENCH_mutation.json"
+SUITES = ("adaptive", "service", "mutation")
 
 
 def _load_bench(name: str):
@@ -132,9 +138,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suites",
-        default="adaptive,service",
+        default="adaptive,service,mutation",
         metavar="LIST",
-        help="comma-separated suites to run (default: adaptive,service)",
+        help="comma-separated suites to run "
+        "(default: adaptive,service,mutation)",
     )
     parser.add_argument(
         "--service-out",
@@ -147,6 +154,13 @@ def main(argv=None) -> int:
         "--service-smoke",
         action="store_true",
         help="short service burst (cheaper cold experiment, fewer requests)",
+    )
+    parser.add_argument(
+        "--mutation-out",
+        default=str(DEFAULT_MUTATION_OUT),
+        metavar="FILE",
+        help="mutation-suite output path "
+        f"(default {DEFAULT_MUTATION_OUT.name} at the repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -190,6 +204,11 @@ def main(argv=None) -> int:
         if args.service_smoke:
             service_argv.append("--smoke")
         exit_code = max(exit_code, bench_service.main(service_argv))
+    if "mutation" in suites:
+        bench_mutation = _load_bench("bench_mutation")
+        exit_code = max(
+            exit_code, bench_mutation.main(["--out", args.mutation_out])
+        )
     return exit_code
 
 

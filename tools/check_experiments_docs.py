@@ -39,6 +39,35 @@ def documented_precision_ids(text: str) -> list:
     return out
 
 
+def catalog_rows(text: str) -> dict:
+    """Mapping of documented id -> its full catalog row line."""
+    return {
+        match.group(1): match.group(0)
+        for match in _LINE_PATTERN.finditer(text)
+    }
+
+
+def undocumented_knobs(registered, rows, runner_params) -> dict:
+    """Sweepable knobs missing from their experiment's catalog row.
+
+    Every knob a runner accepts (except `precision`, which the adaptive
+    column already covers) must appear backticked in that id's row, so a
+    reader browsing the catalog sees what each experiment can sweep.
+    """
+    out = {}
+    for eid in registered:
+        row = rows.get(eid)
+        if row is None:
+            continue  # reported separately as a missing row
+        knobs = [
+            name for name in runner_params(eid) if name != "precision"
+        ]
+        missing = [name for name in knobs if f"`{name}`" not in row]
+        if missing:
+            out[eid] = missing
+    return out
+
+
 def main() -> int:
     from repro.experiments import all_experiment_ids
 
@@ -63,7 +92,18 @@ def main() -> int:
     marked = sorted(documented_precision_ids(text))
     unmarked = [eid for eid in capable if eid not in marked]
     overmarked = [eid for eid in marked if eid not in capable]
-    if not (missing or extra or duplicated or unmarked or overmarked):
+    # every other sweepable knob must be visible in its catalog row
+    missing_knobs = undocumented_knobs(
+        registered, catalog_rows(text), runner_params
+    )
+    if not (
+        missing
+        or extra
+        or duplicated
+        or unmarked
+        or overmarked
+        or missing_knobs
+    ):
         print(
             f"docs/experiments.md in sync: {len(registered)} experiment "
             f"ids, {len(capable)} precision-capable"
@@ -84,6 +124,12 @@ def main() -> int:
     if overmarked:
         print(
             f"ids marked `precision` but without the knob: {overmarked}",
+            file=sys.stderr,
+        )
+    for eid, knobs in sorted(missing_knobs.items()):
+        print(
+            f"knob(s) of {eid!r} not mentioned in its catalog row: "
+            f"{knobs}",
             file=sys.stderr,
         )
     return 1
