@@ -105,6 +105,18 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-backend",
+        choices=("auto", "jsonl", "sqlite"),
+        default="auto",
+        help="result-store backend: 'auto' (default) detects from the "
+        "path and existing files, 'jsonl' is the append-only line store, "
+        "'sqlite' a WAL-mode database with indexed lookups for stores "
+        "holding millions of records (see docs/sweeps.md)",
+    )
+
+
 def _add_precision_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--target-rel-hw",
@@ -245,7 +257,7 @@ def run_main(argv: List[str]) -> int:
 
 def sweep_main(argv: List[str]) -> int:
     """``sweep --grid grid.toml --out results/``: run a resumable grid."""
-    from ..store import ResultStore
+    from ..store import open_store
     from ..sweeps import Sweep, load_grid
 
     parser = argparse.ArgumentParser(
@@ -286,11 +298,12 @@ def sweep_main(argv: List[str]) -> int:
         "--procs becomes the number of concurrent requests and records "
         "are mirrored into --out",
     )
+    _add_store_backend_argument(parser)
     _add_engine_arguments(parser)
     args = parser.parse_args(argv)
 
     spec = load_grid(args.grid)
-    store = ResultStore(args.out)
+    store = open_store(args.out, backend=args.store_backend)
     sweep = Sweep(spec, store, engine=args.engine, n_jobs=args.n_jobs)
     if args.dry_run:
         cached, pending = sweep.partition()
@@ -385,16 +398,32 @@ def serve_main(argv: List[str]) -> int:
         help="bounded job queue depth; submissions beyond it get HTTP 429 "
         "(default 64)",
     )
+    parser.add_argument(
+        "--name",
+        default=None,
+        metavar="NAME",
+        help="instance name for sharded deployments: job ids become "
+        "<name>-job-NNNNNN so a router can route job lookups back here "
+        "(default: unnamed)",
+    )
+    _add_store_backend_argument(parser)
     args = parser.parse_args(argv)
 
     from ..service import JobScheduler, ServiceServer, TwoTierCache
-    from ..store import ResultStore
+    from ..store import open_store
 
     async def _serve() -> None:
-        store = None if args.no_store else ResultStore(args.store)
+        store = (
+            None
+            if args.no_store
+            else open_store(args.store, backend=args.store_backend)
+        )
         cache = TwoTierCache(store, capacity=args.cache_size)
         scheduler = JobScheduler(
-            cache, procs=args.procs, queue_limit=args.queue_limit
+            cache,
+            procs=args.procs,
+            queue_limit=args.queue_limit,
+            name=args.name,
         )
         await scheduler.start()
         server = ServiceServer(scheduler, host=args.host, port=args.port)
@@ -404,9 +433,10 @@ def serve_main(argv: List[str]) -> int:
         for signum in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(signum, stop.set)
         store_label = str(store.path) if store is not None else "none"
+        name_label = f", name={args.name}" if args.name else ""
         print(
             f"serving {server.url} (procs={args.procs}, "
-            f"store={store_label})",
+            f"store={store_label}{name_label})",
             flush=True,
         )
         await stop.wait()
@@ -423,6 +453,101 @@ def serve_main(argv: List[str]) -> int:
     return EXIT_OK
 
 
+def router_main(argv: List[str]) -> int:
+    """``router --shard s0=http://... --shard s1=http://...``: cluster front-end."""
+    import asyncio
+    import signal
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments router",
+        description="Host the cluster router: forwards each POST /run to "
+        "the shard instance owning its cache key on a consistent-hash "
+        "ring, so coalescing and caching work cluster-wide "
+        "(topology: docs/service.md).",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="bind port (default 8750; 0 picks a free port, printed on "
+        "startup)",
+    )
+    parser.add_argument(
+        "--shard",
+        action="append",
+        default=[],
+        metavar="NAME=URL",
+        help="one shard instance, e.g. s0=http://127.0.0.1:8752 (repeat "
+        "per shard; names must match each shard's serve --name)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="transport retries per shard before failing over along the "
+        "ring (default 1)",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="background /healthz probe period (default 1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    shards = {}
+    for entry in args.shard:
+        name, separator, url = entry.partition("=")
+        if not separator or not name or not url:
+            raise ModelError(
+                f"--shard must look like NAME=URL, got {entry!r}"
+            )
+        if name in shards:
+            raise ModelError(f"duplicate shard name {name!r}")
+        shards[name] = url
+    if not shards:
+        raise ModelError(
+            "router needs at least one --shard NAME=URL "
+            "(e.g. --shard s0=http://127.0.0.1:8752)"
+        )
+
+    from ..service.router import Router, RouterServer
+
+    async def _serve() -> None:
+        router = Router(
+            shards,
+            retries=args.retries,
+            health_interval=args.health_interval,
+        )
+        await router.start()
+        server = RouterServer(router, host=args.host, port=args.port)
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        print(
+            f"routing {server.url} across {len(shards)} shard(s): "
+            + ", ".join(f"{name}={url}" for name, url in sorted(shards.items())),
+            flush=True,
+        )
+        await stop.wait()
+        print("router shutting down ...", flush=True)
+        await server.close()
+        await router.close()
+        print("router shutdown complete", flush=True)
+
+    asyncio.run(_serve())
+    return EXIT_OK
+
+
 def mutate_main(argv: List[str]) -> int:
     """``mutate --target stats --store campaigns/``: run a mutation campaign."""
     from ..mutation import (
@@ -433,7 +558,7 @@ def mutate_main(argv: List[str]) -> int:
         self_target,
     )
     from ..mutation.targets import TargetProgram
-    from ..store import ResultStore
+    from ..store import open_store
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments mutate",
@@ -503,6 +628,7 @@ def mutate_main(argv: List[str]) -> int:
         help="fail (exit 1) when the mutation score ends below S — the "
         "CI mutation-score gate",
     )
+    _add_store_backend_argument(parser)
     args = parser.parse_args(argv)
 
     if args.list_targets:
@@ -546,7 +672,7 @@ def mutate_main(argv: List[str]) -> int:
             "--program FILE --tests FILE... (--list-targets to browse)"
         )
 
-    store = ResultStore(args.store)
+    store = open_store(args.store, backend=args.store_backend)
     campaign = MutationCampaign(
         target,
         store,
@@ -603,7 +729,7 @@ def mutate_main(argv: List[str]) -> int:
 
 def aggregate_main(argv: List[str]) -> int:
     """``aggregate --store results/``: join stored records into tables."""
-    from ..store import ResultStore
+    from ..store import open_store
     from ..sweeps import comparison_table, render_table, summary_table
 
     parser = argparse.ArgumentParser(
@@ -635,9 +761,10 @@ def aggregate_main(argv: List[str]) -> int:
         metavar="FILE",
         help="write the table to FILE instead of stdout",
     )
+    _add_store_backend_argument(parser)
     args = parser.parse_args(argv)
 
-    store = ResultStore(args.store)
+    store = open_store(args.store, backend=args.store_backend)
     if not store.path.exists():
         raise ModelError(f"no result store at {store.path}")
     if args.experiment is not None:
@@ -664,6 +791,8 @@ def main(argv: List[str] | None = None) -> int:
             return aggregate_main(argv[1:])
         if argv and argv[0] == "serve":
             return serve_main(argv[1:])
+        if argv and argv[0] == "router":
+            return router_main(argv[1:])
         if argv and argv[0] == "mutate":
             return mutate_main(argv[1:])
         return run_main(argv)

@@ -33,13 +33,25 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..errors import ModelError
-from ..store import ResultStore
-from ..store.records import make_record
 from .mutants import MUTATOR_VERSION, Mutant, generate_mutants
 from .targets import TargetProgram
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.store's __init__
+    # imports repro.experiments (via records.py), which imports this
+    # module — a module-level store import here closes that cycle and
+    # breaks ``import repro.store`` as a process's first repro import
+    from ..store import ResultStore
 
 __all__ = [
     "MutantOutcome",
@@ -209,6 +221,8 @@ class MutationCampaign:
     def _record_for(
         self, mutant_id: str, outcome: Optional[MutantOutcome]
     ) -> Dict[str, object]:
+        from ..store.records import make_record
+
         record = make_record(
             experiment_id=self.experiment_id,
             # pinned, not self.seed: the seed only picks the subsample,

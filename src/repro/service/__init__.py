@@ -20,7 +20,14 @@ Layers:
   front-end (``serve`` CLI subcommand hosts it);
 * :mod:`~repro.service.client` — the blocking client used by tests, the
   load harness (``benchmarks/bench_service.py``) and ``sweep
-  --via-service``.
+  --via-service``;
+* :mod:`~repro.service.shard` / :mod:`~repro.service.router` — the
+  scale-out layer: a consistent-hash ring over N shard instances and a
+  router front-end that forwards each request to its key's owner, so
+  coalescing and caching hold cluster-wide (``router`` CLI subcommand
+  hosts it);
+* :mod:`~repro.service.instances` — subprocess shard + local-cluster
+  harness for the chaos tests and the bench.
 
 See ``docs/service.md`` for the API reference and deployment notes.
 """
@@ -28,18 +35,28 @@ See ``docs/service.md`` for the API reference and deployment notes.
 from .cache import TwoTierCache
 from .client import ServiceClient
 from .errors import QueueFullError, ServiceError
-from .http import ServiceServer, ThreadedServer
+from .http import BaseHttpServer, ServiceServer, ThreadedServer
+from .instances import LocalCluster, ShardProcess
 from .jobs import Job, JobScheduler, JobSpec, ServiceMetrics
+from .router import Router, RouterServer, ThreadedRouter
+from .shard import HashRing
 
 __all__ = [
+    "BaseHttpServer",
+    "HashRing",
     "Job",
     "JobScheduler",
     "JobSpec",
+    "LocalCluster",
     "QueueFullError",
+    "Router",
+    "RouterServer",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
     "ServiceServer",
+    "ShardProcess",
+    "ThreadedRouter",
     "ThreadedServer",
     "TwoTierCache",
 ]

@@ -7,17 +7,29 @@ cases, and carry the HTTP status the server responds with.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from ..errors import ModelError
 
 __all__ = ["QueueFullError", "ServiceError"]
 
 
 class ServiceError(ModelError):
-    """A service-level failure, carrying its HTTP status code."""
+    """A service-level failure, carrying its HTTP status code.
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    ``headers`` (optional) are extra response headers the server should
+    attach — the router uses it for ``Retry-After`` on cluster-wide 503s.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
+        self.headers = headers
 
 
 class QueueFullError(ServiceError):

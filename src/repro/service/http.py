@@ -37,7 +37,7 @@ from .cache import TwoTierCache
 from .errors import ServiceError
 from .jobs import DONE, JobScheduler, JobSpec
 
-__all__ = ["ServiceServer", "ThreadedServer"]
+__all__ = ["BaseHttpServer", "ServiceServer", "ThreadedServer"]
 
 _MAX_BODY = 8 * 1024 * 1024
 _MAX_HEADERS = 100
@@ -61,13 +61,16 @@ class _Request:
     path: str
     headers: Dict[str, str]
     body: bytes
+    query: str = ""
 
     def json(self) -> object:
         if not self.body:
             return {}
         try:
             return json.loads(self.body)
-        except json.JSONDecodeError as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            # UnicodeDecodeError: json.loads sniffs the encoding of bytes
+            # input and non-UTF bodies fail *before* JSON parsing starts
             raise ServiceError(f"invalid JSON body: {error}", status=400)
 
 
@@ -100,26 +103,26 @@ def _experiments_payload() -> Dict[str, object]:
     return {"experiments": experiments}
 
 
-class ServiceServer:
-    """The asyncio HTTP front-end bound to one :class:`JobScheduler`."""
+class BaseHttpServer:
+    """Shared asyncio HTTP/1.1 plumbing: accept loop, parser, responder.
 
-    def __init__(
-        self,
-        scheduler: JobScheduler,
-        host: str = "127.0.0.1",
-        port: int = 8752,
-        wait_timeout: float = 600.0,
-    ) -> None:
-        self.scheduler = scheduler
+    Subclasses implement :meth:`_route`, returning ``(status, payload)``
+    or ``(status, payload, extra_headers)``.  Both the shard-facing
+    :class:`ServiceServer` and the cluster-facing
+    :class:`~repro.service.router.RouterServer` are built on it, so the
+    parser hardening (header caps, length validation, oversized-line
+    handling) is enforced once for every front-end.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8752) -> None:
         self.host = host
         self.port = port
-        self.wait_timeout = wait_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
 
     # -- lifecycle -------------------------------------------------------
 
-    async def start(self) -> "ServiceServer":
+    async def start(self) -> "BaseHttpServer":
         """Bind and start accepting; ``port=0`` picks a free port."""
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -136,6 +139,11 @@ class ServiceServer:
         """Serve until ``stop`` is set, then close the listener."""
         await stop.wait()
         await self.close()
+
+    @property
+    def open_connections(self) -> int:
+        """Connection-handler tasks currently alive (leak detector hook)."""
+        return len(self._connections)
 
     async def close(self) -> None:
         """Stop listening and drop open keep-alive connections."""
@@ -173,10 +181,16 @@ class ServiceServer:
                 close_after = (
                     request.headers.get("connection", "").lower() == "close"
                 )
+                extra_headers: Optional[Dict[str, str]] = None
                 try:
-                    status, payload = await self._route(request)
+                    outcome = await self._route(request)
+                    if len(outcome) == 3:
+                        status, payload, extra_headers = outcome
+                    else:
+                        status, payload = outcome
                 except ServiceError as error:
                     status, payload = error.status, {"error": str(error)}
+                    extra_headers = getattr(error, "headers", None)
                 except ModelError as error:
                     status, payload = 400, {"error": str(error)}
                 except asyncio.TimeoutError:
@@ -187,7 +201,9 @@ class ServiceServer:
                 except Exception:
                     traceback.print_exc(file=sys.stderr)
                     status, payload = 500, {"error": "internal server error"}
-                self._write_response(writer, status, payload, close_after)
+                self._write_response(
+                    writer, status, payload, close_after, extra_headers
+                )
                 await writer.drain()
                 if close_after:
                     break
@@ -206,31 +222,55 @@ class ServiceServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[_Request]:
-        request_line = await reader.readline()
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            # the stream limit tripped mid-line: a request line longer
+            # than any legitimate client sends
+            raise ServiceError("request line too long", status=400)
         if not request_line:
             return None
         parts = request_line.decode("latin-1").split()
         if len(parts) != 3:
             raise ServiceError("malformed request line", status=400)
-        method, target, _version = parts
+        method, target, version = parts
+        if not version.startswith("HTTP/"):
+            raise ServiceError("malformed request line", status=400)
         headers: Dict[str, str] = {}
         for _ in range(_MAX_HEADERS):
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise ServiceError("header line too long", status=400)
             if line in (b"\r\n", b"\n", b""):
                 break
-            name, _, value = line.decode("latin-1").partition(":")
+            name, separator, value = line.decode("latin-1").partition(":")
+            if not separator or not name.strip():
+                raise ServiceError("malformed header line", status=400)
             headers[name.strip().lower()] = value.strip()
         else:
             raise ServiceError("too many headers", status=400)
+        if "transfer-encoding" in headers:
+            # this server speaks Content-Length only; mis-framed chunked
+            # bodies would desynchronise the keep-alive stream
+            raise ServiceError(
+                "transfer-encoding is not supported; send Content-Length",
+                status=400,
+            )
         try:
             length = int(headers.get("content-length", "0"))
         except ValueError:
+            raise ServiceError("bad Content-Length", status=400)
+        if length < 0:
             raise ServiceError("bad Content-Length", status=400)
         if length > _MAX_BODY:
             raise ServiceError("request body too large", status=413)
         body = await reader.readexactly(length) if length else b""
         path = target.split("?", 1)[0]
-        return _Request(method=method, path=path, headers=headers, body=body)
+        query = target.partition("?")[2]
+        return _Request(
+            method=method, path=path, headers=headers, body=body, query=query
+        )
 
     def _write_response(
         self,
@@ -238,6 +278,7 @@ class ServiceServer:
         status: int,
         payload: object,
         close_after: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         try:
             body = json.dumps(payload, allow_nan=False).encode("utf-8")
@@ -251,11 +292,31 @@ class ServiceServer:
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close_after else 'keep-alive'}\r\n"
-            f"\r\n"
         )
+        for name, value in (extra_headers or {}).items():
+            head += f"{name}: {value}\r\n"
+        head += "\r\n"
         writer.write(head.encode("latin-1") + body)
 
     # -- routing ---------------------------------------------------------
+
+    async def _route(self, request: _Request) -> Tuple[int, object]:
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+
+class ServiceServer(BaseHttpServer):
+    """The asyncio HTTP front-end bound to one :class:`JobScheduler`."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        host: str = "127.0.0.1",
+        port: int = 8752,
+        wait_timeout: float = 600.0,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        self.scheduler = scheduler
+        self.wait_timeout = wait_timeout
 
     async def _route(self, request: _Request) -> Tuple[int, object]:
         method, path = request.method, request.path
@@ -266,6 +327,7 @@ class ServiceServer:
             scheduler = self.scheduler
             return 200, {
                 "status": "ok",
+                "name": scheduler.name,
                 "queue_depth": scheduler.queue_depth,
                 "running": scheduler.running,
                 "store": scheduler.cache.stats()["store_path"],
@@ -360,6 +422,8 @@ class ThreadedServer:
         port: int = 0,
         cache_capacity: int = 1024,
         queue_limit: int = 64,
+        store_backend: str = "auto",
+        name: Optional[str] = None,
     ) -> None:
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
@@ -367,17 +431,20 @@ class ThreadedServer:
         self._startup_error: Optional[BaseException] = None
         self.url: Optional[str] = None
         self.scheduler: Optional[JobScheduler] = None
+        self.server: Optional[ServiceServer] = None
 
         def _main() -> None:
             async def _run() -> None:
-                from ..store import ResultStore
+                from ..store import open_store
 
                 store = (
-                    ResultStore(store_path) if store_path is not None else None
+                    open_store(store_path, backend=store_backend)
+                    if store_path is not None
+                    else None
                 )
                 cache = TwoTierCache(store, capacity=cache_capacity)
                 scheduler = JobScheduler(
-                    cache, procs=procs, queue_limit=queue_limit
+                    cache, procs=procs, queue_limit=queue_limit, name=name
                 )
                 await scheduler.start()
                 server = ServiceServer(scheduler, host=host, port=port)
@@ -386,6 +453,7 @@ class ThreadedServer:
                 self._stop = asyncio.Event()
                 self.url = server.url
                 self.scheduler = scheduler
+                self.server = server
                 self._ready.set()
                 await self._stop.wait()
                 await server.close()
@@ -411,9 +479,12 @@ class ThreadedServer:
             raise ServiceError("service thread did not come up", status=500)
 
     def stop(self) -> None:
-        """Drain the scheduler and join the hosting thread."""
+        """Drain the scheduler and join the hosting thread (idempotent)."""
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed: a previous stop() finished
         self._thread.join(timeout=120.0)
 
     def __enter__(self) -> "ThreadedServer":

@@ -416,12 +416,21 @@ class JobScheduler:
         cache: Optional[TwoTierCache] = None,
         procs: int = 1,
         queue_limit: int = 64,
+        name: Optional[str] = None,
     ) -> None:
         if procs < 0:
             raise ModelError(f"procs must be >= 0, got {procs}")
         if queue_limit < 1:
             raise ModelError(f"queue_limit must be >= 1, got {queue_limit}")
+        if name is not None and (not name or "/" in name or " " in name):
+            raise ModelError(
+                f"scheduler name must be a non-empty token without '/' or "
+                f"spaces, got {name!r}"
+            )
         self.cache = cache if cache is not None else TwoTierCache()
+        #: instance name; job ids become ``<name>-job-NNNNNN`` so a router
+        #: can route ``GET /jobs/<id>`` back to the shard that minted it
+        self.name = name
         self.procs = procs
         self.queue_limit = queue_limit
         self.slots = max(procs, 1)
@@ -603,6 +612,7 @@ class JobScheduler:
         """The ``GET /metrics`` payload."""
         metrics = self.metrics
         return {
+            "name": self.name,
             "uptime_seconds": time.time() - metrics.started_at,
             "jobs": {
                 "submitted": metrics.submitted,
@@ -625,7 +635,8 @@ class JobScheduler:
     # -- internals -------------------------------------------------------
 
     def _next_id(self) -> str:
-        return f"job-{next(self._sequence):06d}"
+        base = f"job-{next(self._sequence):06d}"
+        return f"{self.name}-{base}" if self.name else base
 
     def _remember(self, job: Job) -> None:
         self._jobs[job.id] = job

@@ -1,0 +1,162 @@
+"""The store-backend seam: protocol, detection and the ``open_store`` factory.
+
+``repro`` persists experiment records through a small, stable surface —
+what :class:`StoreBackend` spells out — so the layers above it (sweeps,
+the serving stack, mutation campaigns, aggregation) never care *how*
+records reach disk.  Two backends implement it:
+
+===========  ==============================================================
+``jsonl``    :class:`~repro.store.store.ResultStore` — append-only JSONL,
+             one canonical-JSON record per line, human-greppable,
+             interrupt-safe by construction (a torn append is a skipped
+             trailing line).  The right default for small stores and for
+             stores that double as reviewable artifacts.
+``sqlite``   :class:`~repro.store.sqlite.SqliteStore` — a WAL-mode SQLite
+             database with a primary-key upsert per record, indexed
+             cache-key and experiment-id lookups and summary aggregation
+             pushed into SQL.  The right choice once a store holds more
+             records than you want re-parsed on every open (the service
+             behind millions of requests, long campaign histories).
+===========  ==============================================================
+
+Both backends store byte-identical record payloads (the canonical-JSON
+form of :func:`repro.store.records.make_record`), agree on last-wins
+duplicate semantics and first-written key order, and pass one shared
+conformance suite (``tests/store/test_backend_contract.py``) — so a store
+can be re-hosted from one backend to the other by replaying
+``records()`` into ``put()``.
+
+Callers pick a backend with :func:`open_store`; ``"auto"`` detects from
+the path (suffix first, then which backend's file already exists in a
+store directory), so existing stores keep opening with no flag at all.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Protocol, runtime_checkable
+
+from ..errors import ModelError
+
+__all__ = ["STORE_BACKENDS", "StoreBackend", "detect_backend", "open_store"]
+
+#: backend names accepted by :func:`open_store` and the CLI flags
+STORE_BACKENDS = ("auto", "jsonl", "sqlite")
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """What every result-store backend must provide.
+
+    The semantic contract (enforced by the shared conformance suite):
+
+    * :meth:`put` validates the record, makes it durable before returning,
+      and resolves duplicate keys **last-wins** while preserving the key's
+      first-written position in iteration order;
+    * a writer killed mid-:meth:`put` leaves the store loadable with every
+      previously acknowledged record intact (interrupt safety);
+    * concurrent multi-process :meth:`put` calls never corrupt the store
+      or each other's records;
+    * :meth:`compact` reclaims space from superseded data atomically — a
+      crash mid-compaction leaves the store either untouched or fully
+      compacted.
+    """
+
+    @property
+    def path(self) -> Path:
+        """The backing file on disk."""
+        ...
+
+    def load(self) -> "StoreBackend":
+        """(Re)read the backing file; missing file = empty store."""
+        ...
+
+    def get(self, key: str) -> Optional[dict]:
+        """The record under ``key``, or None."""
+        ...
+
+    def put(self, record: Mapping[str, object]) -> str:
+        """Validate, durably persist and index the record; returns its key."""
+        ...
+
+    def keys(self) -> List[str]:
+        """All keys, in first-written order."""
+        ...
+
+    def records(self, experiment_id: Optional[str] = None) -> List[dict]:
+        """All records (optionally restricted to one experiment id)."""
+        ...
+
+    def experiment_ids(self) -> List[str]:
+        """Distinct experiment ids present, in first-written order."""
+        ...
+
+    def compact(self) -> Dict[str, int]:
+        """Reclaim space; returns the stats mapping every backend shares."""
+        ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def __iter__(self) -> Iterator[dict]: ...
+
+
+def detect_backend(path: os.PathLike | str) -> str:
+    """The backend a path refers to, without opening it.
+
+    An explicit file suffix decides (``.jsonl`` → jsonl, ``.sqlite`` /
+    ``.db`` → sqlite).  A store *directory* is inspected: whichever
+    backend's records file already exists wins (sqlite only when the JSONL
+    file is absent, so legacy stores never silently change backend), and a
+    fresh directory defaults to jsonl — the seed behaviour.
+    """
+    from .sqlite import SqliteStore
+    from .store import ResultStore
+
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return "jsonl"
+    if path.suffix in (".sqlite", ".db"):
+        return "sqlite"
+    if (path / SqliteStore.RECORDS_FILE).exists() and not (
+        path / ResultStore.RECORDS_FILE
+    ).exists():
+        return "sqlite"
+    return "jsonl"
+
+
+def open_store(path: os.PathLike | str, backend: str = "auto") -> StoreBackend:
+    """Open (or create) the result store at ``path`` with ``backend``.
+
+    ``backend="auto"`` resolves via :func:`detect_backend`.  Asking for a
+    backend that contradicts an explicit file suffix is an error — it
+    would create a JSONL file named ``.sqlite`` or vice versa, and every
+    later ``auto`` open would mis-detect it.
+    """
+    if backend not in STORE_BACKENDS:
+        raise ModelError(
+            f"unknown store backend {backend!r}; known: "
+            f"{', '.join(STORE_BACKENDS)}"
+        )
+    path = Path(path)
+    if backend == "auto":
+        backend = detect_backend(path)
+    elif path.suffix == ".jsonl" and backend != "jsonl":
+        raise ModelError(
+            f"store path {path} is a .jsonl file but backend={backend!r} "
+            f"was requested"
+        )
+    elif path.suffix in (".sqlite", ".db") and backend != "sqlite":
+        raise ModelError(
+            f"store path {path} is a SQLite file but backend={backend!r} "
+            f"was requested"
+        )
+    if backend == "sqlite":
+        from .sqlite import SqliteStore
+
+        return SqliteStore(path)
+    from .store import ResultStore
+
+    return ResultStore(path)

@@ -19,6 +19,8 @@ from repro.service import (
 )
 from repro.store import ResultStore
 
+from .conftest import await_until, wait_job_state
+
 
 def run(coroutine):
     return asyncio.run(coroutine)
@@ -33,11 +35,7 @@ async def _scheduler(tmp_path, **kwargs):
 
 
 async def _wait_running(job, timeout=30.0):
-    for _ in range(int(timeout / 0.01)):
-        if job.state == "running":
-            return
-        await asyncio.sleep(0.01)
-    raise AssertionError(f"job never started running (state {job.state})")
+    await wait_job_state(job, "running", timeout=timeout)
 
 
 class TestJobSpec:
@@ -270,11 +268,11 @@ class TestProcessMode:
             assert job.state == "done"
             # progress events may still be in the manager queue right
             # after completion; give the drain task a few beats
-            for _ in range(100):
-                if job.progress_history:
-                    break
-                await asyncio.sleep(0.05)
-            assert job.progress_history, "no adaptive rounds streamed"
+            await await_until(
+                lambda: job.progress_history,
+                timeout=10.0,
+                message="no adaptive rounds streamed",
+            )
             latest = job.progress
             assert latest["round"] >= 1
             metric = next(iter(latest["metrics"].values()))

@@ -9,47 +9,14 @@ the store file contains only complete JSONL lines afterwards.
 import json
 import os
 import signal
-import subprocess
-import sys
-import time
 import warnings
-from pathlib import Path
 
 import pytest
 
 from repro.service import ServiceClient
 from repro.store import ResultStore
 
-ROOT = Path(__file__).resolve().parents[2]
-
-
-def _spawn_server(store: Path):
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
-        "PYTHONPATH", ""
-    )
-    process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.experiments",
-            "serve",
-            "--port",
-            "0",
-            "--procs",
-            "1",
-            "--store",
-            str(store),
-        ],
-        env=env,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-    )
-    banner = process.stdout.readline()
-    assert "serving http://" in banner, banner
-    url = banner.split()[1]
-    return process, url
+from .conftest import spawn_server, wait_until
 
 
 @pytest.mark.slow
@@ -58,16 +25,16 @@ class TestSigintShutdown:
         self, tmp_path
     ):
         store_dir = tmp_path / "store"
-        process, url = _spawn_server(store_dir)
+        process, url = spawn_server(store_dir, "--procs", "1")
         try:
             client = ServiceClient(url)
             # e02 (~0.6 s) occupies the single worker; a4 queues behind it
             running = client.submit("e02", seed=900, wait=False)
             queued = client.submit("a4", seed=901, wait=False)
-            deadline = time.monotonic() + 60
-            while client.job(running["id"])["state"] != "running":
-                assert time.monotonic() < deadline, "job never started"
-                time.sleep(0.02)
+            wait_until(
+                lambda: client.job(running["id"])["state"] == "running",
+                message="job never started",
+            )
             client.close()
             os.kill(process.pid, signal.SIGINT)
             output, _ = process.communicate(timeout=120)
