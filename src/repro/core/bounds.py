@@ -358,13 +358,32 @@ def back_to_back_envelope(
     on the vectorized block kernel of
     :func:`repro.mc.back_to_back_envelope_batch`; ``"scalar"`` keeps the
     per-replication reference loop, which is also the automatic fallback
-    for custom fixing policies.
+    for custom fixing policies.  ``"compiled"`` runs the native
+    counter-RNG kernel of
+    :func:`repro.mc.kernels.back_to_back_envelope_compiled` (requires the
+    ``[compiled]`` extra; never chosen by ``"auto"``).
     """
     from ..mc.batch import back_to_back_envelope_batch, back_to_back_supported
 
-    if engine not in ("auto", "batch", "scalar"):
+    if engine not in ("auto", "batch", "compiled", "scalar"):
         raise ModelError(
-            f"engine must be one of ('auto', 'batch', 'scalar'), got {engine!r}"
+            "engine must be one of ('auto', 'batch', 'compiled', 'scalar'), "
+            f"got {engine!r}"
+        )
+    if engine == "compiled":
+        from ..mc.kernels import back_to_back_envelope_compiled, require_compiled
+
+        require_compiled()
+        return back_to_back_envelope_compiled(
+            population_a,
+            generator,
+            profile,
+            population_b,
+            fixing=fixing,
+            n_replications=n_replications,
+            rng=rng,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
         )
     if engine == "batch" and not back_to_back_supported(fixing):
         raise ModelError(

@@ -88,12 +88,13 @@ def validate_ids(ids: List[str]) -> None:
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        choices=("auto", "batch", "scalar"),
+        choices=("auto", "batch", "compiled", "scalar"),
         default="auto",
         help="Monte-Carlo engine for simulation-driven experiments: "
         "'auto' (default) vectorizes whenever the testing process "
-        "supports it, 'batch' fails loudly when it cannot, 'scalar' "
-        "forces the per-replication reference loops",
+        "supports it, 'batch' fails loudly when it cannot, 'compiled' "
+        "runs the native counter-RNG kernels (needs the [compiled] "
+        "extra), 'scalar' forces the per-replication reference loops",
     )
     parser.add_argument(
         "--n-jobs",

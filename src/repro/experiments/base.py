@@ -36,20 +36,21 @@ class EngineConfig:
     ----------
     engine:
         ``"auto"`` (default — batch whenever the testing process supports
-        it), ``"batch"`` (fail loudly if it cannot), or ``"scalar"`` (the
-        reference per-replication loops).
+        it), ``"batch"`` (fail loudly if it cannot), ``"compiled"`` (the
+        native counter-RNG kernels; needs the ``[compiled]`` extra), or
+        ``"scalar"`` (the reference per-replication loops).
     n_jobs:
-        Worker processes for chunk sharding on the batch path.
+        Worker processes for chunk sharding on the batch/compiled paths.
     """
 
     engine: str = "auto"
     n_jobs: int = 1
 
     def __post_init__(self) -> None:
-        if self.engine not in ("auto", "batch", "scalar"):
+        if self.engine not in ("auto", "batch", "compiled", "scalar"):
             raise ModelError(
-                "engine must be one of ('auto', 'batch', 'scalar'), got "
-                f"{self.engine!r}"
+                "engine must be one of ('auto', 'batch', 'compiled', "
+                f"'scalar'), got {self.engine!r}"
             )
         if self.n_jobs < 1:
             raise ModelError(f"n_jobs must be >= 1, got {self.n_jobs}")
@@ -77,7 +78,7 @@ def engine_kwargs() -> dict:
 
 
 def require_batch_engine(context: str) -> None:
-    """Reject a run-wide ``engine="scalar"`` for batch-only paths.
+    """Reject a run-wide non-batch engine for batch-only paths.
 
     The adaptive precision engine rides the batch kernels exclusively; an
     experiment honouring a ``precision`` knob calls this so an explicit
@@ -85,10 +86,10 @@ def require_batch_engine(context: str) -> None:
     the same contract the ``simulate_*`` drivers enforce for
     ``precision=``.
     """
-    if _ENGINE_CONFIG.engine == "scalar":
+    if _ENGINE_CONFIG.engine in ("scalar", "compiled"):
         raise ModelError(
-            f"{context} runs on the batch kernels; drop --engine scalar "
-            "or the precision knob"
+            f"{context} runs on the batch kernels; drop "
+            f"--engine {_ENGINE_CONFIG.engine} or the precision knob"
         )
 
 

@@ -29,6 +29,15 @@ from .batch import (
     simulate_version_pfd_batch,
 )
 from .convergence import SequentialResult, estimate_until
+from .kernels import (
+    back_to_back_envelope_compiled,
+    compiled_available,
+    compiled_supported,
+    simulate_joint_on_demand_compiled,
+    simulate_marginal_system_pfd_compiled,
+    simulate_untested_joint_on_demand_compiled,
+    simulate_version_pfd_compiled,
+)
 
 __all__ = [
     "ProportionEstimator",
@@ -49,6 +58,13 @@ __all__ = [
     "simulate_marginal_system_pfd_batch",
     "simulate_version_pfd_batch",
     "run_tasks",
+    "back_to_back_envelope_compiled",
+    "compiled_available",
+    "compiled_supported",
+    "simulate_joint_on_demand_compiled",
+    "simulate_untested_joint_on_demand_compiled",
+    "simulate_marginal_system_pfd_compiled",
+    "simulate_version_pfd_compiled",
     "estimate_until",
     "SequentialResult",
 ]

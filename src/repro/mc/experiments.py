@@ -8,7 +8,7 @@ shortcuts: versions are actually drawn, actually tested, and actually
 scored, so agreement with :mod:`repro.core` / :mod:`repro.analytic` is a
 genuine end-to-end validation.
 
-Each estimator can run on one of two **engines**:
+Each estimator can run on one of three **engines**:
 
 * ``"batch"`` — the vectorized replication engine of
   :mod:`repro.mc.batch`: whole blocks of versions, suites and scores as
@@ -16,6 +16,12 @@ Each estimator can run on one of two **engines**:
   :class:`~repro.testing.ImperfectOracle` /
   :class:`~repro.testing.ImperfectFixing` relaxations (binomial detection
   counts + Bernoulli survival masks) and matched blind-spot pairs.
+* ``"compiled"`` — the native-code kernels of :mod:`repro.mc.kernels`
+  (numba ``@njit``) on counter-based RNG, so results are bit-identical
+  for every ``chunk_size`` / ``n_jobs``.  Requires the ``[compiled]``
+  extra (numba); raises a did-you-mean :class:`~repro.errors.ModelError`
+  when it is absent.  Supports Bernoulli populations and the concrete
+  suite generators/regimes — see :doc:`docs/kernels`.
 * ``"scalar"`` — the original per-replication Python loop: the reference
   implementation the batch path is validated against, and the only engine
   for *custom* oracle/fixing policies, whose per-demand dynamics the batch
@@ -24,7 +30,11 @@ Each estimator can run on one of two **engines**:
 The default ``engine="auto"`` picks the batch path whenever
 :func:`repro.mc.batch.batch_supported` accepts the testing process and
 falls back to the scalar loop otherwise, so existing callers transparently
-get the fast path.
+get the fast path.  ``auto`` deliberately never resolves to ``compiled``:
+the compiled backend draws from a different (counter-based) random stream,
+and a default that silently depends on whether numba is installed would
+make results machine-dependent.  Opt in explicitly with
+``engine="compiled"``.
 
 Every estimator also accepts ``precision=`` — a
 :class:`repro.adaptive.PrecisionTarget` (or a mapping of its fields).
@@ -56,7 +66,7 @@ __all__ = [
 ]
 
 _DEFAULT_REPLICATIONS = 2000
-_ENGINES = ("auto", "batch", "scalar")
+_ENGINES = ("auto", "batch", "compiled", "scalar")
 
 
 def _check_replications(n_replications: int) -> None:
@@ -65,16 +75,39 @@ def _check_replications(n_replications: int) -> None:
 
 
 def _coerce_precision(precision, engine: str):
-    """Normalise a ``precision=`` argument, rejecting scalar-engine runs."""
+    """Normalise a ``precision=`` argument, rejecting non-batch engines."""
     from ..adaptive.targets import PrecisionTarget
 
     target = PrecisionTarget.coerce(precision)
-    if target is not None and engine == "scalar":
+    if target is not None and engine in ("scalar", "compiled"):
         raise ModelError(
             "precision-targeted estimation runs on the batch kernels; "
-            "engine='scalar' cannot be combined with precision="
+            f"engine={engine!r} cannot be combined with precision="
         )
     return target
+
+
+def _engine_choice(
+    engine: str,
+    oracle: Oracle | None = None,
+    fixing: FixingPolicy | None = None,
+) -> str:
+    """Resolve ``engine=`` to the concrete backend for one call.
+
+    ``"compiled"`` is only ever an explicit choice (and requires numba or
+    the fallback env var — :func:`repro.mc.kernels.require_compiled`);
+    ``"auto"`` resolves between batch and scalar exactly as before the
+    compiled backend existed, so default results never depend on what is
+    installed.
+    """
+    if engine not in _ENGINES:
+        raise ModelError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "compiled":
+        from .kernels import require_compiled
+
+        require_compiled()
+        return "compiled"
+    return "batch" if _use_batch(engine, oracle, fixing) else "scalar"
 
 
 def _use_batch(
@@ -134,7 +167,20 @@ def simulate_untested_joint_on_demand(
             default_budget=n_replications,
         )
         return report.only.as_estimator(report)
-    if _use_batch(engine):
+    choice = _engine_choice(engine)
+    if choice == "compiled":
+        from .kernels import simulate_untested_joint_on_demand_compiled
+
+        return simulate_untested_joint_on_demand_compiled(
+            population_a,
+            demand,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
+    if choice == "batch":
         from .batch import simulate_untested_joint_on_demand_batch
 
         return simulate_untested_joint_on_demand_batch(
@@ -197,7 +243,23 @@ def simulate_joint_on_demand(
             default_budget=n_replications,
         )
         return report.only.as_estimator(report)
-    if _use_batch(engine, oracle, fixing):
+    choice = _engine_choice(engine, oracle, fixing)
+    if choice == "compiled":
+        from .kernels import simulate_joint_on_demand_compiled
+
+        return simulate_joint_on_demand_compiled(
+            regime,
+            population_a,
+            demand,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
+    if choice == "batch":
         from .batch import simulate_joint_on_demand_batch
 
         return simulate_joint_on_demand_batch(
@@ -278,7 +340,24 @@ def simulate_marginal_system_pfd(
             default_budget=n_replications,
         )
         return report.only.as_estimator(report)
-    if _use_batch(engine, oracle, fixing):
+    choice = _engine_choice(engine, oracle, fixing)
+    if choice == "compiled":
+        from .kernels import simulate_marginal_system_pfd_compiled
+
+        return simulate_marginal_system_pfd_compiled(
+            regime,
+            population_a,
+            profile,
+            population_b,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            rao_blackwell=rao_blackwell,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
+    if choice == "batch":
         from .batch import simulate_marginal_system_pfd_batch
 
         return simulate_marginal_system_pfd_batch(
@@ -354,7 +433,22 @@ def simulate_version_pfd(
             default_budget=n_replications,
         )
         return report.only.as_estimator(report)
-    if _use_batch(engine, oracle, fixing):
+    choice = _engine_choice(engine, oracle, fixing)
+    if choice == "compiled":
+        from .kernels import simulate_version_pfd_compiled
+
+        return simulate_version_pfd_compiled(
+            population,
+            generator,
+            profile,
+            n_replications=n_replications,
+            rng=rng,
+            oracle=oracle,
+            fixing=fixing,
+            chunk_size=chunk_size,
+            n_jobs=n_jobs,
+        )
+    if choice == "batch":
         from .batch import simulate_version_pfd_batch
 
         return simulate_version_pfd_batch(

@@ -17,7 +17,11 @@ from .types import SeedLike
 
 __all__ = [
     "as_generator",
+    "counter_generator",
+    "counter_key",
+    "counter_uniforms",
     "inverse_cdf_indices",
+    "philox_uniform",
     "spawn",
     "spawn_many",
     "stream",
@@ -30,11 +34,11 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     Accepts ``None`` (fresh OS entropy), an ``int``, a
     :class:`numpy.random.SeedSequence`, or an existing generator (returned
     unchanged so callers can thread one stream through nested calls).
+    ``default_rng`` handles every non-generator case natively, including
+    ``SeedSequence`` instances.
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    if isinstance(seed, np.random.SeedSequence):
-        return np.random.default_rng(seed)
     return np.random.default_rng(seed)
 
 
@@ -86,11 +90,169 @@ def spawn_many(rng: np.random.Generator, count: int) -> List[np.random.Generator
     independent-suites regime needs two suite draws that share nothing,
     while the same-suite regime reuses one draw.  Giving each stochastic
     component its own child stream keeps those couplings explicit.
+
+    Children come from the generator's underlying
+    :class:`~numpy.random.SeedSequence` via ``seed_seq.spawn(count)`` —
+    the collision-resistant spawning protocol — so repeated calls yield
+    fresh, mutually independent families without consuming the parent
+    stream.  Bit generators constructed without a seed sequence (e.g.
+    ``Philox(key=...)``) fall back to drawing 64-bit child seeds from the
+    parent stream; that fallback consumes the parent and is
+    birthday-collision-prone at very large family sizes, which is why the
+    seed-sequence path is preferred whenever available.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
+    bit_generator = rng.bit_generator
+    seed_seq = getattr(bit_generator, "seed_seq", None)
+    if seed_seq is None:
+        seed_seq = getattr(bit_generator, "_seed_seq", None)
+    if isinstance(seed_seq, np.random.SeedSequence):
+        return [np.random.default_rng(child) for child in seed_seq.spawn(count)]
     seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+# ---------------------------------------------------------------------------
+# counter-based RNG (Philox4x32-10)
+#
+# A counter-based generator is a pure function ``(key, counter) -> bits``:
+# there is no evolving state, so any parallel decomposition of the work —
+# chunking, process sharding, resumption — reads exactly the same random
+# numbers for replication ``r`` as a serial run would.  The compiled kernel
+# backend (:mod:`repro.mc.kernels`) keys every draw by
+# ``(root_key, stream, lane)`` where ``stream`` is the *global* replication
+# index and ``lane`` enumerates the draw slots within one replication,
+# which is what makes its results bit-identical regardless of
+# ``chunk_size`` and ``n_jobs``.
+#
+# The block cipher is Philox4x32-10 (Salmon et al., SC'11) — the same
+# round function behind ``numpy.random.Philox`` — implemented here twice
+# with identical integer semantics: a scalar form (:func:`philox_uniform`)
+# that numba can ``@njit``, and a vectorized form
+# (:func:`counter_uniforms`) for the numpy fallback, so the compiled and
+# fallback paths draw bit-identical uniforms.
+# ---------------------------------------------------------------------------
+
+_U64_MASK = (1 << 64) - 1
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(value: int) -> int:
+    """The splitmix64 finalizer — a strong 64-bit mix used to derive keys."""
+    z = (value + _SPLITMIX_GAMMA) & _U64_MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64_MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64_MASK
+    return z ^ (z >> 31)
+
+
+def counter_key(seed: SeedLike = None) -> int:
+    """Derive the 64-bit root key of a counter-RNG run from any seed-like.
+
+    Deterministic for deterministic inputs: an ``int`` seed is mixed
+    through splitmix64 (so small seeds like 0, 1, 2 land far apart in key
+    space), a :class:`~numpy.random.SeedSequence` contributes its entropy,
+    and an existing :class:`~numpy.random.Generator` has one 64-bit value
+    drawn from it (consuming the stream, exactly like seeding a child).
+    ``None`` draws a fresh key from OS entropy.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**64, dtype=np.uint64))
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1, np.uint64)[0])
+    return _splitmix64(int(seed) & _U64_MASK)
+
+
+def philox_uniform(key: np.uint64, stream: np.uint64, lane: np.uint64) -> float:
+    """One uniform in ``[0, 1)`` from Philox4x32-10 — scalar reference form.
+
+    Pure function of ``(key, stream, lane)``: the 128-bit Philox counter is
+    ``(lane, stream)`` and the 64-bit key is ``key``.  Every operation is
+    explicit ``uint64`` arithmetic so numba ``@njit`` compiles this exact
+    function to native code with bit-identical results; the vectorized
+    twin is :func:`counter_uniforms`.
+    """
+    mask = np.uint64(0xFFFFFFFF)
+    m0 = np.uint64(0xD2511F53)
+    m1 = np.uint64(0xCD9E8D57)
+    w0 = np.uint64(0x9E3779B9)
+    w1 = np.uint64(0xBB67AE85)
+    shift = np.uint64(32)
+    c0 = np.uint64(lane) & mask
+    c1 = (np.uint64(lane) >> shift) & mask
+    c2 = np.uint64(stream) & mask
+    c3 = (np.uint64(stream) >> shift) & mask
+    k0 = np.uint64(key) & mask
+    k1 = (np.uint64(key) >> shift) & mask
+    for _round in range(10):
+        p0 = m0 * c0
+        p1 = m1 * c2
+        n0 = (p1 >> shift) ^ c1 ^ k0
+        n1 = p1 & mask
+        n2 = (p0 >> shift) ^ c3 ^ k1
+        n3 = p0 & mask
+        c0, c1, c2, c3 = n0, n1, n2, n3
+        k0 = (k0 + w0) & mask
+        k1 = (k1 + w1) & mask
+    bits = (c0 << shift) | c1
+    return float(bits >> np.uint64(11)) * (1.0 / 9007199254740992.0)
+
+
+def counter_uniforms(key: int, streams, lanes) -> np.ndarray:
+    """Uniforms in ``[0, 1)`` keyed by ``(key, stream, lane)`` — vectorized.
+
+    ``streams`` and ``lanes`` are broadcast against each other; entry
+    ``(…)`` is exactly ``philox_uniform(key, streams[…], lanes[…])``.  The
+    batch engines call this as
+    ``counter_uniforms(key, replication_ids[:, None], lane_ids[None, :])``
+    to materialise a whole ``(replications, lanes)`` block in one shot.
+    """
+    mask = np.uint64(0xFFFFFFFF)
+    shift = np.uint64(32)
+    streams_arr = np.asarray(streams, dtype=np.uint64)
+    lanes_arr = np.asarray(lanes, dtype=np.uint64)
+    lanes_b, streams_b = np.broadcast_arrays(lanes_arr, streams_arr)
+    c0 = lanes_b & mask
+    c1 = (lanes_b >> shift) & mask
+    c2 = streams_b & mask
+    c3 = (streams_b >> shift) & mask
+    key64 = np.uint64(int(key) & _U64_MASK)
+    k0 = key64 & mask
+    k1 = (key64 >> shift) & mask
+    m0 = np.uint64(0xD2511F53)
+    m1 = np.uint64(0xCD9E8D57)
+    w0 = np.uint64(0x9E3779B9)
+    w1 = np.uint64(0xBB67AE85)
+    for _round in range(10):
+        p0 = m0 * c0
+        p1 = m1 * c2
+        n0 = (p1 >> shift) ^ c1 ^ k0
+        n1 = p1 & mask
+        n2 = (p0 >> shift) ^ c3 ^ k1
+        n3 = p0 & mask
+        c0, c1, c2, c3 = n0, n1, n2, n3
+        k0 = (k0 + w0) & mask
+        k1 = (k1 + w1) & mask
+    bits = (c0 << shift) | c1
+    return (bits >> np.uint64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+
+
+def counter_generator(seed: SeedLike, index: int) -> np.random.Generator:
+    """A full :class:`~numpy.random.Generator` on the keyed Philox stream.
+
+    The 128-bit Philox key is ``(counter_key(seed), index)``, so streams
+    for different replication/shard indices are independent by
+    construction — no serial spawning, no parent stream to consume, and no
+    birthday-collision risk however many indices are in flight.  This is
+    the coarse-grained companion of :func:`counter_uniforms` for code that
+    needs arbitrary distributions rather than raw uniforms.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    key = np.array([counter_key(seed), index], dtype=np.uint64)
+    return np.random.Generator(np.random.Philox(key=key))
 
 
 def stream(seed: SeedLike = None) -> Iterator[np.random.Generator]:

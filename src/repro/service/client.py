@@ -166,12 +166,16 @@ class ServiceClient:
         engine: str = "auto",
         n_jobs: int = 1,
         priority: int = 0,
+        timeout: float = 600.0,
     ) -> dict:
         """Submit and block until terminal; raise unless the job completed.
 
         Returns the terminal job payload, whose ``record`` field is the
         store record (identity + ``result``) of the computed point.
+        ``timeout`` bounds the *whole* call — the blocking submit plus any
+        follow-up polling — with a 504 :class:`ServiceError` on expiry.
         """
+        start = time.monotonic()
         job = self.submit(
             experiment_id,
             seed=seed,
@@ -183,7 +187,14 @@ class ServiceClient:
             wait=True,
         )
         if job["state"] not in _TERMINAL:
-            job = self.wait(job["id"])
+            remaining = timeout - (time.monotonic() - start)
+            if remaining <= 0:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for job "
+                    f"{job['id']} ({experiment_id}, state {job['state']})",
+                    status=504,
+                )
+            job = self.wait(job["id"], timeout=remaining)
         if job["state"] != "done":
             raise ServiceError(
                 f"job {job['id']} ({experiment_id}) ended {job['state']}: "
@@ -203,10 +214,27 @@ class ServiceClient:
     def wait(
         self, job_id: str, timeout: float = 600.0, poll: float = 0.05
     ) -> dict:
-        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state."""
+        """Poll ``GET /jobs/<id>`` until the job reaches a terminal state.
+
+        Raises a 504 :class:`ServiceError` once ``timeout`` seconds have
+        elapsed without the job going terminal, and a 410 if the accepted
+        job id stops resolving server-side (a shard restarted or compacted
+        its history away) — waiting longer can never succeed then, so the
+        condition is surfaced immediately rather than polled against.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            job = self.job(job_id)
+            try:
+                job = self.job(job_id)
+            except ServiceError as error:
+                if error.status == 404:
+                    raise ServiceError(
+                        f"job {job_id} was accepted but no longer exists "
+                        "server-side (shard restart or history "
+                        "compaction); resubmit the request",
+                        status=410,
+                    ) from error
+                raise
             if job["state"] in _TERMINAL:
                 return job
             if time.monotonic() >= deadline:
@@ -215,7 +243,7 @@ class ServiceClient:
                     f"(state {job['state']})",
                     status=504,
                 )
-            time.sleep(poll)
+            time.sleep(min(poll, max(0.0, deadline - time.monotonic())))
 
     def cancel(self, job_id: str) -> dict:
         """``POST /jobs/<id>/cancel``; ``cancelled`` is False for running jobs."""

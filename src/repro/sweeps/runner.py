@@ -210,17 +210,17 @@ class Sweep:
         engine: str = "auto",
         n_jobs: int = 1,
     ) -> None:
-        if engine not in ("auto", "batch", "scalar"):
+        if engine not in ("auto", "batch", "compiled", "scalar"):
             raise ModelError(
-                f"engine must be one of ('auto', 'batch', 'scalar'), got "
-                f"{engine!r}"
+                "engine must be one of ('auto', 'batch', 'compiled', "
+                f"'scalar'), got {engine!r}"
             )
         if n_jobs < 1:
             raise ModelError(f"n_jobs must be >= 1, got {n_jobs}")
-        if engine == "scalar" and spec.precision is not None:
+        if engine in ("scalar", "compiled") and spec.precision is not None:
             raise ModelError(
                 "a [precision] sweep runs on the batch kernels; "
-                "engine='scalar' cannot be combined with it"
+                f"engine={engine!r} cannot be combined with it"
             )
         self.spec = spec
         self.store = store

@@ -339,6 +339,16 @@ class WeightedDebugGenerator(SuiteGenerator):
         self._debug_profile = debug_profile
         self._size = size
 
+    @property
+    def debug_profile(self) -> UsageProfile:
+        """The profile the debugger samples from (distinct from usage)."""
+        return self._debug_profile
+
+    @property
+    def size(self) -> int:
+        """Number of demands per generated suite."""
+        return self._size
+
     @classmethod
     def biased_towards(
         cls,

@@ -1,0 +1,487 @@
+"""Tests for the compiled kernel backend (repro.mc.kernels).
+
+Four layers:
+
+* **engine seam** — ``engine="compiled"`` without numba raises a
+  did-you-mean :class:`ModelError`; ``engine="auto"`` never selects the
+  compiled backend; every validation seam accepts the new name.
+* **cross-engine agreement** — compiled estimates agree with batch and
+  scalar (overlapping confidence intervals) on every supported regime,
+  including §4.1 imperfect testing, blind-spot pairs and the §4.2
+  envelope.  Run on the numpy fallback (``REPRO_COMPILED_FALLBACK``), the
+  semantic reference the numba path is held to on the numba CI leg.
+* **bit-invariance** — identical moments for every ``chunk_size`` /
+  ``n_jobs`` decomposition (hypothesis), the counter-RNG guarantee.
+* **kernel twins** — when numba *is* installed, njit kernels match the
+  numpy twins decision-for-decision on the same counter uniforms.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ForcedTestingDiversity, IndependentSuites, SameSuite
+from repro.core.bounds import back_to_back_envelope
+from repro.demand import DemandSpace, zipf_profile
+from repro.errors import ModelError
+from repro.extensions.mistakes import BlindSpotFixing, BlindSpotOracle
+from repro.faults import clustered_universe
+from repro.mc import (
+    simulate_joint_on_demand,
+    simulate_marginal_system_pfd,
+    simulate_untested_joint_on_demand,
+    simulate_version_pfd,
+)
+from repro.mc.kernels import (
+    HAVE_NUMBA,
+    compiled_available,
+    compiled_supported,
+    require_compiled,
+)
+from repro.populations import BernoulliFaultPopulation
+from repro.testing import (
+    ImperfectFixing,
+    ImperfectOracle,
+    Oracle,
+    OperationalSuiteGenerator,
+    SuiteGenerator,
+    TestSuite,
+    WeightedDebugGenerator,
+)
+
+
+@pytest.fixture(autouse=True)
+def _compiled_fallback(monkeypatch):
+    """Let ``engine="compiled"`` run on the numpy twins without numba."""
+    monkeypatch.setenv("REPRO_COMPILED_FALLBACK", "1")
+
+
+@pytest.fixture
+def model():
+    space = DemandSpace(40)
+    profile = zipf_profile(space, exponent=0.7)
+    universe = clustered_universe(space, n_faults=10, region_size=4, rng=3)
+    population = BernoulliFaultPopulation.uniform(universe, 0.35)
+    generator = OperationalSuiteGenerator(profile, 12)
+    return space, profile, universe, population, generator
+
+
+def _overlap(first, second, confidence=0.99):
+    if hasattr(first, "wilson_interval"):
+        low_a, high_a = first.wilson_interval(confidence)
+        low_b, high_b = second.wilson_interval(confidence)
+    else:
+        low_a, high_a = first.normal_interval(confidence)
+        low_b, high_b = second.normal_interval(confidence)
+    return low_a <= high_b and low_b <= high_a
+
+
+# ---------------------------------------------------------------------------
+# engine seam
+# ---------------------------------------------------------------------------
+
+
+class TestEngineSeam:
+    def test_missing_numba_raises_did_you_mean(self, model, monkeypatch):
+        if HAVE_NUMBA:
+            pytest.skip("numba installed: the error path cannot trigger")
+        monkeypatch.delenv("REPRO_COMPILED_FALLBACK")
+        _space, _profile, _universe, population, _generator = model
+        with pytest.raises(ModelError, match="numba.*Did you mean"):
+            simulate_untested_joint_on_demand(
+                population, 2, n_replications=10, rng=1, engine="compiled"
+            )
+        assert not compiled_available()
+        with pytest.raises(ModelError, match=r"\[compiled\]"):
+            require_compiled()
+
+    def test_auto_never_selects_compiled(self, model, monkeypatch):
+        # auto must resolve identically with and without the compiled
+        # backend available — default results stay machine-independent
+        _space, _profile, _universe, population, _generator = model
+        with_fallback = simulate_untested_joint_on_demand(
+            population, 2, n_replications=50, rng=1, engine="auto"
+        )
+        monkeypatch.delenv("REPRO_COMPILED_FALLBACK")
+        without = simulate_untested_joint_on_demand(
+            population, 2, n_replications=50, rng=1, engine="auto"
+        )
+        assert with_fallback.counts == without.counts
+
+    def test_unknown_engine_rejected(self, model):
+        _space, _profile, _universe, population, _generator = model
+        with pytest.raises(ModelError, match="engine must be one of"):
+            simulate_untested_joint_on_demand(
+                population, 2, n_replications=10, rng=1, engine="gpu"
+            )
+
+    def test_precision_rejected_on_compiled(self, model):
+        _space, profile, _universe, population, generator = model
+        with pytest.raises(ModelError, match="precision"):
+            simulate_version_pfd(
+                population,
+                generator,
+                profile,
+                rng=1,
+                engine="compiled",
+                precision={"rel_half_width": 0.1},
+            )
+
+    def test_engine_config_accepts_compiled(self):
+        from repro.experiments.base import EngineConfig
+
+        assert EngineConfig(engine="compiled").engine == "compiled"
+
+    def test_back_to_back_envelope_accepts_compiled(self, model):
+        _space, profile, _universe, population, generator = model
+        envelope = back_to_back_envelope(
+            population,
+            generator,
+            profile,
+            n_replications=50,
+            rng=3,
+            engine="compiled",
+        )
+        assert envelope.n_replications == 50
+
+
+# ---------------------------------------------------------------------------
+# unsupported models fail loudly
+# ---------------------------------------------------------------------------
+
+
+class _CustomOracle(Oracle):
+    def detects(self, version, demand, rng):  # pragma: no cover
+        return True
+
+
+class _CustomGenerator(SuiteGenerator):
+    def sample(self, rng=None):  # pragma: no cover
+        return TestSuite.of(self._space, [0])
+
+
+class TestUnsupportedModels:
+    def test_custom_oracle_rejected(self, model):
+        _space, _profile, _universe, population, generator = model
+        with pytest.raises(ModelError, match="_CustomOracle"):
+            simulate_joint_on_demand(
+                SameSuite(generator),
+                population,
+                2,
+                n_replications=10,
+                rng=1,
+                oracle=_CustomOracle(),
+                engine="compiled",
+            )
+
+    def test_custom_generator_rejected(self, model):
+        space, profile, _universe, population, _generator = model
+        custom = _CustomGenerator(space)
+        with pytest.raises(ModelError, match="_CustomGenerator"):
+            simulate_version_pfd(
+                population, custom, profile, n_replications=10, rng=1,
+                engine="compiled",
+            )
+
+    def test_compiled_supported_mirrors_the_rules(self, model):
+        space, _profile, _universe, population, generator = model
+        assert compiled_supported(
+            populations=[population],
+            generators=[generator],
+            regime=SameSuite(generator),
+        )
+        assert not compiled_supported(oracle=_CustomOracle())
+        assert not compiled_supported(generators=[_CustomGenerator(space)])
+
+
+# ---------------------------------------------------------------------------
+# cross-engine agreement
+# ---------------------------------------------------------------------------
+
+
+N = 3000
+N_SCALAR = 250
+
+
+class TestCrossEngineAgreement:
+    def _engines(self, fn, scalar_n=N_SCALAR, **kwargs):
+        compiled = fn(n_replications=N, rng=7, engine="compiled", **kwargs)
+        batch = fn(n_replications=N, rng=7, engine="batch", **kwargs)
+        scalar = fn(n_replications=scalar_n, rng=7, engine="scalar", **kwargs)
+        assert _overlap(compiled, batch), (compiled.mean, batch.mean)
+        assert _overlap(compiled, scalar), (compiled.mean, scalar.mean)
+
+    def test_untested_joint(self, model):
+        _space, _profile, _universe, population, _generator = model
+        self._engines(
+            lambda **kw: simulate_untested_joint_on_demand(population, 2, **kw)
+        )
+
+    @pytest.mark.parametrize("regime_kind", ["independent", "same", "forced"])
+    def test_joint_perfect(self, model, regime_kind):
+        _space, profile, _universe, population, generator = model
+        debug = WeightedDebugGenerator.biased_towards(profile, [0, 1], 3.0, 12)
+        regime = {
+            "independent": IndependentSuites(generator),
+            "same": SameSuite(generator),
+            "forced": ForcedTestingDiversity(generator, debug),
+        }[regime_kind]
+        self._engines(
+            lambda **kw: simulate_joint_on_demand(
+                regime, population, 2, **kw
+            )
+        )
+
+    def test_joint_imperfect(self, model):
+        _space, _profile, _universe, population, generator = model
+        self._engines(
+            lambda **kw: simulate_joint_on_demand(
+                SameSuite(generator),
+                population,
+                2,
+                oracle=ImperfectOracle(0.7),
+                fixing=ImperfectFixing(0.6),
+                **kw,
+            )
+        )
+
+    def test_joint_blind_spot_pair(self, model):
+        _space, _profile, _universe, population, generator = model
+        self._engines(
+            lambda **kw: simulate_joint_on_demand(
+                SameSuite(generator),
+                population,
+                2,
+                oracle=BlindSpotOracle((0, 3)),
+                fixing=BlindSpotFixing((0, 3)),
+                **kw,
+            )
+        )
+
+    @pytest.mark.parametrize("rao_blackwell", [True, False])
+    def test_marginal_system_pfd(self, model, rao_blackwell):
+        _space, profile, _universe, population, generator = model
+        self._engines(
+            lambda **kw: simulate_marginal_system_pfd(
+                IndependentSuites(generator),
+                population,
+                profile,
+                rao_blackwell=rao_blackwell,
+                **kw,
+            )
+        )
+
+    def test_version_pfd(self, model):
+        _space, profile, _universe, population, generator = model
+        self._engines(
+            lambda **kw: simulate_version_pfd(
+                population, generator, profile, **kw
+            )
+        )
+
+    def test_version_pfd_imperfect(self, model):
+        _space, profile, _universe, population, generator = model
+        self._engines(
+            lambda **kw: simulate_version_pfd(
+                population,
+                generator,
+                profile,
+                oracle=ImperfectOracle(0.6),
+                fixing=ImperfectFixing(0.5),
+                **kw,
+            )
+        )
+
+    @pytest.mark.parametrize("fixing", [None, ImperfectFixing(0.5)])
+    def test_back_to_back_envelope(self, model, fixing):
+        _space, profile, _universe, population, generator = model
+        compiled = back_to_back_envelope(
+            population, generator, profile, fixing=fixing,
+            n_replications=1500, rng=7, engine="compiled",
+        )
+        batch = back_to_back_envelope(
+            population, generator, profile, fixing=fixing,
+            n_replications=1500, rng=7, engine="batch",
+        )
+        if fixing is None:
+            # with imperfect fixing the optimistic run flips fix coins the
+            # perfect-oracle run does not, so the §4.2 identity only holds
+            # in the perfect-fixing limit (same as the batch/scalar paths)
+            assert compiled.ordering_holds
+            assert compiled.optimistic_matches_perfect
+        for field in (
+            "untested_system_pfd",
+            "perfect_system_pfd",
+            "optimistic_system_pfd",
+            "pessimistic_system_pfd",
+            "shared_fault_system_pfd",
+            "untested_version_pfd",
+            "optimistic_version_pfd",
+            "pessimistic_version_pfd",
+            "shared_fault_version_pfd",
+        ):
+            assert getattr(compiled, field) == pytest.approx(
+                getattr(batch, field), abs=0.02
+            ), field
+
+
+# ---------------------------------------------------------------------------
+# bit-invariance under chunking and sharding
+# ---------------------------------------------------------------------------
+
+
+def _small_model():
+    space = DemandSpace(20)
+    profile = zipf_profile(space, exponent=0.8)
+    universe = clustered_universe(space, n_faults=6, region_size=3, rng=5)
+    population = BernoulliFaultPopulation.uniform(universe, 0.4)
+    generator = OperationalSuiteGenerator(profile, 8)
+    return profile, population, generator
+
+
+class TestBitInvariance:
+    @settings(max_examples=12, deadline=None)
+    @given(chunk_size=st.integers(min_value=1, max_value=150))
+    def test_joint_moments_identical_for_any_chunking(self, chunk_size):
+        profile, population, generator = _small_model()
+        reference = simulate_joint_on_demand(
+            SameSuite(generator), population, 1, n_replications=97, rng=11,
+            oracle=ImperfectOracle(0.7), fixing=ImperfectFixing(0.6),
+            engine="compiled", chunk_size=97,
+        )
+        chunked = simulate_joint_on_demand(
+            SameSuite(generator), population, 1, n_replications=97, rng=11,
+            oracle=ImperfectOracle(0.7), fixing=ImperfectFixing(0.6),
+            engine="compiled", chunk_size=chunk_size,
+        )
+        assert chunked.counts == reference.counts
+
+    @settings(max_examples=8, deadline=None)
+    @given(chunk_size=st.integers(min_value=1, max_value=150))
+    def test_mean_moments_identical_for_any_chunking(self, chunk_size):
+        profile, population, generator = _small_model()
+        reference = simulate_marginal_system_pfd(
+            IndependentSuites(generator), population, profile,
+            n_replications=97, rng=11, engine="compiled", chunk_size=97,
+        )
+        chunked = simulate_marginal_system_pfd(
+            IndependentSuites(generator), population, profile,
+            n_replications=97, rng=11, engine="compiled",
+            chunk_size=chunk_size,
+        )
+        assert chunked.moments == reference.moments
+
+    def test_n_jobs_does_not_change_moments(self):
+        profile, population, generator = _small_model()
+        serial = simulate_version_pfd(
+            population, generator, profile, n_replications=120, rng=13,
+            engine="compiled", chunk_size=30, n_jobs=1,
+        )
+        sharded = simulate_version_pfd(
+            population, generator, profile, n_replications=120, rng=13,
+            engine="compiled", chunk_size=30, n_jobs=2,
+        )
+        assert sharded.moments == serial.moments
+
+    def test_back_to_back_identical_for_any_chunking(self):
+        profile, population, generator = _small_model()
+        reference = back_to_back_envelope(
+            population, generator, profile, n_replications=60, rng=13,
+            engine="compiled", chunk_size=60,
+        )
+        for chunk_size in (1, 7, 59):
+            chunked = back_to_back_envelope(
+                population, generator, profile, n_replications=60, rng=13,
+                engine="compiled", chunk_size=chunk_size,
+            )
+            assert chunked == reference
+
+
+# ---------------------------------------------------------------------------
+# numba kernels match the numpy twins (runs on the numba CI leg)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestNumbaMatchesNumpyTwins:
+    def _arrays(self):
+        from repro.rng import counter_key
+
+        rng = np.random.default_rng(0)
+        faults_a = rng.random((40, 6)) < 0.4
+        faults_b = rng.random((40, 5)) < 0.4
+        cov_a = np.ascontiguousarray(rng.random((6, 20)) < 0.3)
+        cov_b = np.ascontiguousarray(rng.random((5, 20)) < 0.3)
+        q = rng.dirichlet(np.ones(20))
+        key = counter_key(9)
+        streams = np.arange(40, dtype=np.uint64)
+        return faults_a, faults_b, cov_a, cov_b, q, key, streams
+
+    def test_scoring_kernels(self):
+        from repro.mc import kernels as k
+
+        faults_a, faults_b, cov_a, cov_b, q, _key, _streams = self._arrays()
+        ids_a = np.flatnonzero(cov_a[:, 3]).astype(np.int64)
+        ids_b = np.flatnonzero(cov_b[:, 3]).astype(np.int64)
+        np.testing.assert_array_equal(
+            k.joint_demand_failures(faults_a, faults_b, ids_a, ids_b),
+            k._np_joint_demand_failures(faults_a, faults_b, ids_a, ids_b),
+        )
+        np.testing.assert_allclose(
+            k.pfd_values(faults_a, cov_a, q),
+            k._np_pfd_values(faults_a, cov_a, q),
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            k.joint_pfd_values(faults_a, faults_b, cov_a, cov_b, q),
+            k._np_joint_pfd_values(faults_a, faults_b, cov_a, cov_b, q),
+            rtol=1e-12,
+        )
+
+    def test_closure_kernels_bit_identical(self):
+        from repro.mc import kernels as k
+        from repro.rng import counter_uniforms
+
+        faults_a, _faults_b, cov_a, _cov_b, _q, key, streams = self._arrays()
+        rng = np.random.default_rng(1)
+        masks = rng.random((40, 20)) < 0.3
+        visible = rng.random(6) < 0.8
+        np.testing.assert_array_equal(
+            k.perfect_closure(faults_a, masks, cov_a, visible),
+            k._np_perfect_closure(faults_a, masks, cov_a, visible),
+        )
+        seqs = rng.integers(-1, 20, size=(40, 8))
+        detect_u = counter_uniforms(key, streams[:, None], np.arange(8))
+        surv_u = counter_uniforms(
+            key, streams[:, None], 8 + np.arange(6)
+        )
+        np.testing.assert_array_equal(
+            k.imperfect_closure(
+                faults_a, seqs, cov_a, detect_u, surv_u, 0.7, 0.6
+            ),
+            k._np_imperfect_closure(
+                faults_a, seqs, cov_a, detect_u, surv_u, 0.7, 0.6
+            ),
+        )
+
+    def test_back_to_back_kernel_bit_identical(self):
+        from repro.mc import kernels as k
+
+        faults_a, faults_b, cov_a, cov_b, _q, key, streams = self._arrays()
+        rng = np.random.default_rng(2)
+        seqs = rng.integers(-1, 20, size=(40, 8))
+        stride = faults_a.shape[1] + faults_b.shape[1]
+        for mode in (0, 1, 2):
+            for fix_p in (1.0, 0.5):
+                got_a, got_b = k.back_to_back_counter(
+                    faults_a, faults_b, seqs, cov_a, cov_b, mode, fix_p,
+                    key, streams, 100, stride,
+                )
+                want_a, want_b = faults_a.copy(), faults_b.copy()
+                k._np_back_to_back(
+                    want_a, want_b, seqs, cov_a, cov_b, mode, fix_p,
+                    key, streams, 100, stride,
+                )
+                np.testing.assert_array_equal(got_a, want_a)
+                np.testing.assert_array_equal(got_b, want_b)

@@ -1,0 +1,126 @@
+"""ServiceClient polling semantics: deadlines and disappeared jobs.
+
+The failure modes under test are protocol-level, not transport-level, so
+the server side is stubbed by monkeypatching the client's own ``job`` /
+``submit`` methods — what reaches the wait/run logic is exactly what a
+real server response would have produced.
+"""
+
+import time
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+
+@pytest.fixture
+def client():
+    # never actually connected: every request-level method is stubbed
+    return ServiceClient("http://127.0.0.1:1")
+
+
+class TestWait:
+    def test_returns_terminal_job(self, client, monkeypatch):
+        states = iter(["queued", "running", "done"])
+        monkeypatch.setattr(
+            client, "job", lambda job_id: {"id": job_id, "state": next(states)}
+        )
+        job = client.wait("j1", timeout=5.0, poll=0.001)
+        assert job["state"] == "done"
+
+    def test_times_out_with_504(self, client, monkeypatch):
+        monkeypatch.setattr(
+            client, "job", lambda job_id: {"id": job_id, "state": "running"}
+        )
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="timed out after") as info:
+            client.wait("j1", timeout=0.05, poll=0.001)
+        assert info.value.status == 504
+        assert time.monotonic() - start < 5.0
+
+    def test_disappeared_job_is_410_not_a_poll_loop(self, client, monkeypatch):
+        # a 404 for an accepted id can never heal (shard restart or
+        # history compaction dropped the job) — it must surface
+        # immediately, not spin until the deadline
+        def gone(job_id):
+            raise ServiceError(f"unknown job id {job_id!r}", status=404)
+
+        monkeypatch.setattr(client, "job", gone)
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="no longer exists") as info:
+            client.wait("j1", timeout=60.0, poll=0.001)
+        assert info.value.status == 410
+        assert time.monotonic() - start < 1.0
+
+    def test_job_vanishing_mid_wait_is_410(self, client, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(job_id):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                return {"id": job_id, "state": "running"}
+            raise ServiceError("unknown job id", status=404)
+
+        monkeypatch.setattr(client, "job", flaky)
+        with pytest.raises(ServiceError) as info:
+            client.wait("j1", timeout=60.0, poll=0.001)
+        assert info.value.status == 410
+        assert calls["n"] == 3
+
+    def test_other_errors_propagate_unchanged(self, client, monkeypatch):
+        def boom(job_id):
+            raise ServiceError("shard unreachable", status=503)
+
+        monkeypatch.setattr(client, "job", boom)
+        with pytest.raises(ServiceError, match="shard unreachable") as info:
+            client.wait("j1", timeout=1.0, poll=0.001)
+        assert info.value.status == 503
+
+
+class TestRunTimeout:
+    def test_run_threads_the_overall_deadline_into_wait(
+        self, client, monkeypatch
+    ):
+        seen = {}
+        monkeypatch.setattr(
+            client,
+            "submit",
+            lambda *a, **kw: {"id": "j1", "state": "running"},
+        )
+
+        def fake_wait(job_id, timeout=600.0, poll=0.05):
+            seen["timeout"] = timeout
+            return {"id": job_id, "state": "done"}
+
+        monkeypatch.setattr(client, "wait", fake_wait)
+        job = client.run("e01", timeout=12.5)
+        assert job["state"] == "done"
+        assert seen["timeout"] <= 12.5
+
+    def test_run_expires_when_submit_eats_the_budget(self, client, monkeypatch):
+        def slow_submit(*args, **kwargs):
+            time.sleep(0.05)
+            return {"id": "j1", "state": "running"}
+
+        monkeypatch.setattr(client, "submit", slow_submit)
+        monkeypatch.setattr(
+            client,
+            "wait",
+            lambda *a, **kw: pytest.fail("wait must not run after expiry"),
+        )
+        with pytest.raises(ServiceError, match="timed out") as info:
+            client.run("e01", timeout=0.01)
+        assert info.value.status == 504
+
+    def test_run_raises_on_failed_job(self, client, monkeypatch):
+        monkeypatch.setattr(
+            client,
+            "submit",
+            lambda *a, **kw: {
+                "id": "j1",
+                "state": "failed",
+                "error": "boom",
+            },
+        )
+        with pytest.raises(ServiceError, match="boom"):
+            client.run("e01")

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Run the benchmark suites: ``BENCH_adaptive.json`` + ``BENCH_service.json``
-+ ``BENCH_mutation.json``.
++ ``BENCH_mutation.json`` + ``BENCH_kernels.json``.
 
-Three suites, selectable with ``--suites`` (default: all):
+Four suites, selectable with ``--suites`` (default: all):
 
 * **adaptive** — the precision engine's headline numbers are *replication
   counts*: how many replications each estimand needs to reach a relative
@@ -15,7 +15,11 @@ Three suites, selectable with ``--suites`` (default: all):
   in-process server;
 * **mutation** — the mutation harness (``benchmarks/bench_mutation.py``):
   mutant-generation throughput, a real campaign's cold-vs-warm (resume
-  cache hit) ratio, and estimator fit throughput.
+  cache hit) ratio, and estimator fit throughput;
+* **kernels** — the compiled backend (``benchmarks/bench_kernels.py``):
+  njit scored kernels vs their numpy reference twins, with a >= 5x
+  speedup gate when numba is installed (the record states honestly when
+  it is not and no gate applies).
 
 ::
 
@@ -23,6 +27,7 @@ Three suites, selectable with ``--suites`` (default: all):
     PYTHONPATH=src python tools/bench_all.py --suites adaptive --full
     PYTHONPATH=src python tools/bench_all.py --suites service --service-smoke
     PYTHONPATH=src python tools/bench_all.py --suites mutation
+    PYTHONPATH=src python tools/bench_all.py --suites kernels
 
 ``--full`` additionally runs the whole pytest-benchmark suite
 (``benchmarks/``) with ``--benchmark-json`` and folds each benchmark's
@@ -46,7 +51,8 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUT = ROOT / "BENCH_adaptive.json"
 DEFAULT_SERVICE_OUT = ROOT / "BENCH_service.json"
 DEFAULT_MUTATION_OUT = ROOT / "BENCH_mutation.json"
-SUITES = ("adaptive", "service", "mutation")
+DEFAULT_KERNELS_OUT = ROOT / "BENCH_kernels.json"
+SUITES = ("adaptive", "service", "mutation", "kernels")
 
 
 def _load_bench(name: str):
@@ -138,10 +144,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suites",
-        default="adaptive,service,mutation",
+        default="adaptive,service,mutation,kernels",
         metavar="LIST",
         help="comma-separated suites to run "
-        "(default: adaptive,service,mutation)",
+        "(default: adaptive,service,mutation,kernels)",
     )
     parser.add_argument(
         "--service-out",
@@ -161,6 +167,18 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="mutation-suite output path "
         f"(default {DEFAULT_MUTATION_OUT.name} at the repo root)",
+    )
+    parser.add_argument(
+        "--kernels-out",
+        default=str(DEFAULT_KERNELS_OUT),
+        metavar="FILE",
+        help="kernels-suite output path "
+        f"(default {DEFAULT_KERNELS_OUT.name} at the repo root)",
+    )
+    parser.add_argument(
+        "--kernels-smoke",
+        action="store_true",
+        help="smaller kernel arrays, fewer timing repeats",
     )
     args = parser.parse_args(argv)
 
@@ -209,6 +227,12 @@ def main(argv=None) -> int:
         exit_code = max(
             exit_code, bench_mutation.main(["--out", args.mutation_out])
         )
+    if "kernels" in suites:
+        bench_kernels = _load_bench("bench_kernels")
+        kernels_argv = ["--out", args.kernels_out]
+        if args.kernels_smoke:
+            kernels_argv.append("--smoke")
+        exit_code = max(exit_code, bench_kernels.main(kernels_argv))
     return exit_code
 
 

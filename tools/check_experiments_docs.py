@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""Check docs/experiments.md against the experiment registry.
+"""Check docs/experiments.md and docs/kernels.md against the code.
 
 The experiment catalog must list exactly the ids returned by
 ``repro.experiments.all_experiment_ids()`` — no missing rows, no stale
-rows.  Run from the repository root (CI runs it in the docs job)::
+rows — and the kernel-backend page must document exactly the engine
+names the CLI accepts plus every ``*_compiled`` driver ``repro.mc``
+exports.  Run from the repository root (CI runs it in the docs job)::
 
     PYTHONPATH=src python tools/check_experiments_docs.py
 
-Exits non-zero with a diff-style report when the catalog is out of sync.
+Exits non-zero with a diff-style report when a page is out of sync.
 """
 
 from __future__ import annotations
@@ -16,7 +18,9 @@ import pathlib
 import re
 import sys
 
-CATALOG = pathlib.Path(__file__).resolve().parent.parent / "docs" / "experiments.md"
+_DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs"
+CATALOG = _DOCS / "experiments.md"
+KERNELS_DOC = _DOCS / "kernels.md"
 
 # catalog rows carry their id as the first, backticked table cell
 _ROW_PATTERN = re.compile(r"^\|\s*`([a-z][a-z0-9]*)`", re.MULTILINE)
@@ -68,6 +72,46 @@ def undocumented_knobs(registered, rows, runner_params) -> dict:
     return out
 
 
+def check_kernels_doc() -> list:
+    """Problems with docs/kernels.md, as printable strings.
+
+    The page's engine-matrix rows (``| `name` |``) must be exactly the
+    engine names the experiments CLI accepts, and every ``*_compiled``
+    driver exported from ``repro.mc`` must be mentioned by name — so the
+    backend page can never silently lag an engine rename or a new
+    compiled entry point.
+    """
+    import repro.mc
+    from repro.mc.experiments import _ENGINES
+
+    problems = []
+    if not KERNELS_DOC.exists():
+        return [f"missing kernel-backend page: {KERNELS_DOC}"]
+    text = KERNELS_DOC.read_text()
+    documented = re.findall(r"^\|\s*`([a-z]+)`", text, re.MULTILINE)
+    engines = list(_ENGINES)
+    missing = [name for name in engines if name not in documented]
+    extra = [name for name in documented if name not in engines]
+    if missing:
+        problems.append(
+            f"engines accepted by the CLI but missing from the "
+            f"docs/kernels.md engine matrix: {missing}"
+        )
+    if extra:
+        problems.append(
+            f"engine rows in docs/kernels.md the CLI does not accept: "
+            f"{extra}"
+        )
+    drivers = [name for name in repro.mc.__all__ if name.endswith("_compiled")]
+    unmentioned = [name for name in drivers if f"`{name}`" not in text]
+    if unmentioned:
+        problems.append(
+            f"compiled drivers exported from repro.mc but not mentioned "
+            f"in docs/kernels.md: {unmentioned}"
+        )
+    return problems
+
+
 def main() -> int:
     from repro.experiments import all_experiment_ids
 
@@ -96,6 +140,7 @@ def main() -> int:
     missing_knobs = undocumented_knobs(
         registered, catalog_rows(text), runner_params
     )
+    kernel_problems = check_kernels_doc()
     if not (
         missing
         or extra
@@ -103,11 +148,13 @@ def main() -> int:
         or unmarked
         or overmarked
         or missing_knobs
+        or kernel_problems
     ):
         print(
             f"docs/experiments.md in sync: {len(registered)} experiment "
             f"ids, {len(capable)} precision-capable"
         )
+        print("docs/kernels.md in sync: engine matrix and compiled drivers")
         return 0
     if missing:
         print(f"ids registered but not documented: {missing}", file=sys.stderr)
@@ -132,6 +179,8 @@ def main() -> int:
             f"{knobs}",
             file=sys.stderr,
         )
+    for problem in kernel_problems:
+        print(problem, file=sys.stderr)
     return 1
 
 
