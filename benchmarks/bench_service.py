@@ -172,6 +172,114 @@ def _measure_mixed(
     }
 
 
+#: minimum warm-path throughput ratio with observability enabled vs the
+#: fully uninstrumented server (NullRegistry, no spans, no trace plumbing)
+OBS_OVERHEAD_MIN_RATIO = 0.90
+
+#: the span names one routed POST /run must produce, each with a
+#: non-zero monotonic duration (the provenance acceptance check)
+SPAN_TREE_REQUIRED = (
+    "http.request",
+    "router.relay",
+    "job.queue_wait",
+    "job.execute",
+    "job.persist",
+)
+
+
+def _measure_obs_overhead(experiment, requests):
+    """Warm-request throughput, instrumented vs uninstrumented.
+
+    Both servers run in this process on identical warm workloads (every
+    request after the first is a memory-tier cache hit, so the measured
+    path is exactly the serving layer the registry/span code sits on).
+    Passes interleave A/B and each mode keeps its best pass — noise
+    (GC pauses, scheduler preemption) only ever slows a pass down, so
+    best-of-N converges on the true serving rate for both modes.
+    """
+    from repro.service import ServiceClient
+    from repro.service.http import ThreadedServer
+
+    def throughput(instrument):
+        with ThreadedServer(
+            procs=0, queue_limit=256, instrument=instrument
+        ) as hosted:
+            client = ServiceClient(hosted.url)
+            try:
+                client.run(experiment, seed=4242)  # warm the cache
+                start = time.perf_counter()
+                for _ in range(requests):
+                    client.run(experiment, seed=4242)
+                wall = time.perf_counter() - start
+            finally:
+                client.close()
+        return requests / wall
+
+    passes = 3
+    instrumented: list = []
+    uninstrumented: list = []
+    for _ in range(passes):
+        uninstrumented.append(throughput(instrument=False))
+        instrumented.append(throughput(instrument=True))
+    best_on = max(instrumented)
+    best_off = max(uninstrumented)
+    return {
+        "experiment": experiment,
+        "requests_per_pass": requests,
+        "passes": passes,
+        "instrumented_rps": best_on,
+        "uninstrumented_rps": best_off,
+        "instrumented_rps_per_pass": instrumented,
+        "uninstrumented_rps_per_pass": uninstrumented,
+        "throughput_ratio": best_on / best_off,
+        "requirement": OBS_OVERHEAD_MIN_RATIO,
+    }
+
+
+def _measure_span_tree(experiment):
+    """One routed ``POST /run``'s span tree (router + shard in-process).
+
+    The shard's worker spans ship back to its scheduler and re-emit
+    there; the router's relay span emits on the router thread — both
+    land in this process's span sink, so the whole tree is observable
+    without log files.
+    """
+    from repro.obs import capture_spans
+    from repro.service import ServiceClient
+    from repro.service.http import ThreadedServer
+    from repro.service.router import ThreadedRouter
+
+    with capture_spans() as records:
+        with ThreadedServer(procs=0, name="b0", queue_limit=256) as shard:
+            with ThreadedRouter({"b0": shard.url}) as router:
+                client = ServiceClient(router.url)
+                try:
+                    job = client.run(experiment, seed=990_123)
+                    trace_id = client.last_trace_id
+                finally:
+                    client.close()
+    spans = [
+        record
+        for record in records
+        if record.get("trace_id") == trace_id
+    ]
+    names = {record.get("name") for record in spans}
+    return {
+        "experiment": experiment,
+        "trace_id": trace_id,
+        "job_state": job["state"],
+        "spans": len(spans),
+        "span_names": sorted(str(name) for name in names),
+        "required": list(SPAN_TREE_REQUIRED),
+        "covers_required": set(SPAN_TREE_REQUIRED) <= names,
+        "nonzero_durations": all(
+            float(record.get("duration_seconds") or 0) > 0
+            for record in spans
+            if record.get("name") in SPAN_TREE_REQUIRED
+        ),
+    }
+
+
 #: throughput ratio demanded from 1 -> 4 shards on a host with >= 4 cores
 CLUSTER_SCALING_STRICT = 2.5
 #: cores below which the gate relaxes to a no-collapse check (see module
@@ -398,6 +506,31 @@ def run_benchmark(
         if tmp is not None:
             tmp.cleanup()
 
+    obs_requests = 60 if smoke else 200
+    print(
+        f"obs overhead: {obs_requests} warm requests x 3 passes, "
+        "instrumented vs uninstrumented ...",
+        flush=True,
+    )
+    obs_overhead = _measure_obs_overhead(mixed_experiment, obs_requests)
+    print(
+        f"  {obs_overhead['instrumented_rps']:.0f} req/s instrumented vs "
+        f"{obs_overhead['uninstrumented_rps']:.0f} req/s bare -> "
+        f"{obs_overhead['throughput_ratio']:.3f}x "
+        f"(require >= {OBS_OVERHEAD_MIN_RATIO})",
+        flush=True,
+    )
+
+    print("span tree: one routed POST /run ...", flush=True)
+    span_tree = _measure_span_tree(mixed_experiment)
+    print(
+        f"  {span_tree['spans']} spans on trace "
+        f"{span_tree['trace_id'][:8]}…, covers required: "
+        f"{span_tree['covers_required']}, non-zero durations: "
+        f"{span_tree['nonzero_durations']}",
+        flush=True,
+    )
+
     cluster_record = None
     if cluster:
         cluster_record = _measure_cluster(
@@ -424,6 +557,15 @@ def run_benchmark(
             coalesce["executions"] == 1
             and coalesce["coalesced"] == clients - 1
             and coalesce["distinct_jobs"] == 1
+        ),
+        "obs_overhead": obs_overhead,
+        "span_tree": span_tree,
+        "gate_obs_overhead": (
+            obs_overhead["throughput_ratio"] >= OBS_OVERHEAD_MIN_RATIO
+        ),
+        "gate_span_tree_complete": (
+            span_tree["covers_required"]
+            and span_tree["nonzero_durations"]
         ),
     }
     if cluster_record is not None:
@@ -517,6 +659,18 @@ def main(argv=None) -> int:
             f"executions for {record['coalesce']['clients']} identical "
             "requests (want exactly 1)"
         )
+    if not record["gate_obs_overhead"]:
+        failed.append(
+            f"observability overhead: instrumented throughput "
+            f"{record['obs_overhead']['throughput_ratio']:.3f}x of bare "
+            f"(require >= {OBS_OVERHEAD_MIN_RATIO})"
+        )
+    if not record["gate_span_tree_complete"]:
+        failed.append(
+            f"span tree incomplete: got {record['span_tree']['span_names']}"
+            f", need {record['span_tree']['required']} with non-zero "
+            "durations"
+        )
     if "cluster" in record:
         cluster = record["cluster"]
         if not record["gate_cluster_coalesce_single_execution"]:
@@ -539,7 +693,10 @@ def main(argv=None) -> int:
     summary = (
         f"gates ok: warm {record['warm_speedup_vs_cold']:.0f}x >= 50x, "
         f"coalesce {record['coalesce']['coalesced']}/"
-        f"{record['coalesce']['clients'] - 1} shared on 1 execution"
+        f"{record['coalesce']['clients'] - 1} shared on 1 execution, "
+        f"obs overhead {record['obs_overhead']['throughput_ratio']:.3f}x "
+        f">= {OBS_OVERHEAD_MIN_RATIO}, span tree "
+        f"{record['span_tree']['spans']} spans complete"
     )
     if "cluster" in record:
         cluster = record["cluster"]

@@ -501,11 +501,19 @@ def run_adaptive(
         if not tasks:
             break
         rounds += 1
-        results = run_tasks(
-            partial(_dispatch_chunk, kernels), tasks, n_jobs
-        )
-        for name, index, replications, payload in results:
-            states[name].absorb(index, replications, payload)
+        from ..obs import span as _obs_span
+
+        with _obs_span(
+            "adaptive.round",
+            round=rounds,
+            chunks=len(tasks),
+            replications=sum(step for _, (_, step, _) in tasks),
+        ):
+            results = run_tasks(
+                partial(_dispatch_chunk, kernels), tasks, n_jobs
+            )
+            for name, index, replications, payload in results:
+                states[name].absorb(index, replications, payload)
         observer = round_observer()
         if on_round is not None or observer is not None:
             progress = _round_payload(

@@ -106,6 +106,37 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_logging_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="structured-log threshold (default warning; debug also "
+        "emits every tracing span — see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=("human", "json"),
+        default="human",
+        help="log line format: 'human' (default) or 'json' "
+        "(JSON-lines; machine-parseable, feeds tools/trace_tree.py)",
+    )
+    parser.add_argument(
+        "--log-file",
+        metavar="FILE",
+        help="append logs to FILE instead of stderr (what sharded "
+        "deployments use so each instance keeps its own trace log)",
+    )
+
+
+def _configure_logging(args) -> None:
+    from ..obs import configure_logging
+
+    configure_logging(
+        level=args.log_level, format=args.log_format, file=args.log_file
+    )
+
+
 def _add_store_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store-backend",
@@ -208,9 +239,18 @@ def run_main(argv: List[str]) -> int:
         action="store_true",
         help="print only the one-line-per-experiment summary",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase wall-clock timings (setup/sampling/"
+        "scoring) into each result's provenance and print a profile "
+        "line per experiment",
+    )
     _add_engine_arguments(parser)
     _add_precision_arguments(parser)
+    _add_logging_arguments(parser)
     args = parser.parse_args(argv)
+    _configure_logging(args)
 
     validate_ids(args.ids)
     ids = args.ids or all_experiment_ids()
@@ -238,10 +278,26 @@ def run_main(argv: List[str]) -> int:
                 if experiment_id in adaptive_ids
                 else None
             )
-            result = run_experiment(
-                experiment_id, seed=args.seed, fast=not args.full,
-                params=params,
-            )
+            if args.profile:
+                from ..obs import collect_timings, span
+
+                with collect_timings() as timer, span(
+                    "experiment.run", experiment_id=experiment_id
+                ):
+                    result = run_experiment(
+                        experiment_id, seed=args.seed, fast=not args.full,
+                        params=params,
+                    )
+                # provenance rides the result only when asked for:
+                # golden outputs stay byte-identical on unprofiled runs
+                result.extra["timings"] = timer.payload(
+                    engine=args.engine, n_jobs=args.n_jobs
+                )
+            else:
+                result = run_experiment(
+                    experiment_id, seed=args.seed, fast=not args.full,
+                    params=params,
+                )
             results.append(result)
             if not args.summary_only:
                 print(format_result(result))
@@ -301,7 +357,9 @@ def sweep_main(argv: List[str]) -> int:
     )
     _add_store_backend_argument(parser)
     _add_engine_arguments(parser)
+    _add_logging_arguments(parser)
     args = parser.parse_args(argv)
+    _configure_logging(args)
 
     spec = load_grid(args.grid)
     store = open_store(args.out, backend=args.store_backend)
@@ -407,8 +465,18 @@ def serve_main(argv: List[str]) -> int:
         "<name>-job-NNNNNN so a router can route job lookups back here "
         "(default: unnamed)",
     )
+    parser.add_argument(
+        "--slow-job-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="log a warning for any job whose computation exceeds this "
+        "(default 30)",
+    )
     _add_store_backend_argument(parser)
+    _add_logging_arguments(parser)
     args = parser.parse_args(argv)
+    _configure_logging(args)
 
     from ..service import JobScheduler, ServiceServer, TwoTierCache
     from ..store import open_store
@@ -425,6 +493,7 @@ def serve_main(argv: List[str]) -> int:
             procs=args.procs,
             queue_limit=args.queue_limit,
             name=args.name,
+            slow_job_seconds=args.slow_job_seconds,
         )
         await scheduler.start()
         server = ServiceServer(scheduler, host=args.host, port=args.port)
@@ -501,7 +570,9 @@ def router_main(argv: List[str]) -> int:
         metavar="SECONDS",
         help="background /healthz probe period (default 1.0)",
     )
+    _add_logging_arguments(parser)
     args = parser.parse_args(argv)
+    _configure_logging(args)
 
     shards = {}
     for entry in args.shard:

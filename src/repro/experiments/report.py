@@ -71,6 +71,24 @@ def format_result(result: ExperimentResult) -> str:
             f"adaptive: {replications} replications, {converged}/{total} "
             "metrics converged to target"
         )
+    timings = result.extra.get("timings") if result.extra else None
+    if isinstance(timings, dict):
+        phases = timings.get("phases", {})
+        parts = [
+            f"{name} {float(seconds):.3f}s"
+            for name, seconds in phases.items()
+            if isinstance(seconds, (int, float))
+        ]
+        profile = f"profile: {float(timings.get('total_seconds', 0.0)):.3f}s"
+        if parts:
+            profile += f" ({', '.join(parts)})"
+        chunks = timings.get("chunks", 0)
+        if chunks:
+            profile += f", {chunks} chunk(s)"
+        engine = timings.get("engine")
+        if engine:
+            profile += f", engine={engine}"
+        lines.append(profile)
     lines.append("")
     lines.append(_format_table(result.columns, result.rows))
     lines.append("")

@@ -55,6 +55,7 @@ so a given ``(rng, chunk_size)`` pair yields bit-identical estimates for any
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from functools import partial
 from typing import Callable, List, Tuple
@@ -700,26 +701,59 @@ def run_tasks(
     """
     if n_jobs < 1:
         raise ModelError(f"n_jobs must be >= 1, got {n_jobs}")
-    if n_jobs == 1 or len(tasks) == 1:
-        results: List[object] = []
-        for task in tasks:
-            result = kernel(task)
-            if on_result is not None:
-                on_result(result)
-            results.append(result)
-        return results
-    slots: List[object] = [None] * len(tasks)
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-        futures = {
-            pool.submit(kernel, task): index
-            for index, task in enumerate(tasks)
-        }
-        for future in as_completed(futures):
-            result = future.result()
-            if on_result is not None:
-                on_result(result)
-            slots[futures[future]] = result
-    return slots
+    # ambient observability: chunk counters into the process registry,
+    # a "sampling" phase on the active profile timer (if any), and one
+    # span per fan-out when a trace is live — all no-ops otherwise
+    from ..obs import current_trace, span as _obs_span
+    from ..obs.metrics import default_registry
+    from ..obs.timing import current_timer
+
+    registry = default_registry()
+    registry.counter(
+        "repro_mc_chunk_fanouts_total",
+        "run_tasks invocations (one per chunked simulation).",
+    ).inc()
+    registry.counter(
+        "repro_mc_chunks_total", "Simulation chunks executed."
+    ).inc(len(tasks))
+    timer = current_timer()
+    if timer is not None:
+        timer.add_chunks(len(tasks))
+    traced = current_trace() is not None
+
+    def _execute() -> List[object]:
+        if n_jobs == 1 or len(tasks) == 1:
+            results: List[object] = []
+            for task in tasks:
+                result = kernel(task)
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            return results
+        slots: List[object] = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            futures = {
+                pool.submit(kernel, task): index
+                for index, task in enumerate(tasks)
+            }
+            for future in as_completed(futures):
+                result = future.result()
+                if on_result is not None:
+                    on_result(result)
+                slots[futures[future]] = result
+        return slots
+
+    if timer is None and not traced:
+        return _execute()
+    if timer is None:
+        with _obs_span("mc.run_tasks", chunks=len(tasks), n_jobs=n_jobs):
+            return _execute()
+    if not traced:
+        with timer.phase("sampling"):
+            return _execute()
+    with _obs_span("mc.run_tasks", chunks=len(tasks), n_jobs=n_jobs):
+        with timer.phase("sampling"):
+            return _execute()
 
 
 # chunk-sharding alias kept for the simulate_* drivers below
@@ -727,16 +761,28 @@ _run_chunks = run_tasks
 
 
 def _accumulate_proportion(results: List[Tuple[int, int]]) -> ProportionEstimator:
+    from ..obs.timing import current_timer
+
+    timer = current_timer()
     estimator = ProportionEstimator()
+    start = time.perf_counter()
     for successes, count in results:
         estimator.add_many(successes, count)
+    if timer is not None:
+        timer.add_phase("scoring", time.perf_counter() - start)
     return estimator
 
 
 def _accumulate_mean(results: List[Tuple[int, float, float]]) -> MeanEstimator:
+    from ..obs.timing import current_timer
+
+    timer = current_timer()
     estimator = MeanEstimator()
+    start = time.perf_counter()
     for count, mean, m2 in results:
         estimator.add_moments(count, mean, m2)
+    if timer is not None:
+        timer.add_phase("scoring", time.perf_counter() - start)
     return estimator
 
 

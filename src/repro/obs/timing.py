@@ -1,0 +1,106 @@
+"""Ambient per-run phase timers backing run provenance.
+
+A :class:`PhaseTimer` accumulates named phase durations ("sampling",
+"scoring", ...) plus a chunk count for one experiment run.  It is
+installed *ambiently* (thread-local) by :func:`collect_timings`, so the
+instrumented layers — ``mc.batch.run_tasks``, the batch accumulators —
+record into whatever timer the caller activated without threading a
+handle through every signature, and record nothing (one attribute read)
+when profiling is off.
+
+The payload lands in ``ExperimentResult.extra["timings"]`` only when a
+caller opted in (the ``repro <id> --profile`` CLI flag, or the service
+worker's per-job profile), keeping golden payload snapshots
+byte-identical: ``extra`` is omitted when empty, and timings are never
+attached implicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = ["PhaseTimer", "collect_timings", "current_timer"]
+
+_LOCAL = threading.local()
+
+
+class PhaseTimer:
+    """Accumulates phase durations and chunk counts for one run."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self.phases: Dict[str, float] = {}
+        self.chunks = 0
+        self.tasks = 0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block into ``phases[name]`` (re-entries accumulate)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Fold an externally measured interval into ``phases[name]``."""
+        self.phases[name] = self.phases.get(name, 0.0) + max(
+            float(seconds), 0.0
+        )
+
+    def add_chunks(self, chunks: int, tasks: int = 0) -> None:
+        """Record a fan-out: how many chunks (and tasks) were planned."""
+        self.chunks += int(chunks)
+        self.tasks += int(tasks)
+
+    def payload(self, **extra: object) -> Dict[str, object]:
+        """The JSON-safe provenance payload.
+
+        ``total_seconds`` is wall time since construction; ``setup`` is
+        the residual not covered by any recorded phase, so the phase
+        table always sums to the total.
+        """
+        total = time.perf_counter() - self._start
+        phases = {
+            name: round(seconds, 6)
+            for name, seconds in sorted(self.phases.items())
+        }
+        residual = total - sum(self.phases.values())
+        phases["setup"] = round(
+            max(residual, 0.0) + self.phases.get("setup", 0.0), 6
+        )
+        out: Dict[str, object] = {
+            "total_seconds": round(total, 6),
+            "phases": phases,
+            "chunks": self.chunks,
+            "tasks": self.tasks,
+        }
+        for key, value in extra.items():
+            if key not in out:
+                out[key] = value
+        return out
+
+
+def current_timer() -> Optional[PhaseTimer]:
+    """The active timer for this thread, or None when not profiling."""
+    return getattr(_LOCAL, "timer", None)
+
+
+@contextmanager
+def collect_timings() -> Iterator[PhaseTimer]:
+    """Activate a fresh :class:`PhaseTimer` for the calling thread.
+
+    Nested activations stack (the previous timer is restored on exit);
+    instrumented layers see only the innermost one.
+    """
+    previous = getattr(_LOCAL, "timer", None)
+    timer = PhaseTimer()
+    _LOCAL.timer = timer
+    try:
+        yield timer
+    finally:
+        _LOCAL.timer = previous

@@ -1,0 +1,298 @@
+"""Tracing spans: request-scoped context, header codec, span events.
+
+A *trace* is one logical request; a *span* is one timed operation
+inside it (router relay, queue wait, worker execution, persist, chunk
+fan-out...).  Context rides a :class:`contextvars.ContextVar`, so it
+propagates naturally across ``await`` points and task boundaries on an
+event loop, and crosses HTTP hops via the ``X-Repro-Trace`` header
+(``<trace_id>-<span_id>``: the sender's current span becomes the
+receiver's parent).
+
+Spans are emitted as flat dict events — ``{"event": "span", "name",
+"trace_id", "span_id", "parent_id", "ts", "duration_seconds", ...}`` —
+to every registered sink and to the ``repro.trace`` logger at ``debug``
+(JSON-lines format makes the log itself a trace store;
+``tools/trace_tree.py`` reconstructs the tree).  Durations come from
+``time.perf_counter`` — monotonic, so a span can never report a
+negative or clock-step duration.
+
+Worker processes have no connection to the parent's sinks: they record
+spans with :func:`capture_spans` and ship the list back alongside the
+result; the parent re-emits them verbatim with
+:func:`emit_span_record` (ids and durations are preserved, so the tree
+still connects).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import re
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .log import get_logger
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceContext",
+    "add_span_sink",
+    "capture_spans",
+    "current_trace",
+    "emit_span",
+    "emit_span_record",
+    "format_trace_header",
+    "new_trace_context",
+    "parse_trace_header",
+    "remove_span_sink",
+    "set_trace_context",
+    "span",
+    "tracing_active",
+]
+
+#: the propagation header (case-insensitive on the wire)
+TRACE_HEADER = "X-Repro-Trace"
+
+_ID_RE = re.compile(r"^[0-9a-f]{1,64}$")
+
+_CURRENT: contextvars.ContextVar[Optional["TraceContext"]] = (
+    contextvars.ContextVar("repro_trace", default=None)
+)
+
+_SINK_LOCK = threading.Lock()
+_SINKS: List[Callable[[dict], None]] = []
+
+#: exclusive capture buffer (see :func:`capture_spans`): when set, the
+#: calling context's spans go *only* here — not to sinks or the log
+_EXCLUSIVE: contextvars.ContextVar[Optional[List[dict]]] = (
+    contextvars.ContextVar("repro_trace_exclusive", default=None)
+)
+
+_log = get_logger("repro.trace")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The ambient (trace, span) pair requests carry."""
+
+    trace_id: str
+    span_id: str
+
+    def child(self) -> "TraceContext":
+        """A new span under the same trace."""
+        return TraceContext(self.trace_id, _new_span_id())
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def new_trace_context() -> TraceContext:
+    """A fresh trace with a fresh root span id."""
+    return TraceContext(uuid.uuid4().hex, _new_span_id())
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The calling context's trace, or None outside any trace."""
+    return _CURRENT.get()
+
+
+def set_trace_context(
+    context: Optional[TraceContext],
+) -> Optional[TraceContext]:
+    """Install ``context`` as ambient; returns the previous value.
+
+    For code that cannot use the :func:`span` context manager (worker
+    thread entry points); restore the previous value afterwards.
+    """
+    previous = _CURRENT.get()
+    _CURRENT.set(context)
+    return previous
+
+
+# -- header codec ----------------------------------------------------------
+
+
+def format_trace_header(context: TraceContext) -> str:
+    """``X-Repro-Trace`` wire value for ``context``."""
+    return f"{context.trace_id}-{context.span_id}"
+
+
+def parse_trace_header(value: Optional[str]) -> Optional[TraceContext]:
+    """Parse a wire value back into a context; None if absent/invalid.
+
+    Invalid headers are dropped rather than rejected — tracing is an
+    overlay and must never fail a request.
+    """
+    if not value:
+        return None
+    trace_id, separator, span_id = value.strip().rpartition("-")
+    if not separator:
+        return None
+    if not _ID_RE.match(trace_id) or not _ID_RE.match(span_id):
+        return None
+    return TraceContext(trace_id, span_id)
+
+
+# -- sinks -----------------------------------------------------------------
+
+
+def add_span_sink(sink: Callable[[dict], None]) -> None:
+    """Register a callable receiving every emitted span record."""
+    with _SINK_LOCK:
+        if sink not in _SINKS:
+            _SINKS.append(sink)
+
+
+def remove_span_sink(sink: Callable[[dict], None]) -> None:
+    """Unregister a sink (missing sinks are ignored)."""
+    with _SINK_LOCK:
+        if sink in _SINKS:
+            _SINKS.remove(sink)
+
+
+def emit_span_record(record: dict) -> None:
+    """Deliver a pre-built span record to sinks and the trace log.
+
+    Used directly when re-emitting worker-process spans in the parent;
+    :func:`span` and :func:`emit_span` funnel through it.
+    """
+    exclusive = _EXCLUSIVE.get()
+    if exclusive is not None:
+        exclusive.append(record)
+        return
+    with _SINK_LOCK:
+        sinks = list(_SINKS)
+    for sink in sinks:
+        try:
+            sink(record)
+        except Exception:
+            pass  # an observability sink must never fail the caller
+    _log.debug("span", **{k: v for k, v in record.items() if k != "event"})
+
+
+def _active() -> bool:
+    """Whether emitting would reach anything (hot-path guard)."""
+    return (
+        _EXCLUSIVE.get() is not None
+        or bool(_SINKS)
+        or _log.enabled("debug")
+    )
+
+
+def tracing_active() -> bool:
+    """Whether any span emitted now would reach a sink or the log.
+
+    The request hot path checks this before opening a :func:`span` at
+    all — the context manager costs ~10µs (span id, clocks, context
+    switch) even when the emission at exit would be dropped, which is
+    pure overhead on a sub-millisecond cache hit.
+    """
+    return _active()
+
+
+def emit_span(
+    name: str,
+    context: TraceContext,
+    parent_id: Optional[str],
+    start_ts: float,
+    duration_seconds: float,
+    **fields: object,
+) -> None:
+    """Emit one span record from explicit parts.
+
+    For spans measured across callbacks (queue wait) where a ``with``
+    block cannot bracket the interval.  ``duration_seconds`` should come
+    from a monotonic clock difference.
+    """
+    if not _active():
+        return
+    record: Dict[str, object] = {
+        "event": "span",
+        "name": name,
+        "trace_id": context.trace_id,
+        "span_id": context.span_id,
+        "parent_id": parent_id,
+        "ts": start_ts,
+        "duration_seconds": max(float(duration_seconds), 0.0),
+    }
+    for key, value in fields.items():
+        if key not in record:
+            record[key] = value
+    emit_span_record(record)
+
+
+class _SpanHandle:
+    """What :func:`span` yields: the live context + mutable fields."""
+
+    def __init__(self, context: TraceContext, fields: Dict[str, object]):
+        self.context = context
+        self.fields = fields
+
+
+@contextmanager
+def span(name: str, **fields: object) -> Iterator[_SpanHandle]:
+    """Time a block as a span under the current trace.
+
+    Starts a new trace when none is ambient (a CLI run becomes its own
+    root trace).  The block runs with the new span installed as current,
+    so nested ``span()`` calls and outbound HTTP hops parent correctly.
+    Fields added to the yielded handle's ``.fields`` land on the record.
+    """
+    parent = _CURRENT.get()
+    context = parent.child() if parent else new_trace_context()
+    token = _CURRENT.set(context)
+    start_ts = time.time()
+    start = time.perf_counter()
+    handle = _SpanHandle(context, dict(fields))
+    error: Optional[str] = None
+    try:
+        yield handle
+    except BaseException as exc:
+        error = type(exc).__name__
+        raise
+    finally:
+        duration = time.perf_counter() - start
+        _CURRENT.reset(token)
+        if _active():
+            if error is not None:
+                handle.fields.setdefault("error", error)
+            emit_span(
+                name,
+                context,
+                parent.span_id if parent else None,
+                start_ts,
+                duration,
+                **handle.fields,
+            )
+
+
+@contextmanager
+def capture_spans(exclusive: bool = False) -> Iterator[List[dict]]:
+    """Collect every span emitted in the block into the yielded list.
+
+    The default (additive) mode registers a process-wide sink — spans
+    land in the list *and* keep flowing to other sinks and the debug
+    log; any thread's spans are collected.  ``exclusive=True`` instead
+    diverts the *calling context's* spans into the list and nowhere
+    else: the worker-side half of cross-process tracing, where the
+    parent re-emits the shipped records with :func:`emit_span_record`
+    and a local emission would double every span (in-process thread
+    mode) or double-write an inherited log stream (forked pool mode).
+    """
+    records: List[dict] = []
+    if exclusive:
+        token = _EXCLUSIVE.set(records)
+        try:
+            yield records
+        finally:
+            _EXCLUSIVE.reset(token)
+        return
+    add_span_sink(records.append)
+    try:
+        yield records
+    finally:
+        remove_span_sink(records.append)

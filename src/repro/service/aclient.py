@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..obs import TRACE_HEADER, current_trace, format_trace_header
 from .errors import ServiceError
 
 __all__ = ["AsyncHttpClient", "ShardUnreachable"]
@@ -47,23 +48,35 @@ class AsyncHttpClient:
         self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
 
     async def request(
-        self, method: str, path: str, payload: Optional[object] = None
-    ) -> Tuple[int, dict, Dict[str, str]]:
+        self, method: str, path: str, payload: Optional[object] = None,
+        parse_json: bool = True,
+    ) -> Tuple[int, Union[dict, str], Dict[str, str]]:
         """One round trip; returns ``(status, parsed_body, headers)``.
 
         Raises :class:`ShardUnreachable` on transport failure.  A pooled
         connection can be stale (shard restarted while it idled), so a
         failure on a *reused* connection retries once on a fresh one.
+        The caller's ambient trace context (if any) rides along as the
+        ``X-Repro-Trace`` header, so shard-side spans parent onto the
+        router's relay span.  With ``parse_json=False`` the body comes
+        back as decoded text (the Prometheus exposition path).
         """
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
+        trace = current_trace()
+        trace_line = (
+            f"{TRACE_HEADER}: {format_trace_header(trace)}\r\n"
+            if trace is not None
+            else ""
+        )
         request = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Accept: application/json\r\n"
+            f"{trace_line}"
             f"\r\n"
         ).encode("latin-1") + body
         last_error: Optional[Exception] = None
@@ -86,7 +99,8 @@ class AsyncHttpClient:
                 writer.write(request)
                 await writer.drain()
                 status, parsed, headers = await asyncio.wait_for(
-                    self._read_response(reader), timeout=self.timeout
+                    self._read_response(reader, parse_json),
+                    timeout=self.timeout,
                 )
             except (
                 OSError,
@@ -115,8 +129,8 @@ class AsyncHttpClient:
         )
 
     async def _read_response(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[int, dict, Dict[str, str]]:
+        self, reader: asyncio.StreamReader, parse_json: bool = True
+    ) -> Tuple[int, Union[dict, str], Dict[str, str]]:
         status_line = await reader.readline()
         if not status_line:
             raise ConnectionError("shard closed the connection")
@@ -133,6 +147,8 @@ class AsyncHttpClient:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
         raw = await reader.readexactly(length) if length else b""
+        if not parse_json:
+            return status, raw.decode("utf-8", "replace"), headers
         try:
             parsed = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -140,6 +156,28 @@ class AsyncHttpClient:
         if not isinstance(parsed, dict):
             parsed = {"value": parsed}
         return status, parsed, headers
+
+    async def metrics(self, format: str = "json") -> Union[dict, str]:
+        """Fetch ``GET /metrics`` in either exposition format.
+
+        ``"json"`` returns the parsed legacy snapshot; ``"prometheus"``
+        returns the strict-parsed ``{family: ...}`` mapping (use
+        :func:`repro.obs.parse_prometheus_text` directly for raw text).
+        """
+        if format == "json":
+            _, body, _ = await self.request("GET", "/metrics")
+            return body
+        if format != "prometheus":
+            raise ServiceError(
+                f"unknown metrics format {format!r} (use 'json' or "
+                f"'prometheus')"
+            )
+        from ..obs import parse_prometheus_text
+
+        _, text, _ = await self.request(
+            "GET", "/metrics?format=prometheus", parse_json=False
+        )
+        return parse_prometheus_text(text)
 
     async def close(self) -> None:
         """Close every pooled connection."""

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import ModelError
+from ..obs.metrics import MetricsRegistry
 from ..store import ResultStore
 
 __all__ = ["TwoTierCache"]
@@ -35,6 +36,7 @@ class TwoTierCache:
         self,
         store: Optional[ResultStore] = None,
         capacity: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if capacity < 1:
             raise ModelError(f"cache capacity must be >= 1, got {capacity}")
@@ -45,6 +47,29 @@ class TwoTierCache:
         self.store_hits = 0
         self.misses = 0
         self.evictions = 0
+        # registry twins of the plain counters above: the legacy JSON
+        # shape keeps reading the attributes, the Prometheus exposition
+        # reads these (same increments, so the views always agree)
+        if registry is None:
+            from ..obs.metrics import default_registry
+
+            registry = default_registry()
+        self._hits_metric = registry.counter(
+            "repro_cache_hits_total",
+            "Cache hits by tier (memory or store).",
+            ("tier",),
+        )
+        # lookup() is on the warm request path — bind the tier children
+        # once so a hit pays one lock, not label resolution
+        self._memory_hits_metric = self._hits_metric.labels(tier="memory")
+        self._store_hits_metric = self._hits_metric.labels(tier="store")
+        self._misses_metric = registry.counter(
+            "repro_cache_misses_total", "Cache lookups that missed both tiers."
+        )
+        self._evictions_metric = registry.counter(
+            "repro_cache_evictions_total",
+            "Memory-tier LRU evictions.",
+        )
 
     # -- reading ---------------------------------------------------------
 
@@ -64,14 +89,17 @@ class TwoTierCache:
         if record is not None:
             self._memory.move_to_end(key)
             self.memory_hits += 1
+            self._memory_hits_metric.inc()
             return record, "memory"
         if self.store is not None:
             record = self.store.get(key)
             if record is not None and "result" in record:
                 self.store_hits += 1
+                self._store_hits_metric.inc()
                 self._remember(key, record)
                 return record, "store"
         self.misses += 1
+        self._misses_metric.inc()
         return None, None
 
     def __contains__(self, key: str) -> bool:
@@ -113,6 +141,7 @@ class TwoTierCache:
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
             self.evictions += 1
+            self._evictions_metric.inc()
 
     # -- reporting -------------------------------------------------------
 

@@ -20,6 +20,13 @@ import time
 from typing import Dict, Mapping, Optional, Tuple
 from urllib.parse import urlsplit
 
+from ..obs import (
+    TRACE_HEADER,
+    current_trace,
+    format_trace_header,
+    new_trace_context,
+    parse_prometheus_text,
+)
 from .errors import ServiceError
 
 __all__ = ["ServiceClient"]
@@ -42,6 +49,8 @@ class ServiceClient:
         self.port = parts.port or 8752
         self.timeout = timeout
         self._connection: Optional[http.client.HTTPConnection] = None
+        #: trace id of the most recent request (tests assert propagation)
+        self.last_trace_id: Optional[str] = None
 
     # -- transport -------------------------------------------------------
 
@@ -65,10 +74,20 @@ class ServiceClient:
         self.close()
 
     def _request(
-        self, method: str, path: str, payload: Optional[Mapping] = None
-    ) -> Tuple[int, dict]:
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        parse_json: bool = True,
+    ) -> Tuple[int, object]:
         body = None
         headers = {"Accept": "application/json"}
+        # every request carries a trace: the ambient context when the
+        # caller is already inside a span, a fresh root otherwise — so a
+        # bare client call is itself traceable end to end
+        trace = current_trace() or new_trace_context()
+        headers[TRACE_HEADER] = format_trace_header(trace)
+        self.last_trace_id = trace.trace_id
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -96,6 +115,13 @@ class ServiceClient:
                 f"{last_error}",
                 status=503,
             )
+        if not parse_json:
+            if response.status >= 400:
+                raise ServiceError(
+                    raw.decode("utf-8", "replace")[:200],
+                    status=response.status,
+                )
+            return response.status, raw.decode("utf-8", "replace")
         try:
             parsed = json.loads(raw) if raw else {}
         except json.JSONDecodeError:
@@ -119,9 +145,26 @@ class ServiceClient:
         """The server's liveness payload."""
         return self._request("GET", "/healthz")[1]
 
-    def metrics(self) -> dict:
-        """The server's counter snapshot."""
-        return self._request("GET", "/metrics")[1]
+    def metrics(self, format: str = "json", parse: bool = True) -> object:
+        """The server's metrics, in either exposition format.
+
+        ``format="json"`` (default) returns the legacy counter snapshot
+        dict.  ``format="prometheus"`` fetches the text exposition and —
+        with ``parse=True`` — runs it through the strict parser,
+        returning the ``{family: {type, help, samples, ...}}`` mapping;
+        ``parse=False`` returns the raw exposition text.
+        """
+        if format == "json":
+            return self._request("GET", "/metrics")[1]
+        if format != "prometheus":
+            raise ServiceError(
+                f"unknown metrics format {format!r} (use 'json' or "
+                f"'prometheus')"
+            )
+        _, text = self._request(
+            "GET", "/metrics?format=prometheus", parse_json=False
+        )
+        return parse_prometheus_text(text) if parse else text
 
     def experiments(self) -> dict:
         """The experiment catalog with each runner's knobs."""

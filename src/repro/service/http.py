@@ -33,14 +33,32 @@ from typing import Dict, Optional, Tuple
 from ..errors import ModelError
 from ..experiments import all_experiment_ids, runner_params
 from ..experiments.base import canonical_cell
+from ..obs import (
+    get_logger,
+    parse_trace_header,
+    set_trace_context,
+    span,
+    tracing_active,
+)
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY, NullRegistry
 from .cache import TwoTierCache
 from .errors import ServiceError
 from .jobs import DONE, JobScheduler, JobSpec
 
-__all__ = ["BaseHttpServer", "ServiceServer", "ThreadedServer"]
+__all__ = [
+    "BaseHttpServer",
+    "RawResponse",
+    "ServiceServer",
+    "ThreadedServer",
+]
 
 _MAX_BODY = 8 * 1024 * 1024
 _MAX_HEADERS = 100
+
+#: Prometheus text exposition content type (format 0.0.4)
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_log = get_logger("repro.service.http")
 
 _REASONS = {
     200: "OK",
@@ -56,12 +74,51 @@ _REASONS = {
 
 
 @dataclass
+class RawResponse:
+    """A non-JSON route payload: raw bytes with an explicit content type.
+
+    Routes return these for text formats (Prometheus exposition); the
+    responder writes the body verbatim instead of JSON-encoding it.
+    """
+
+    body: bytes
+    content_type: str = "text/plain; charset=utf-8"
+
+
+@dataclass
 class _Request:
     method: str
     path: str
     headers: Dict[str, str]
     body: bytes
     query: str = ""
+
+    def wants_prometheus(self) -> bool:
+        """Content negotiation for ``/metrics``.
+
+        An explicit ``?format=prometheus`` (or ``format=json``) wins;
+        otherwise an ``Accept`` header preferring ``text/plain`` over
+        JSON selects the exposition format.  Default stays the legacy
+        JSON shape.
+        """
+        params = dict(
+            pair.partition("=")[::2]
+            for pair in self.query.split("&")
+            if pair
+        )
+        fmt = params.get("format", "").lower()
+        if fmt == "prometheus":
+            return True
+        if fmt == "json":
+            return False
+        if fmt:
+            raise ServiceError(
+                f"unknown metrics format {fmt!r} (use 'json' or "
+                f"'prometheus')",
+                status=400,
+            )
+        accept = self.headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
 
     def json(self) -> object:
         if not self.body:
@@ -72,6 +129,32 @@ class _Request:
             # UnicodeDecodeError: json.loads sniffs the encoding of bytes
             # input and non-UTF bodies fail *before* JSON parsing starts
             raise ServiceError(f"invalid JSON body: {error}", status=400)
+
+
+from contextlib import contextmanager
+
+
+@contextmanager
+def _null_context():
+    """Stand-in for :func:`repro.obs.span` on the uninstrumented path."""
+    yield None
+
+
+def _method_not_allowed(path: str, *allowed: str):
+    """A spec-shaped 405: ``Allow`` lists the methods that would work.
+
+    ``GET`` routes implicitly allow ``HEAD`` (the responder answers HEAD
+    on any GET route with headers only), so the header advertises it.
+    """
+    methods = list(allowed)
+    if "GET" in methods and "HEAD" not in methods:
+        methods.insert(methods.index("GET") + 1, "HEAD")
+    allow = ", ".join(methods)
+    return (
+        405,
+        {"error": f"use {' or '.join(allowed)} {path}"},
+        {"Allow": allow},
+    )
 
 
 def _knob_payload(default: object) -> object:
@@ -114,11 +197,50 @@ class BaseHttpServer:
     handling) is enforced once for every front-end.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8752) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8752,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
+        from ..obs.metrics import default_registry
+
+        self.registry = registry if registry is not None else default_registry()
+        #: the fully uninstrumented mode skips trace plumbing entirely
+        #: (the bench's overhead baseline)
+        self._instrumented = not isinstance(self.registry, NullRegistry)
+        self._request_seconds = self.registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request handling latency by route.",
+            ("method", "route", "status"),
+        )
+        #: memoised (method, route, status) -> bound (histogram, counter)
+        #: children — label resolution off the per-request path
+        self._request_children: Dict[tuple, tuple] = {}
+        self._requests_total = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled by route.",
+            ("method", "route", "status"),
+        )
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """A bounded-cardinality route template for metric labels."""
+        segments = [part for part in path.split("/") if part]
+        if segments and segments[0] == "jobs" and len(segments) > 1:
+            return (
+                "/jobs/<id>/cancel"
+                if len(segments) == 3 and segments[2] == "cancel"
+                else "/jobs/<id>"
+            )
+        if path in ("/healthz", "/metrics", "/experiments", "/run", "/jobs",
+                    "/shards"):
+            return path
+        return "<other>"
 
     # -- lifecycle -------------------------------------------------------
 
@@ -181,7 +303,58 @@ class BaseHttpServer:
                 close_after = (
                     request.headers.get("connection", "").lower() == "close"
                 )
-                extra_headers: Optional[Dict[str, str]] = None
+                # HEAD answers exactly like GET minus the body (RFC 9110):
+                # route as GET, remember to suppress the payload bytes
+                head_request = request.method == "HEAD"
+                if head_request:
+                    request.method = "GET"
+                status, payload, extra_headers = await self._dispatch(request)
+                self._write_response(
+                    writer,
+                    status,
+                    payload,
+                    close_after,
+                    extra_headers,
+                    head=head_request,
+                )
+                await writer.drain()
+                if close_after:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # client went away mid-exchange
+        except asyncio.CancelledError:
+            pass  # server closing: drop the connection quietly
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(
+        self, request: _Request
+    ) -> Tuple[int, object, Optional[Dict[str, str]]]:
+        """Route one request with error mapping, tracing and metrics."""
+        import time as _time
+
+        extra_headers: Optional[Dict[str, str]] = None
+        instrumented = self._instrumented
+        previous_trace = None
+        if instrumented:
+            previous_trace = set_trace_context(
+                parse_trace_header(request.headers.get("x-repro-trace"))
+            )
+            start = _time.perf_counter()
+        # a span that nothing would receive still costs ~10µs of ids and
+        # clock reads — skip it unless a sink or debug logger is live
+        trace_request = instrumented and tracing_active()
+        try:
+            with span(
+                "http.request",
+                method=request.method,
+                path=request.path,
+            ) if trace_request else _null_context() as handle:
                 try:
                     outcome = await self._route(request)
                     if len(outcome) == 3:
@@ -201,23 +374,33 @@ class BaseHttpServer:
                 except Exception:
                     traceback.print_exc(file=sys.stderr)
                     status, payload = 500, {"error": "internal server error"}
-                self._write_response(
-                    writer, status, payload, close_after, extra_headers
-                )
-                await writer.drain()
-                if close_after:
-                    break
-        except (asyncio.IncompleteReadError, ConnectionError):
-            pass  # client went away mid-exchange
-        except asyncio.CancelledError:
-            pass  # server closing: drop the connection quietly
+                if handle is not None:
+                    handle.fields["status"] = status
         finally:
-            self._connections.discard(task)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError, asyncio.CancelledError):
-                pass
+            if instrumented:
+                set_trace_context(previous_trace)
+        if instrumented:
+            elapsed = _time.perf_counter() - start
+            route = self._route_label(request.path)
+            key = (request.method, route, str(status))
+            children = self._request_children.get(key)
+            if children is None:
+                labels = dict(zip(("method", "route", "status"), key))
+                children = (
+                    self._request_seconds.labels(**labels),
+                    self._requests_total.labels(**labels),
+                )
+                self._request_children[key] = children
+            children[0].observe(elapsed)
+            children[1].inc()
+            if status >= 500 and _log.enabled("info"):
+                _log.info(
+                    "http.error",
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                )
+        return status, payload, extra_headers
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -279,24 +462,31 @@ class BaseHttpServer:
         payload: object,
         close_after: bool,
         extra_headers: Optional[Dict[str, str]] = None,
+        head: bool = False,
     ) -> None:
-        try:
-            body = json.dumps(payload, allow_nan=False).encode("utf-8")
-        except (TypeError, ValueError):
-            # a non-JSON-safe value leaked into a payload (e.g. a NaN in
-            # free-form progress data): canonicalize and retry
-            body = json.dumps(canonical_cell(payload)).encode("utf-8")
+        if isinstance(payload, RawResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            try:
+                body = json.dumps(payload, allow_nan=False).encode("utf-8")
+            except (TypeError, ValueError):
+                # a non-JSON-safe value leaked into a payload (e.g. a NaN in
+                # free-form progress data): canonicalize and retry
+                body = json.dumps(canonical_cell(payload)).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(status, "Unknown")
-        head = (
+        header = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close_after else 'keep-alive'}\r\n"
         )
         for name, value in (extra_headers or {}).items():
-            head += f"{name}: {value}\r\n"
-        head += "\r\n"
-        writer.write(head.encode("latin-1") + body)
+            header += f"{name}: {value}\r\n"
+        header += "\r\n"
+        # HEAD: full headers (including Content-Length), no body bytes
+        writer.write(header.encode("latin-1") + (b"" if head else body))
 
     # -- routing ---------------------------------------------------------
 
@@ -313,8 +503,13 @@ class ServiceServer(BaseHttpServer):
         host: str = "127.0.0.1",
         port: int = 8752,
         wait_timeout: float = 600.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(host=host, port=port)
+        super().__init__(
+            host=host,
+            port=port,
+            registry=registry if registry is not None else scheduler.registry,
+        )
         self.scheduler = scheduler
         self.wait_timeout = wait_timeout
 
@@ -323,7 +518,7 @@ class ServiceServer(BaseHttpServer):
         segments = [part for part in path.split("/") if part]
         if path == "/healthz":
             if method != "GET":
-                return 405, {"error": "use GET /healthz"}
+                return _method_not_allowed(path, "GET")
             scheduler = self.scheduler
             return 200, {
                 "status": "ok",
@@ -334,15 +529,20 @@ class ServiceServer(BaseHttpServer):
             }
         if path == "/metrics":
             if method != "GET":
-                return 405, {"error": "use GET /metrics"}
+                return _method_not_allowed(path, "GET")
+            if request.wants_prometheus():
+                return 200, RawResponse(
+                    self.scheduler.prometheus_text().encode("utf-8"),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
             return 200, self.scheduler.metrics_snapshot()
         if path == "/experiments":
             if method != "GET":
-                return 405, {"error": "use GET /experiments"}
+                return _method_not_allowed(path, "GET")
             return 200, _experiments_payload()
         if path == "/run":
             if method != "POST":
-                return 405, {"error": "use POST /run"}
+                return _method_not_allowed(path, "POST")
             return await self._handle_run(request)
         if segments and segments[0] == "jobs":
             return await self._handle_jobs(request, segments)
@@ -377,7 +577,7 @@ class ServiceServer(BaseHttpServer):
     ) -> Tuple[int, object]:
         if len(segments) == 1:
             if request.method != "GET":
-                return 405, {"error": "use GET /jobs"}
+                return _method_not_allowed("/jobs", "GET")
             return 200, {"jobs": self.scheduler.jobs_snapshot()}
         job = self.scheduler.get(segments[1])
         if job is None:
@@ -392,10 +592,10 @@ class ServiceServer(BaseHttpServer):
                     "cancelled": cancelled,
                     "state": job.state,
                 }
-            return 405, {"error": "use GET or DELETE /jobs/<id>"}
+            return _method_not_allowed("/jobs/<id>", "GET", "DELETE")
         if len(segments) == 3 and segments[2] == "cancel":
             if request.method != "POST":
-                return 405, {"error": "use POST /jobs/<id>/cancel"}
+                return _method_not_allowed("/jobs/<id>/cancel", "POST")
             cancelled = self.scheduler.cancel(job.id)
             return 200, {
                 "id": job.id,
@@ -424,6 +624,7 @@ class ThreadedServer:
         queue_limit: int = 64,
         store_backend: str = "auto",
         name: Optional[str] = None,
+        instrument: bool = True,
     ) -> None:
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
@@ -442,12 +643,23 @@ class ThreadedServer:
                     if store_path is not None
                     else None
                 )
-                cache = TwoTierCache(store, capacity=cache_capacity)
+                # a fresh registry per hosted server keeps concurrently
+                # hosted instances (tests, the bench) from mixing counters
+                registry = MetricsRegistry() if instrument else NULL_REGISTRY
+                cache = TwoTierCache(
+                    store, capacity=cache_capacity, registry=registry
+                )
                 scheduler = JobScheduler(
-                    cache, procs=procs, queue_limit=queue_limit, name=name
+                    cache,
+                    procs=procs,
+                    queue_limit=queue_limit,
+                    name=name,
+                    registry=registry,
                 )
                 await scheduler.start()
-                server = ServiceServer(scheduler, host=host, port=port)
+                server = ServiceServer(
+                    scheduler, host=host, port=port, registry=registry
+                )
                 await server.start()
                 self._loop = asyncio.get_running_loop()
                 self._stop = asyncio.Event()

@@ -49,6 +49,9 @@ class ShardProcess:
         store_backend: str = "auto",
         port: int = 0,
         startup_timeout: float = 60.0,
+        log_file: Optional[str] = None,
+        log_level: str = "warning",
+        log_format: str = "json",
     ) -> None:
         self.name = name
         self.store_path = store_path
@@ -57,6 +60,12 @@ class ShardProcess:
         self.store_backend = store_backend
         self.port = port  # 0 until first start binds one
         self.startup_timeout = startup_timeout
+        #: structured logs go to a file, not the stdout pipe — nobody
+        #: drains the pipe after startup, so chatty logging through it
+        #: would eventually block the shard on a full pipe buffer
+        self.log_file = log_file
+        self.log_level = log_level
+        self.log_format = log_format
         self.host = "127.0.0.1"
         self._process: Optional[subprocess.Popen] = None
 
@@ -100,6 +109,15 @@ class ShardProcess:
             "--name",
             self.name,
         ]
+        if self.log_file is not None:
+            command += [
+                "--log-file",
+                str(self.log_file),
+                "--log-level",
+                self.log_level,
+                "--log-format",
+                self.log_format,
+            ]
         env = dict(os.environ)
         src = str(Path(__file__).resolve().parents[2])
         existing = env.get("PYTHONPATH", "")
@@ -184,10 +202,15 @@ class LocalCluster:
         retries: int = 1,
         backoff: float = 0.05,
         health_interval: float = 0.25,
+        log_dir: Optional[str] = None,
+        log_level: str = "warning",
     ) -> None:
         if n_shards < 1:
             raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
         self.store_root = Path(store_root)
+        log_root = Path(log_dir) if log_dir is not None else None
+        if log_root is not None:
+            log_root.mkdir(parents=True, exist_ok=True)
         self.shards: List[ShardProcess] = [
             ShardProcess(
                 f"s{index}",
@@ -195,6 +218,12 @@ class LocalCluster:
                 procs=procs,
                 queue_limit=queue_limit,
                 store_backend=store_backend,
+                log_file=(
+                    str(log_root / f"s{index}.jsonl")
+                    if log_root is not None
+                    else None
+                ),
+                log_level=log_level,
             )
             for index in range(n_shards)
         ]

@@ -52,9 +52,23 @@ from ..errors import ModelError
 from ..experiments import run_experiment, validate_params
 from ..experiments.__main__ import validate_ids
 from ..experiments.base import canonical_cell, set_engine_config
+from ..obs import (
+    TraceContext,
+    capture_spans,
+    collect_timings,
+    current_trace,
+    emit_span,
+    emit_span_record,
+    get_logger,
+    set_trace_context,
+    span,
+)
+from ..obs.metrics import MetricsRegistry, set_default_registry
 from ..store.records import cache_key, canonical_params, make_record
 from .cache import TwoTierCache
 from .errors import QueueFullError, ServiceError
+
+_log = get_logger("repro.service.jobs")
 
 __all__ = [
     "Job",
@@ -93,7 +107,19 @@ _PROGRESS_QUEUE = None  # set per worker process by _worker_init
 #: the blocking drain thread wakes up and exits
 _PROGRESS_STOP = "__progress_stop__"
 
-_JobTask = Tuple[str, str, int, bool, Tuple[Tuple[str, object], ...], str, int]
+#: ``(job_id, experiment_id, seed, fast, params, engine, n_jobs,
+#: trace_id, parent_span_id)`` — the last two are None untraced
+_JobTask = Tuple[
+    str,
+    str,
+    int,
+    bool,
+    Tuple[Tuple[str, object], ...],
+    str,
+    int,
+    Optional[str],
+    Optional[str],
+]
 
 
 def _worker_init(progress_queue) -> None:
@@ -113,8 +139,10 @@ def _process_progress_put(item) -> None:
         _PROGRESS_QUEUE.put_nowait(item)
 
 
-def _execute_job(task: _JobTask, progress_put: Optional[Callable] = None) -> dict:
-    """Run one job in a worker (process or thread); returns its store record.
+def _execute_job(
+    task: _JobTask, progress_put: Optional[Callable] = None
+) -> Tuple[dict, dict]:
+    """Run one job in a worker; returns ``(store_record, obs_payload)``.
 
     Installs the job's engine configuration and a round observer for the
     duration of the run.  In a pool worker that state is private to the
@@ -122,8 +150,26 @@ def _execute_job(task: _JobTask, progress_put: Optional[Callable] = None) -> dic
     (the observer is thread-local, so concurrent thread jobs cannot cross).
     Progress delivery is fire-and-forget: a dead progress pipe (e.g. during
     shutdown) never fails the computation.
+
+    ``obs_payload`` carries the run's observability freight home over the
+    result channel: the spans recorded worker-side (the parent re-emits
+    them, so the trace tree connects across the process boundary), a
+    snapshot of a fresh per-job metrics registry (the parent merges it —
+    the worker→parent aggregation path), and the phase-timing breakdown.
     """
-    job_id, experiment_id, seed, fast, params, engine, n_jobs = task
+    if len(task) == 7:  # pre-trace tuple shape (direct callers, old tests)
+        task = task + (None, None)
+    (
+        job_id,
+        experiment_id,
+        seed,
+        fast,
+        params,
+        engine,
+        n_jobs,
+        trace_id,
+        parent_span_id,
+    ) = task
     if progress_put is None:
         progress_put = _process_progress_put
     from ..adaptive.controller import set_round_observer
@@ -134,18 +180,36 @@ def _execute_job(task: _JobTask, progress_put: Optional[Callable] = None) -> dic
         except Exception:
             pass
 
+    trace = (
+        TraceContext(trace_id, parent_span_id)
+        if trace_id and parent_span_id
+        else None
+    )
+    job_registry = MetricsRegistry()
+    previous_registry = set_default_registry(job_registry)
+    previous_trace = set_trace_context(trace)
     previous_engine = set_engine_config(engine=engine, n_jobs=n_jobs)
     previous_observer = set_round_observer(observe)
     try:
-        result = run_experiment(
-            experiment_id, seed=seed, fast=fast, params=dict(params)
-        )
+        with capture_spans(exclusive=True) as spans, \
+                collect_timings() as timer:
+            with span(
+                "job.execute",
+                job_id=job_id,
+                experiment_id=experiment_id,
+            ):
+                result = run_experiment(
+                    experiment_id, seed=seed, fast=fast, params=dict(params)
+                )
+        timings = timer.payload(engine=engine, n_jobs=n_jobs)
     finally:
         set_round_observer(previous_observer)
         set_engine_config(
             engine=previous_engine.engine, n_jobs=previous_engine.n_jobs
         )
-    return make_record(
+        set_trace_context(previous_trace)
+        set_default_registry(previous_registry)
+    record = make_record(
         experiment_id,
         seed=seed,
         fast=fast,
@@ -153,6 +217,12 @@ def _execute_job(task: _JobTask, progress_put: Optional[Callable] = None) -> dic
         result=result,
         engine=engine,
     )
+    obs_payload = {
+        "spans": spans if trace is not None else [],
+        "metrics": job_registry.snapshot(),
+        "timings": timings,
+    }
+    return record, obs_payload
 
 
 # ---------------------------------------------------------------------------
@@ -290,6 +360,15 @@ class Job:
         self.created = time.time()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
+        #: the submitting request's trace context (span parent for the
+        #: job's queue-wait/execute/persist spans); None untraced
+        self.trace: Optional[TraceContext] = current_trace()
+        #: phase breakdown (queue wait, worker phases, persist), seconds
+        self.timings: Optional[Dict[str, object]] = None
+        # monotonic twins of the wall-clock stamps: span durations must
+        # never go negative under a clock step
+        self._created_mono = time.perf_counter()
+        self._started_mono: Optional[float] = None
         self._done = asyncio.Event()
 
     @property
@@ -312,6 +391,8 @@ class Job:
             spec.params,
             spec.engine,
             spec.n_jobs,
+            self.trace.trace_id if self.trace is not None else None,
+            self.trace.span_id if self.trace is not None else None,
         )
 
     def to_payload(self, include_record: bool = False) -> Dict[str, object]:
@@ -347,7 +428,12 @@ class Job:
             ),
             "progress": self.progress,
             "progress_rounds": len(self.progress_history),
+            "trace_id": (
+                self.trace.trace_id if self.trace is not None else None
+            ),
         }
+        if self.timings is not None:
+            payload["timings"] = self.timings
         if include_record and self.record is not None:
             payload["record"] = self.record
         return payload
@@ -417,6 +503,8 @@ class JobScheduler:
         procs: int = 1,
         queue_limit: int = 64,
         name: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+        slow_job_seconds: float = 30.0,
     ) -> None:
         if procs < 0:
             raise ModelError(f"procs must be >= 0, got {procs}")
@@ -427,7 +515,16 @@ class JobScheduler:
                 f"scheduler name must be a non-empty token without '/' or "
                 f"spaces, got {name!r}"
             )
-        self.cache = cache if cache is not None else TwoTierCache()
+        if registry is None:
+            from ..obs.metrics import default_registry
+
+            registry = default_registry()
+        self.registry = registry
+        self.cache = (
+            cache
+            if cache is not None
+            else TwoTierCache(registry=registry)
+        )
         #: instance name; job ids become ``<name>-job-NNNNNN`` so a router
         #: can route ``GET /jobs/<id>`` back to the shard that minted it
         self.name = name
@@ -435,6 +532,57 @@ class JobScheduler:
         self.queue_limit = queue_limit
         self.slots = max(procs, 1)
         self.metrics = ServiceMetrics()
+        #: completed jobs slower than this log a ``job.slow`` warning
+        self.slow_job_seconds = slow_job_seconds
+        self._jobs_events = registry.counter(
+            "repro_jobs_total",
+            "Job lifecycle events (submitted, cache_served, coalesced, "
+            "completed, failed, cancelled, rejected).",
+            ("event",),
+        )
+        #: pre-bound per-event children — submit() is the request hot
+        #: path (cache hits included), so label resolution happens once
+        self._event_children = {
+            event: self._jobs_events.labels(event=event)
+            for event in (
+                "submitted",
+                "cache_served",
+                "coalesced",
+                "completed",
+                "failed",
+                "cancelled",
+                "rejected",
+            )
+        }
+        self._compute_seconds = registry.histogram(
+            "repro_job_compute_seconds",
+            "Worker compute duration per completed or failed job.",
+        )
+        self._queue_wait_seconds = registry.histogram(
+            "repro_job_queue_wait_seconds",
+            "Time jobs spend queued before taking a worker slot.",
+        )
+        self._queue_depth_gauge = registry.gauge(
+            "repro_queue_depth", "Jobs waiting for a worker slot."
+        )
+        self._running_gauge = registry.gauge(
+            "repro_jobs_running", "Jobs currently on a worker."
+        )
+        self._adaptive_half_width = registry.gauge(
+            "repro_adaptive_half_width",
+            "Latest adaptive-round CI half-width, per metric name.",
+            ("metric",),
+        )
+        self._adaptive_replications = registry.gauge(
+            "repro_adaptive_replications",
+            "Latest adaptive-round cumulative replications, per metric "
+            "name.",
+            ("metric",),
+        )
+        self._adaptive_rounds = registry.counter(
+            "repro_adaptive_rounds_total",
+            "Adaptive precision rounds observed across all jobs.",
+        )
         self._jobs: Dict[str, Job] = {}
         self._by_key: Dict[str, Job] = {}
         self._heap: List[Tuple[int, int, Job]] = []
@@ -529,6 +677,7 @@ class JobScheduler:
         if self._loop is None:
             raise ServiceError("scheduler not started", status=500)
         self.metrics.submitted += 1
+        self._event_children["submitted"].inc()
         key = spec.cache_key()
         record, source = self.cache.lookup(key)
         if record is not None:
@@ -542,11 +691,13 @@ class JobScheduler:
             job._done.set()
             self._remember(job)
             self.metrics.cache_served += 1
+            self._event_children["cache_served"].inc()
             return job
         active = self._by_key.get(key)
         if active is not None and not active.done:
             active.coalesced += 1
             self.metrics.coalesced += 1
+            self._event_children["coalesced"].inc()
             if active.state == QUEUED and priority > active.priority:
                 # honor the priority contract for coalesced callers: the
                 # shared job escalates to the highest attached priority
@@ -560,6 +711,7 @@ class JobScheduler:
             return active
         if self._queued >= self.queue_limit:
             self.metrics.rejected += 1
+            self._event_children["rejected"].inc()
             raise QueueFullError(
                 f"job queue is full ({self._queued}/{self.queue_limit} "
                 f"queued); retry later or raise --queue-limit"
@@ -632,6 +784,31 @@ class JobScheduler:
             "compute_seconds": metrics.latency_snapshot(),
         }
 
+    def prometheus_text(self) -> str:
+        """The ``GET /metrics?format=prometheus`` exposition body.
+
+        Counters and histograms accumulate live; point-in-time gauges
+        (queue depth, cache occupancy, uptime) are refreshed here so
+        every scrape sees current values.
+        """
+        registry = self.registry
+        self._queue_depth_gauge.set(self._queued)
+        self._running_gauge.set(self._running)
+        registry.gauge(
+            "repro_worker_slots", "Concurrent worker slots."
+        ).set(self.slots)
+        registry.gauge(
+            "repro_uptime_seconds", "Seconds since scheduler start."
+        ).set(time.time() - self.metrics.started_at)
+        stats = self.cache.stats()
+        registry.gauge(
+            "repro_cache_memory_items", "Records in the memory tier."
+        ).set(stats["memory_size"])
+        registry.gauge(
+            "repro_cache_store_records", "Records in the persistent store."
+        ).set(stats["store_records"])
+        return registry.render()
+
     # -- internals -------------------------------------------------------
 
     def _next_id(self) -> str:
@@ -652,6 +829,7 @@ class JobScheduler:
         job.finished = time.time()
         self._queued -= 1
         self.metrics.cancelled += 1
+        self._event_children["cancelled"].inc()
         if self._by_key.get(job.key) is job:
             del self._by_key[job.key]
         job._done.set()
@@ -676,6 +854,18 @@ class JobScheduler:
             self._running += 1
             job.state = RUNNING
             job.started = time.time()
+            job._started_mono = time.perf_counter()
+            wait = job._started_mono - job._created_mono
+            self._queue_wait_seconds.observe(wait)
+            if job.trace is not None:
+                emit_span(
+                    "job.queue_wait",
+                    job.trace.child(),
+                    job.trace.span_id,
+                    job.created,
+                    wait,
+                    job_id=job.id,
+                )
             task = self._loop.create_task(self._run_job(job))
             self._job_tasks.add(task)
             task.add_done_callback(self._job_tasks.discard)
@@ -683,35 +873,98 @@ class JobScheduler:
     async def _run_job(self, job: Job) -> None:
         try:
             if self.procs >= 1:
-                record = await self._loop.run_in_executor(
+                record, obs_payload = await self._loop.run_in_executor(
                     self._executor, _execute_job, job._task()
                 )
             else:
-                record = await self._loop.run_in_executor(
+                record, obs_payload = await self._loop.run_in_executor(
                     self._executor,
                     _execute_job,
                     job._task(),
                     self._thread_progress_put(),
                 )
+            persist_wall = time.time()
+            persist_start = time.perf_counter()
             self.cache.put(record)
+            persist_seconds = time.perf_counter() - persist_start
         except Exception as error:
             job.error = f"{type(error).__name__}: {error}"
             job.state = FAILED
             self.metrics.failed += 1
+            self._event_children["failed"].inc()
         else:
             job.record = record
             job.source = "computed"
             job.state = DONE
             self.metrics.completed += 1
+            self._event_children["completed"].inc()
+            self._absorb_worker_obs(job, obs_payload, persist_seconds)
+            if job.trace is not None:
+                emit_span(
+                    "job.persist",
+                    job.trace.child(),
+                    job.trace.span_id,
+                    persist_wall,
+                    persist_seconds,
+                    job_id=job.id,
+                )
         finally:
             job.finished = time.time()
             if job.started is not None:
-                self.metrics.record_duration(job.finished - job.started)
+                duration = job.finished - job.started
+                self.metrics.record_duration(duration)
+                self._compute_seconds.observe(duration)
+                if duration > self.slow_job_seconds:
+                    _log.warning(
+                        "job.slow",
+                        job_id=job.id,
+                        experiment_id=job.spec.experiment_id,
+                        state=job.state,
+                        duration_seconds=duration,
+                        threshold_seconds=self.slow_job_seconds,
+                    )
+                elif _log.enabled("info"):
+                    _log.info(
+                        "job.finished",
+                        job_id=job.id,
+                        experiment_id=job.spec.experiment_id,
+                        state=job.state,
+                        duration_seconds=duration,
+                        error=job.error,
+                    )
             if self._by_key.get(job.key) is job:
                 del self._by_key[job.key]
             self._running -= 1
             job._done.set()
             self._wakeup.set()
+
+    def _absorb_worker_obs(
+        self, job: Job, obs_payload: object, persist_seconds: float
+    ) -> None:
+        """Fold a worker's observability freight into scheduler state:
+        re-emit its spans (the trace tree crosses the process boundary),
+        merge its metric deltas, and assemble the job's phase timings."""
+        if not isinstance(obs_payload, dict):
+            return
+        for record in obs_payload.get("spans") or []:
+            if isinstance(record, dict):
+                emit_span_record(record)
+        metrics_snapshot = obs_payload.get("metrics")
+        if isinstance(metrics_snapshot, dict) and metrics_snapshot:
+            try:
+                self.registry.merge(metrics_snapshot)
+            except ValueError:
+                pass  # layout drift from a mixed-version worker: skip
+        timings = obs_payload.get("timings")
+        job.timings = {
+            "queue_wait_seconds": (
+                round(job._started_mono - job._created_mono, 6)
+                if job._started_mono is not None
+                else None
+            ),
+            "persist_seconds": round(persist_seconds, 6),
+            "execute": timings if isinstance(timings, dict) else None,
+        }
 
     # -- progress --------------------------------------------------------
 
@@ -736,6 +989,27 @@ class JobScheduler:
         job.progress_history.append(safe)
         if len(job.progress_history) > _MAX_PROGRESS_HISTORY:
             del job.progress_history[0]
+        self._observe_round(safe)
+
+    def _observe_round(self, payload: Mapping) -> None:
+        """Feed adaptive per-round gauges from a round-observer payload."""
+        self._adaptive_rounds.inc()
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, Mapping):
+            return
+        for metric_name, info in metrics.items():
+            if not isinstance(info, Mapping):
+                continue
+            half_width = info.get("half_width")
+            if isinstance(half_width, (int, float)):
+                self._adaptive_half_width.set(
+                    half_width, metric=str(metric_name)
+                )
+            replications = info.get("replications")
+            if isinstance(replications, (int, float)):
+                self._adaptive_replications.set(
+                    replications, metric=str(metric_name)
+                )
 
     async def _drain_progress(self) -> None:
         """Pump worker-process round reports into job state (process mode).

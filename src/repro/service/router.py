@@ -44,9 +44,24 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ModelError
+from ..obs import span, tracing_active
+from ..obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    render_prometheus,
+)
 from .aclient import AsyncHttpClient, ShardUnreachable
 from .errors import ServiceError
-from .http import BaseHttpServer, _experiments_payload, _Request
+from .http import (
+    PROMETHEUS_CONTENT_TYPE,
+    BaseHttpServer,
+    RawResponse,
+    _experiments_payload,
+    _method_not_allowed,
+    _null_context,
+    _Request,
+)
 from .jobs import JobSpec
 from .shard import HashRing
 
@@ -130,6 +145,7 @@ class Router:
         backoff: float = 0.05,
         health_interval: float = 1.0,
         timeout: float = 630.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not shards:
             raise ModelError("router needs at least one shard (name -> url)")
@@ -151,6 +167,43 @@ class Router:
             self._shards[name] = ShardState(name, host, port, timeout)
         self._health_task: Optional[asyncio.Task] = None
         self.started_at = time.time()
+        if registry is None:
+            from ..obs.metrics import default_registry
+
+            registry = default_registry()
+        self.registry = registry
+        self._instrumented = not isinstance(registry, NullRegistry)
+        self._relays = registry.counter(
+            "repro_router_relays_total",
+            "Requests relayed to shards, by shard and outcome.",
+            ("shard", "outcome"),
+        )
+        self._scrapes = registry.counter(
+            "repro_router_scrapes_total",
+            "Per-shard metrics scrapes, by shard and outcome.",
+            ("shard", "outcome"),
+        )
+        self._shards_healthy_gauge = registry.gauge(
+            "repro_router_shards_healthy",
+            "Shards currently passing health probes.",
+        )
+        self._shards_total_gauge = registry.gauge(
+            "repro_router_shards_total", "Shards configured on the ring."
+        )
+        self._uptime_gauge = registry.gauge(
+            "repro_uptime_seconds", "Seconds since the router started."
+        )
+
+    def _relay_span(self, path: str, shard_name: str):
+        """A ``router.relay`` span, or a no-op when uninstrumented.
+
+        The span installs itself as the current trace context, so the
+        shard-bound request's ``X-Repro-Trace`` header (added by
+        :class:`~repro.service.aclient.AsyncHttpClient`) parents the
+        shard's own spans under the relay."""
+        if not self._instrumented or not tracing_active():
+            return _null_context()
+        return span("router.relay", path=path, shard=shard_name)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -241,20 +294,29 @@ class Router:
         """
         last_error: Optional[Exception] = None
         for shard in self._candidates(key):
-            for attempt in range(self.retries + 1):
-                try:
-                    status, body, _ = await shard.client.request(
-                        method, path, payload
-                    )
-                except ShardUnreachable as error:
-                    last_error = error
-                    if attempt < self.retries:
-                        await asyncio.sleep(self.backoff * (2**attempt))
-                        continue
-                    shard.mark_down(error)
-                    break  # fall through to the next preference entry
-                shard.mark_up()
-                return status, body, shard.name
+            with self._relay_span(path, shard.name) as handle:
+                for attempt in range(self.retries + 1):
+                    try:
+                        status, body, _ = await shard.client.request(
+                            method, path, payload
+                        )
+                    except ShardUnreachable as error:
+                        last_error = error
+                        if attempt < self.retries:
+                            await asyncio.sleep(self.backoff * (2**attempt))
+                            continue
+                        shard.mark_down(error)
+                        self._relays.inc(
+                            shard=shard.name, outcome="unreachable"
+                        )
+                        if handle is not None:
+                            handle.fields["outcome"] = "unreachable"
+                        break  # fall through to the next preference entry
+                    shard.mark_up()
+                    self._relays.inc(shard=shard.name, outcome="ok")
+                    if handle is not None:
+                        handle.fields["status"] = status
+                    return status, body, shard.name
         raise ServiceError(
             f"no shard reachable for this request "
             f"({len(self._shards)} configured, all down); last error: "
@@ -295,22 +357,33 @@ class Router:
         """
         shard = self._shard_for_job(job_id)
         if shard is not None:
-            for attempt in range(self.retries + 1):
-                try:
-                    status, body, _ = await shard.client.request(method, path)
-                except ShardUnreachable as error:
-                    if attempt < self.retries:
-                        await asyncio.sleep(self.backoff * (2**attempt))
-                        continue
-                    shard.mark_down(error)
-                    raise ServiceError(
-                        f"shard {shard.name!r} (which owns job {job_id}) is "
-                        f"unreachable: {error}",
-                        status=503,
-                        headers={"Retry-After": "1"},
-                    )
-                shard.mark_up()
-                return status, body, shard.name
+            with self._relay_span(path, shard.name) as handle:
+                for attempt in range(self.retries + 1):
+                    try:
+                        status, body, _ = await shard.client.request(
+                            method, path
+                        )
+                    except ShardUnreachable as error:
+                        if attempt < self.retries:
+                            await asyncio.sleep(self.backoff * (2**attempt))
+                            continue
+                        shard.mark_down(error)
+                        self._relays.inc(
+                            shard=shard.name, outcome="unreachable"
+                        )
+                        if handle is not None:
+                            handle.fields["outcome"] = "unreachable"
+                        raise ServiceError(
+                            f"shard {shard.name!r} (which owns job {job_id}) "
+                            f"is unreachable: {error}",
+                            status=503,
+                            headers={"Retry-After": "1"},
+                        )
+                    shard.mark_up()
+                    self._relays.inc(shard=shard.name, outcome="ok")
+                    if handle is not None:
+                        handle.fields["status"] = status
+                    return status, body, shard.name
         # no recognizable prefix: ask everyone, first non-404 wins
         last: Tuple[int, dict, str] = (
             404,
@@ -363,9 +436,14 @@ class Router:
                 )
             except ShardUnreachable as error:
                 shard.mark_down(error)
+                self._scrapes.inc(shard=shard.name, outcome="unreachable")
                 return shard.name, None
             shard.mark_up()
-            return shard.name, (body if status == 200 else None)
+            if status == 200:
+                self._scrapes.inc(shard=shard.name, outcome="ok")
+                return shard.name, body
+            self._scrapes.inc(shard=shard.name, outcome="error")
+            return shard.name, None
 
         results = await asyncio.gather(
             *(fetch(s) for s in self._shards.values())
@@ -392,6 +470,36 @@ class Router:
             "per_shard": per_shard,
         }
 
+    async def prometheus_text(self) -> str:
+        """The router's ``/metrics`` in Prometheus text exposition.
+
+        Router-local series (request latency, relay and scrape counters,
+        health gauges) come from the router's own registry; cluster-wide
+        job totals are re-scraped from the shards and rendered as gauges
+        (a shard that misses a scrape makes the sum dip, so a counter
+        type would lie about monotonicity).
+        """
+        cluster = await self.cluster_metrics()
+        self._shards_healthy_gauge.set(
+            sum(1 for s in self._shards.values() if s.healthy)
+        )
+        self._shards_total_gauge.set(len(self._shards))
+        self._uptime_gauge.set(time.time() - self.started_at)
+        local = render_prometheus(self.registry.snapshot())
+        summary = MetricsRegistry()
+        jobs_gauge = summary.gauge(
+            "repro_cluster_jobs",
+            "Cluster-wide job counters summed across reachable shards.",
+            ("event",),
+        )
+        for counter, value in cluster["jobs"].items():
+            jobs_gauge.set(value, event=counter)
+        summary.gauge(
+            "repro_cluster_shards_reachable",
+            "Shards that answered the metrics scrape.",
+        ).set(cluster["shards_reachable"])
+        return local + render_prometheus(summary.snapshot())
+
 
 class RouterServer(BaseHttpServer):
     """The router's HTTP front-end (same wire surface as a shard).
@@ -403,9 +511,17 @@ class RouterServer(BaseHttpServer):
     """
 
     def __init__(
-        self, router: Router, host: str = "127.0.0.1", port: int = 8750
+        self,
+        router: Router,
+        host: str = "127.0.0.1",
+        port: int = 8750,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
-        super().__init__(host=host, port=port)
+        super().__init__(
+            host=host,
+            port=port,
+            registry=registry if registry is not None else router.registry,
+        )
         self.router = router
 
     async def _route(self, request: _Request):
@@ -413,23 +529,28 @@ class RouterServer(BaseHttpServer):
         segments = [part for part in path.split("/") if part]
         if path == "/healthz":
             if method != "GET":
-                return 405, {"error": "use GET /healthz"}
+                return _method_not_allowed(path, "GET")
             return self.router.healthz_payload()
         if path == "/metrics":
             if method != "GET":
-                return 405, {"error": "use GET /metrics"}
+                return _method_not_allowed(path, "GET")
+            if request.wants_prometheus():
+                text = await self.router.prometheus_text()
+                return 200, RawResponse(
+                    text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+                )
             return 200, await self.router.cluster_metrics()
         if path == "/shards":
             if method != "GET":
-                return 405, {"error": "use GET /shards"}
+                return _method_not_allowed(path, "GET")
             return 200, self.router.shards_payload()
         if path == "/experiments":
             if method != "GET":
-                return 405, {"error": "use GET /experiments"}
+                return _method_not_allowed(path, "GET")
             return 200, _experiments_payload()  # registry is shared code
         if path == "/run":
             if method != "POST":
-                return 405, {"error": "use POST /run"}
+                return _method_not_allowed(path, "POST")
             status, body, shard = await self.router.forward_run(
                 request.json()
             )
@@ -439,7 +560,7 @@ class RouterServer(BaseHttpServer):
         if segments and segments[0] == "jobs":
             if len(segments) == 1:
                 if method != "GET":
-                    return 405, {"error": "use GET /jobs"}
+                    return _method_not_allowed("/jobs", "GET")
                 return 200, await self._merged_jobs()
             job_id = segments[1]
             status, body, shard = await self.router.forward_job(
@@ -494,6 +615,7 @@ class ThreadedRouter:
         retries: int = 1,
         backoff: float = 0.05,
         health_interval: float = 0.25,
+        instrument: bool = True,
     ) -> None:
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
@@ -504,11 +626,15 @@ class ThreadedRouter:
 
         def _main() -> None:
             async def _run() -> None:
+                # a fresh registry per hosted router keeps concurrently
+                # hosted instances (tests, the bench) from mixing counters
+                registry = MetricsRegistry() if instrument else NULL_REGISTRY
                 router = Router(
                     shards,
                     retries=retries,
                     backoff=backoff,
                     health_interval=health_interval,
+                    registry=registry,
                 )
                 await router.start()
                 server = RouterServer(router, host=host, port=port)

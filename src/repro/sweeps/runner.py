@@ -43,10 +43,26 @@ from ..errors import ModelError
 from ..experiments import run_experiment
 from ..experiments.base import set_engine_config
 from ..mc.batch import run_tasks
+from ..obs import get_logger
 from ..store import ResultStore, make_record
 from .spec import SweepPoint, SweepSpec
 
 __all__ = ["Sweep", "SweepReport", "allocate_budgets", "record_sigma"]
+
+_log = get_logger("repro.sweeps")
+
+
+def _log_point(point: SweepPoint, status: str, **fields: object) -> None:
+    """One structured event per sweep point (``--log-level info``)."""
+    if _log.enabled("info"):
+        _log.info(
+            "sweep.point",
+            experiment_id=point.experiment_id,
+            seed=point.seed,
+            fast=point.fast,
+            status=status,
+            **fields,
+        )
 
 # one sweep-point task: everything a worker process needs, all picklable
 _PointTask = Tuple[str, int, bool, Tuple[Tuple[str, object], ...], str, int]
@@ -306,6 +322,7 @@ class Sweep:
             if not record["result"]["passed"]:
                 report.failed_keys.append(key)
             report.outcomes.append((point, "cached"))
+            _log_point(point, "cached")
             if progress is not None:
                 progress(point, "cached")
         if not pending:
@@ -334,6 +351,7 @@ class Sweep:
             if not record["result"]["passed"]:
                 report.failed_keys.append(record["key"])
             report.outcomes.append((point, "executed"))
+            _log_point(point, "executed", key=record["key"])
             if progress is not None:
                 progress(point, "executed")
 
@@ -389,6 +407,7 @@ class Sweep:
             if not self.store.get(key)["result"]["passed"]:
                 report.failed_keys.append(key)
             report.outcomes.append((point, "cached"))
+            _log_point(point, "cached")
             if progress is not None:
                 progress(point, "cached")
         if not pending:
@@ -423,6 +442,7 @@ class Sweep:
                 if not record["result"]["passed"]:
                     report.failed_keys.append(record["key"])
                 report.outcomes.append((point, status))
+                _log_point(point, status, key=record["key"], via="service")
                 if progress is not None:
                     progress(point, status)
         return report

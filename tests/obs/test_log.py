@@ -1,0 +1,90 @@
+"""Structured logging: formats, level gating, destinations."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import configure_logging, get_logger, logging_config
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    previous = logging_config()
+    yield
+    configure_logging(**previous)
+
+
+def _capture(level="info", format="json"):
+    stream = io.StringIO()
+    configure_logging(level=level, format=format, stream=stream)
+    return stream
+
+
+class TestJsonFormat:
+    def test_one_json_object_per_line(self):
+        stream = _capture()
+        log = get_logger("repro.test")
+        log.info("job.done", job_id="j1", seconds=1.5)
+        log.info("job.done", job_id="j2", seconds=0.5)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "job.done"
+        assert first["logger"] == "repro.test"
+        assert first["level"] == "info"
+        assert first["job_id"] == "j1"
+        assert isinstance(first["ts"], float)
+
+    def test_non_json_safe_values_reprd(self):
+        stream = _capture()
+        get_logger("t").info("event", weird=object())
+        record = json.loads(stream.getvalue())
+        assert "object object" in record["weird"]
+
+
+class TestHumanFormat:
+    def test_renders_level_event_and_fields(self):
+        stream = _capture(format="human")
+        get_logger("t").warning("cache.full", size=10)
+        line = stream.getvalue()
+        assert "cache.full" in line
+        assert "size=10" in line
+        assert "WARNING" in line.upper() or "warning" in line
+
+
+class TestLevelGating:
+    def test_below_level_suppressed(self):
+        stream = _capture(level="warning")
+        log = get_logger("t")
+        log.debug("quiet")
+        log.info("quiet")
+        log.warning("loud")
+        assert stream.getvalue().count("\n") == 1
+
+    def test_enabled_matches_emission(self):
+        _capture(level="info")
+        log = get_logger("t")
+        assert log.enabled("info") is True
+        assert log.enabled("debug") is False
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loudest")
+        with pytest.raises(ValueError):
+            configure_logging(format="xml")
+
+
+class TestFileDestination:
+    def test_events_append_to_file(self, tmp_path):
+        target = tmp_path / "service.jsonl"
+        configure_logging(level="info", format="json", file=str(target))
+        get_logger("t").info("boot", port=80)
+        configure_logging()  # closes the owned handle
+        record = json.loads(target.read_text().strip())
+        assert record["event"] == "boot"
+        assert record["port"] == 80
+
+    def test_config_reports_current_state(self):
+        configure_logging(level="debug", format="json")
+        assert logging_config() == {"level": "debug", "format": "json"}

@@ -1,0 +1,138 @@
+"""Prometheus text exposition 0.0.4 conformance: render and strict parse."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestRender:
+    def test_help_and_type_lines(self, registry):
+        registry.counter("jobs_total", "Jobs seen.").inc()
+        text = registry.render()
+        assert "# HELP jobs_total Jobs seen.\n" in text
+        assert "# TYPE jobs_total counter\n" in text
+        assert text.endswith("\n")
+
+    def test_label_value_escaping(self, registry):
+        counter = registry.counter("c_total", "", ("path",))
+        counter.inc(path='a\\b"c\nd')
+        text = registry.render()
+        assert 'path="a\\\\b\\"c\\nd"' in text
+
+    def test_help_newline_escaping(self, registry):
+        registry.counter("c_total", "line one\nline two").inc()
+        assert "# HELP c_total line one\\nline two\n" in registry.render()
+
+    def test_histogram_expands_cumulative_buckets(self, registry):
+        histogram = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 2' in text
+        assert 'h_seconds_bucket{le="+Inf"} 3' in text
+        assert "h_seconds_count 3" in text
+        assert "h_seconds_sum 5.55" in text
+
+    def test_families_sorted_by_name(self, registry):
+        registry.counter("zzz_total").inc()
+        registry.counter("aaa_total").inc()
+        text = registry.render()
+        assert text.index("aaa_total") < text.index("zzz_total")
+
+
+class TestRoundTrip:
+    def test_render_then_parse_preserves_samples(self, registry):
+        counter = registry.counter("jobs_total", "Jobs.", ("event",))
+        counter.inc(3, event="done")
+        counter.inc(event='weird"value\n')
+        histogram = registry.histogram("lat_seconds", buckets=(0.1,))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        registry.gauge("depth").set(4)
+
+        families = parse_prometheus_text(registry.render())
+        assert families["jobs_total"]["type"] == "counter"
+        samples = {
+            tuple(sorted(labels.items())): value
+            for _, labels, value in families["jobs_total"]["samples"]
+        }
+        assert samples[(("event", "done"),)] == 3.0
+        assert samples[(("event", 'weird"value\n'),)] == 1.0
+        histogram_samples = {
+            (name, labels.get("le")): value
+            for name, labels, value in families["lat_seconds"]["samples"]
+        }
+        assert histogram_samples[("lat_seconds_bucket", "0.1")] == 1.0
+        assert histogram_samples[("lat_seconds_bucket", "+Inf")] == 2.0
+        assert histogram_samples[("lat_seconds_count", None)] == 2.0
+        assert families["depth"]["samples"][0][2] == 4.0
+
+
+class TestStrictParse:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("lonely_total 1\n")
+
+    def test_malformed_labels_rejected(self):
+        text = '# TYPE c counter\nc{bad} 1\n'
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
+
+    def test_negative_counter_rejected(self):
+        text = "# TYPE c counter\nc -1\n"
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
+
+    def test_non_monotonic_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            "h_sum 1\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
+
+    def test_count_inf_disagreement_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
+
+    def test_special_values_parse(self):
+        text = "# TYPE g gauge\ng{k=\"inf\"} +Inf\ng{k=\"nan\"} NaN\n"
+        families = parse_prometheus_text(text)
+        values = {
+            labels["k"]: value
+            for _, labels, value in families["g"]["samples"]
+        }
+        assert math.isinf(values["inf"])
+        assert math.isnan(values["nan"])

@@ -1,0 +1,64 @@
+"""Phase timers: accumulation, residual setup, ambient nesting."""
+
+import time
+
+from repro.obs import PhaseTimer, collect_timings, current_timer
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate_across_reentry(self):
+        timer = PhaseTimer()
+        with timer.phase("sampling"):
+            pass
+        with timer.phase("sampling"):
+            pass
+        payload = timer.payload()
+        assert payload["phases"]["sampling"] >= 0.0
+        assert payload["total_seconds"] >= 0.0
+
+    def test_add_phase_clamps_negative(self):
+        timer = PhaseTimer()
+        timer.add_phase("scoring", -5.0)
+        assert timer.phases["scoring"] == 0.0
+
+    def test_chunks_and_tasks_accumulate(self):
+        timer = PhaseTimer()
+        timer.add_chunks(2, tasks=8)
+        timer.add_chunks(1, tasks=4)
+        payload = timer.payload()
+        assert payload["chunks"] == 3
+        assert payload["tasks"] == 12
+
+    def test_setup_residual_makes_phases_sum_to_total(self):
+        timer = PhaseTimer()
+        with timer.phase("sampling"):
+            time.sleep(0.01)
+        time.sleep(0.01)  # unattributed work -> lands in "setup"
+        payload = timer.payload()
+        assert payload["phases"]["setup"] > 0.0
+        assert sum(payload["phases"].values()) == (
+            __import__("pytest").approx(
+                payload["total_seconds"], abs=2e-3
+            )
+        )
+
+    def test_extra_fields_attach_without_clobbering(self):
+        payload = PhaseTimer().payload(engine="batch", chunks="nope")
+        assert payload["engine"] == "batch"
+        assert payload["chunks"] == 0  # the real counter wins
+
+
+class TestAmbientActivation:
+    def test_inactive_by_default(self):
+        assert current_timer() is None
+
+    def test_collect_timings_installs_and_restores(self):
+        with collect_timings() as timer:
+            assert current_timer() is timer
+        assert current_timer() is None
+
+    def test_nested_activations_stack(self):
+        with collect_timings() as outer:
+            with collect_timings() as inner:
+                assert current_timer() is inner
+            assert current_timer() is outer

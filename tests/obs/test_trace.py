@@ -1,0 +1,165 @@
+"""Trace context, header codec, span nesting and capture modes."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    TRACE_HEADER,
+    TraceContext,
+    capture_spans,
+    current_trace,
+    emit_span,
+    emit_span_record,
+    format_trace_header,
+    new_trace_context,
+    parse_trace_header,
+    set_trace_context,
+    span,
+    tracing_active,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_context():
+    previous = set_trace_context(None)
+    yield
+    set_trace_context(previous)
+
+
+class TestHeaderCodec:
+    def test_round_trip(self):
+        context = new_trace_context()
+        parsed = parse_trace_header(format_trace_header(context))
+        assert parsed == context
+
+    def test_header_name(self):
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+    @pytest.mark.parametrize(
+        "value",
+        [None, "", "nodash", "UPPER-case", "xyz-", "-abc", "g" * 8 + "-ab"],
+    )
+    def test_invalid_headers_dropped_not_raised(self, value):
+        assert parse_trace_header(value) is None
+
+    def test_whitespace_tolerated(self):
+        context = TraceContext("ab12", "cd34")
+        assert parse_trace_header("  ab12-cd34\r\n") == context
+
+
+class TestSpanNesting:
+    def test_nested_spans_parent_correctly(self):
+        with capture_spans() as records:
+            with span("outer") as outer:
+                with span("inner"):
+                    pass
+        by_name = {r["name"]: r for r in records}
+        assert by_name["inner"]["parent_id"] == outer.context.span_id
+        assert (
+            by_name["inner"]["trace_id"] == by_name["outer"]["trace_id"]
+        )
+        # inner is emitted first (exits first)
+        assert records[0]["name"] == "inner"
+
+    def test_span_installs_and_restores_context(self):
+        assert current_trace() is None
+        with capture_spans():
+            with span("outer") as handle:
+                assert current_trace() == handle.context
+        assert current_trace() is None
+
+    def test_span_continues_incoming_trace(self):
+        incoming = TraceContext("deadbeef" * 4, "cafe" * 4)
+        set_trace_context(incoming)
+        with capture_spans() as records:
+            with span("work"):
+                pass
+        assert records[0]["trace_id"] == incoming.trace_id
+        assert records[0]["parent_id"] == incoming.span_id
+
+    def test_error_annotates_span(self):
+        with capture_spans() as records:
+            with pytest.raises(RuntimeError):
+                with span("failing"):
+                    raise RuntimeError("boom")
+        assert records[0]["error"] == "RuntimeError"
+
+    def test_duration_is_positive(self):
+        with capture_spans() as records:
+            with span("timed"):
+                pass
+        assert records[0]["duration_seconds"] >= 0.0
+
+    def test_handle_fields_land_on_record(self):
+        with capture_spans() as records:
+            with span("work", static="x") as handle:
+                handle.fields["status"] = 200
+        assert records[0]["static"] == "x"
+        assert records[0]["status"] == 200
+
+
+class TestCaptureModes:
+    def test_additive_capture_sees_other_threads(self):
+        def worker():
+            with span("thread.work"):
+                pass
+
+        with capture_spans() as records:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert [r["name"] for r in records] == ["thread.work"]
+
+    def test_exclusive_capture_diverts_from_sinks(self):
+        with capture_spans() as outer:
+            with capture_spans(exclusive=True) as inner:
+                with span("hidden"):
+                    pass
+        assert [r["name"] for r in inner] == ["hidden"]
+        assert outer == []  # never reached the additive sink
+
+    def test_exclusive_capture_is_context_local(self):
+        seen = []
+
+        def other_thread():
+            with capture_spans() as records:
+                with span("visible"):
+                    pass
+            seen.extend(records)
+
+        with capture_spans(exclusive=True) as inner:
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert inner == []  # the other thread's spans were not diverted
+        assert [r["name"] for r in seen] == ["visible"]
+
+    def test_reemitted_records_preserve_ids(self):
+        with capture_spans(exclusive=True) as shipped:
+            with span("worker.op"):
+                pass
+        with capture_spans() as parent_side:
+            for record in shipped:
+                emit_span_record(dict(record))
+        assert parent_side[0]["span_id"] == shipped[0]["span_id"]
+        assert parent_side[0]["trace_id"] == shipped[0]["trace_id"]
+
+
+class TestActivityGuard:
+    def test_inactive_without_sinks(self):
+        assert tracing_active() is False
+
+    def test_active_inside_capture(self):
+        with capture_spans():
+            assert tracing_active() is True
+        with capture_spans(exclusive=True):
+            assert tracing_active() is True
+
+    def test_emit_span_noop_when_inactive(self):
+        # must not raise and must not leak records anywhere
+        emit_span("orphan", new_trace_context(), None, 0.0, 0.1)
+
+    def test_spans_dropped_when_inactive(self):
+        with span("unobserved"):
+            pass  # nothing to assert beyond "does not raise"

@@ -1,0 +1,206 @@
+"""Observability through the service stack: metrics formats, traces,
+HEAD/405 semantics, and scrapes under concurrent load."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import parse_prometheus_text
+from repro.service import ServiceClient, ServiceError
+from repro.service.http import ThreadedServer
+from repro.service.router import ThreadedRouter
+
+
+@pytest.fixture(scope="module")
+def shard(tmp_path_factory):
+    store = tmp_path_factory.mktemp("obs_shard_store")
+    with ThreadedServer(
+        store_path=store, procs=0, queue_limit=64, name="s0"
+    ) as hosted:
+        yield hosted
+
+
+@pytest.fixture(scope="module")
+def router(shard):
+    with ThreadedRouter({"s0": shard.url}) as hosted:
+        yield hosted
+
+
+@pytest.fixture()
+def client(router):
+    with ServiceClient(router.url) as bound:
+        yield bound
+
+
+@pytest.fixture()
+def shard_client(shard):
+    with ServiceClient(shard.url) as bound:
+        yield bound
+
+
+def _raw(url, method, path, headers=None):
+    host, port = url.split("//")[1].rsplit(":", 1)
+    connection = http.client.HTTPConnection(host, int(port), timeout=30)
+    try:
+        connection.request(method, path, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestMetricsFormats:
+    def test_legacy_json_is_the_default(self, client, shard_client):
+        client.run("x3", seed=301)
+        for bound in (client, shard_client):
+            payload = bound.metrics()
+            assert "jobs" in payload or "shards" in payload
+
+    def test_prometheus_via_query_param(self, shard_client):
+        families = shard_client.metrics(format="prometheus")
+        assert families["repro_http_requests_total"]["type"] == "counter"
+        assert (
+            families["repro_http_request_seconds"]["type"] == "histogram"
+        )
+
+    def test_prometheus_via_accept_header(self, shard):
+        status, headers, body = _raw(
+            shard.url,
+            "GET",
+            "/metrics",
+            {"Accept": "text/plain"},
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        parse_prometheus_text(body.decode("utf-8"))  # strict
+
+    def test_router_exposition_includes_cluster_summary(self, client):
+        client.run("x3", seed=302)
+        families = client.metrics(format="prometheus")
+        assert "repro_cluster_jobs" in families
+        assert "repro_router_relays_total" in families
+        assert "repro_router_shards_healthy" in families
+        healthy = families["repro_router_shards_healthy"]["samples"]
+        assert healthy[0][2] == 1.0
+
+    def test_evictions_exposed_in_both_formats(self, shard_client):
+        payload = shard_client.metrics()
+        assert "evictions" in payload["cache"]
+        families = shard_client.metrics(format="prometheus")
+        assert (
+            families["repro_cache_evictions_total"]["type"] == "counter"
+        )
+
+    def test_unparsed_prometheus_text(self, shard_client):
+        text = shard_client.metrics(format="prometheus", parse=False)
+        assert isinstance(text, str)
+        assert "# TYPE repro_http_requests_total counter" in text
+
+    def test_request_metrics_move_after_requests(self, shard_client):
+        shard_client.healthz()
+        families = shard_client.metrics(format="prometheus")
+        totals = [
+            value
+            for name, labels, value in families["repro_http_requests_total"][
+                "samples"
+            ]
+            if labels.get("route") == "/healthz"
+        ]
+        assert sum(totals) >= 1.0
+
+
+class TestTracePropagation:
+    def test_job_echoes_client_trace_id(self, client):
+        job = client.run("x3", seed=303)
+        assert client.last_trace_id
+        assert job["trace_id"] == client.last_trace_id
+
+    def test_trace_id_survives_status_polls(self, client):
+        submitted = client.submit("x3", seed=304, wait=False)
+        submit_trace = submitted["trace_id"]
+        done = client.wait(submitted["id"], timeout=60)
+        # the job keeps its submitting request's trace, not the poll's
+        assert done["trace_id"] == submit_trace
+
+    def test_direct_shard_requests_are_traced_too(self, shard_client):
+        job = shard_client.run("x3", seed=305)
+        assert job["trace_id"] == shard_client.last_trace_id
+
+
+class TestMethodSemantics:
+    @pytest.mark.parametrize("fixture", ["shard", "router"])
+    def test_405_carries_allow_header(self, fixture, request):
+        url = request.getfixturevalue(fixture).url
+        status, headers, body = _raw(url, "DELETE", "/metrics")
+        assert status == 405
+        allow = headers["Allow"].replace(" ", "").split(",")
+        assert "GET" in allow and "HEAD" in allow
+        assert "error" in json.loads(body)
+
+    @pytest.mark.parametrize("fixture", ["shard", "router"])
+    def test_post_only_routes_say_so(self, fixture, request):
+        url = request.getfixturevalue(fixture).url
+        status, headers, _ = _raw(url, "GET", "/run")
+        assert status == 405
+        assert "POST" in headers["Allow"]
+
+    @pytest.mark.parametrize("fixture", ["shard", "router"])
+    def test_head_matches_get_minus_body(self, fixture, request):
+        url = request.getfixturevalue(fixture).url
+        get_status, get_headers, get_body = _raw(url, "GET", "/healthz")
+        head_status, head_headers, head_body = _raw(
+            url, "HEAD", "/healthz"
+        )
+        assert head_status == get_status == 200
+        assert head_body == b""
+        # Content-Length still advertises the GET body size (RFC 9110)
+        assert int(head_headers["Content-Length"]) > 0
+
+
+class TestScrapeUnderLoad:
+    def test_concurrent_scrapes_parse_while_serving(self, router):
+        errors = []
+        stop = threading.Event()
+
+        def hammer(seed_base):
+            try:
+                with ServiceClient(router.url) as bound:
+                    for offset in range(6):
+                        bound.run("x3", seed=seed_base + offset)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def scrape():
+            with ServiceClient(router.url) as bound:
+                while not stop.is_set():
+                    families = bound.metrics(format="prometheus")
+                    assert "repro_http_requests_total" in families
+
+        workers = [
+            threading.Thread(target=hammer, args=(400 + 100 * n,))
+            for n in range(3)
+        ]
+        scraper = threading.Thread(target=scrape)
+        for thread in workers:
+            thread.start()
+        scraper.start()
+        for thread in workers:
+            thread.join()
+        scraper.join()
+        assert errors == []
+
+    def test_scrape_totals_match_job_activity(self, shard_client):
+        shard_client.run("x3", seed=399)
+        families = shard_client.metrics(format="prometheus")
+        submitted = sum(
+            value
+            for _, labels, value in families["repro_jobs_total"]["samples"]
+            if labels.get("event") == "submitted"
+        )
+        legacy = shard_client.metrics()["jobs"]["submitted"]
+        assert submitted == legacy

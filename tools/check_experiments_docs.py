@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Check docs/experiments.md and docs/kernels.md against the code.
+"""Check docs/experiments.md, docs/kernels.md and docs/observability.md
+against the code.
 
 The experiment catalog must list exactly the ids returned by
 ``repro.experiments.all_experiment_ids()`` — no missing rows, no stale
-rows — and the kernel-backend page must document exactly the engine
+rows — the kernel-backend page must document exactly the engine
 names the CLI accepts plus every ``*_compiled`` driver ``repro.mc``
-exports.  Run from the repository root (CI runs it in the docs job)::
+exports, and the observability page's metric catalog and span taxonomy
+must cover exactly the families and span names the code registers.
+Run from the repository root (CI runs it in the docs job)::
 
     PYTHONPATH=src python tools/check_experiments_docs.py
 
@@ -112,6 +115,73 @@ def check_kernels_doc() -> list:
     return problems
 
 
+OBS_DOC = _DOCS / "observability.md"
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# instrument registrations: .counter("repro_x", ...) across line breaks
+_METRIC_REG_PATTERN = re.compile(
+    r'\.(?:counter|gauge|histogram)\(\s*"(repro_[a-z0-9_]+)"'
+)
+# span openings: span("name"|emit_span("name" (also matches _obs_span()
+_SPAN_PATTERN = re.compile(r'(?:emit_span|span)\(\s*"([a-z_]+(?:\.[a-z_]+)+)"')
+
+
+def registered_metric_families() -> set:
+    """Every metric family name registered anywhere under src/repro."""
+    names = set()
+    for path in sorted(_SRC.rglob("*.py")):
+        names.update(_METRIC_REG_PATTERN.findall(path.read_text()))
+    return names
+
+
+def emitted_span_names() -> set:
+    """Every span name opened or emitted anywhere under src/repro."""
+    names = set()
+    for path in sorted(_SRC.rglob("*.py")):
+        names.update(_SPAN_PATTERN.findall(path.read_text()))
+    return names
+
+
+def check_observability_doc() -> list:
+    """Problems with docs/observability.md, as printable strings.
+
+    The metric catalog must name every family the code registers (and
+    nothing the code doesn't), and the span taxonomy must cover every
+    span name the code emits — so the page can never silently lag a
+    rename or a new instrument.
+    """
+    problems = []
+    if not OBS_DOC.exists():
+        return [f"missing observability page: {OBS_DOC}"]
+    text = OBS_DOC.read_text()
+    documented_metrics = set(
+        re.findall(r"`(repro_[a-z0-9_]+)`", text)
+    )
+    registered = registered_metric_families()
+    missing = sorted(registered - documented_metrics)
+    stale = sorted(documented_metrics - registered)
+    if missing:
+        problems.append(
+            f"metric families registered in code but missing from the "
+            f"docs/observability.md catalog: {missing}"
+        )
+    if stale:
+        problems.append(
+            f"metric families documented in docs/observability.md but "
+            f"not registered anywhere in code: {stale}"
+        )
+    documented_spans = set(
+        re.findall(r"`([a-z_]+(?:\.[a-z_]+)+)`", text)
+    )
+    undocumented_spans = sorted(emitted_span_names() - documented_spans)
+    if undocumented_spans:
+        problems.append(
+            f"span names emitted in code but missing from the "
+            f"docs/observability.md taxonomy: {undocumented_spans}"
+        )
+    return problems
+
+
 def main() -> int:
     from repro.experiments import all_experiment_ids
 
@@ -141,6 +211,7 @@ def main() -> int:
         registered, catalog_rows(text), runner_params
     )
     kernel_problems = check_kernels_doc()
+    obs_problems = check_observability_doc()
     if not (
         missing
         or extra
@@ -149,12 +220,18 @@ def main() -> int:
         or overmarked
         or missing_knobs
         or kernel_problems
+        or obs_problems
     ):
         print(
             f"docs/experiments.md in sync: {len(registered)} experiment "
             f"ids, {len(capable)} precision-capable"
         )
         print("docs/kernels.md in sync: engine matrix and compiled drivers")
+        print(
+            f"docs/observability.md in sync: "
+            f"{len(registered_metric_families())} metric families, "
+            f"{len(emitted_span_names())} span names"
+        )
         return 0
     if missing:
         print(f"ids registered but not documented: {missing}", file=sys.stderr)
@@ -180,6 +257,8 @@ def main() -> int:
             file=sys.stderr,
         )
     for problem in kernel_problems:
+        print(problem, file=sys.stderr)
+    for problem in obs_problems:
         print(problem, file=sys.stderr)
     return 1
 

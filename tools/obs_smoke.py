@@ -1,0 +1,170 @@
+"""Live observability smoke: traces, metrics and logs across a cluster.
+
+Boots a real 2-shard cluster (serve subprocesses logging JSON spans at
+debug level to per-shard files, fronted by an in-thread router whose
+spans are captured in-process), then asserts the observability layer
+end to end:
+
+1. a burst of ``POST /run`` requests through the router completes;
+2. the router's and every shard's ``/metrics?format=prometheus`` pass
+   the strict exposition parser and carry the expected families
+   (request latency histograms, relay/scrape counters, cache and job
+   counters);
+3. one traced request's spans — merged from the shard log files and
+   the in-process router capture — reconstruct into a single tree
+   containing the full ``http.request → router.relay → http.request →
+   job.queue_wait / job.execute / job.persist`` chain, every span with
+   a non-zero monotonic duration.
+
+Exit status is non-zero on the first violated check.  CI runs this as
+the ``obs-smoke`` job; locally::
+
+    PYTHONPATH=src python tools/obs_smoke.py
+"""
+
+import json
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import trace_tree  # noqa: E402
+from repro.obs import capture_spans  # noqa: E402
+from repro.service import LocalCluster, ServiceClient  # noqa: E402
+
+EXPERIMENT = "a5"
+BURST = 8
+
+REQUIRED_SPANS = (
+    "http.request",
+    "router.relay",
+    "job.queue_wait",
+    "job.execute",
+    "job.persist",
+)
+
+SHARD_FAMILIES = (
+    "repro_http_request_seconds",
+    "repro_http_requests_total",
+    "repro_jobs_total",
+    "repro_job_compute_seconds",
+    "repro_job_queue_wait_seconds",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_evictions_total",
+    "repro_queue_depth",
+)
+
+ROUTER_FAMILIES = (
+    "repro_http_request_seconds",
+    "repro_router_relays_total",
+    "repro_router_scrapes_total",
+    "repro_router_shards_healthy",
+    "repro_cluster_jobs",
+)
+
+
+def _check(condition, label, detail=""):
+    if not condition:
+        print(f"FAIL: {label} {detail}".rstrip(), file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {label}")
+
+
+def _burst(url):
+    def fire(seed):
+        with ServiceClient(url) as client:
+            return client.run(EXPERIMENT, seed=seed)
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        jobs = list(pool.map(fire, range(BURST)))
+    _check(
+        all(job["state"] == "done" for job in jobs),
+        f"burst of {BURST} routed runs all completed",
+    )
+
+
+def _prometheus_check(url, families_required, label):
+    # the strict parser *is* the conformance check: bad escaping,
+    # non-monotonic buckets or a missing +Inf would raise here
+    with ServiceClient(url) as client:
+        families = client.metrics(format="prometheus")
+    missing = [
+        name for name in families_required if name not in families
+    ]
+    _check(
+        not missing,
+        f"{label} prometheus exposition parses strictly "
+        f"({len(families)} families)",
+        f"(missing: {missing})",
+    )
+    return families
+
+
+def _trace_check(url, log_dir, router_spans):
+    with ServiceClient(url) as client:
+        job = client.run(EXPERIMENT, seed=990_777)
+        trace_id = client.last_trace_id
+    _check(
+        job.get("trace_id") == trace_id,
+        "job payload echoes the client's trace id",
+        f"(sent {trace_id}, got {job.get('trace_id')})",
+    )
+    spans = [
+        record
+        for record in router_spans
+        if record.get("trace_id") == trace_id
+    ]
+    for log_path in sorted(Path(log_dir).glob("*.jsonl")):
+        with open(log_path, "r", encoding="utf-8") as handle:
+            spans.extend(
+                record
+                for record in trace_tree.read_spans(handle)
+                if record.get("trace_id") == trace_id
+            )
+    names = {span.get("name") for span in spans}
+    missing = [name for name in REQUIRED_SPANS if name not in names]
+    _check(
+        not missing,
+        f"trace {trace_id[:8]}… covers the full span chain "
+        f"({len(spans)} spans)",
+        f"(missing: {missing})",
+    )
+    zero = [
+        span["name"]
+        for span in spans
+        if span.get("name") in REQUIRED_SPANS
+        and not float(span.get("duration_seconds") or 0) > 0
+    ]
+    _check(not zero, "every span has a non-zero duration", f"({zero})")
+    print(trace_tree.render_trace(trace_id, spans))
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="obs_smoke_") as tmp:
+        log_dir = Path(tmp) / "logs"
+        with capture_spans() as router_spans:
+            with LocalCluster(
+                2,
+                str(Path(tmp) / "stores"),
+                log_dir=str(log_dir),
+                log_level="debug",
+            ) as cluster:
+                url = cluster.url
+                print(f"cluster up: router {url}, shards s0/s1")
+                _burst(url)
+                _prometheus_check(url, ROUTER_FAMILIES, "router")
+                for shard in cluster.shards:
+                    _prometheus_check(
+                        shard.url, SHARD_FAMILIES, f"shard {shard.name}"
+                    )
+                _trace_check(url, log_dir, router_spans)
+    print("obs smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

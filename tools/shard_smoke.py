@@ -136,6 +136,35 @@ def _failover_check(url, cluster, home):
         )
 
 
+def _health_summary(url):
+    """One line of cluster health off the router's Prometheus view."""
+
+    def total(families, name, **labels):
+        family = families.get(name)
+        if family is None:
+            return 0
+        return sum(
+            value
+            for _, sample_labels, value in family["samples"]
+            if all(sample_labels.get(k) == v for k, v in labels.items())
+        )
+
+    with ServiceClient(url) as client:
+        families = client.metrics(format="prometheus")
+    healthy = total(families, "repro_router_shards_healthy")
+    configured = total(families, "repro_router_shards_total")
+    completed = total(families, "repro_cluster_jobs", event="completed")
+    relays = total(families, "repro_router_relays_total", outcome="ok")
+    failed_relays = (
+        total(families, "repro_router_relays_total") - relays
+    )
+    print(
+        f"cluster health: {healthy:.0f}/{configured:.0f} shards healthy, "
+        f"{completed:.0f} jobs completed, {relays:.0f} relays ok, "
+        f"{failed_relays:.0f} relay failures"
+    )
+
+
 def run_smoke(backend):
     print(f"--- backend: {backend} ---")
     with tempfile.TemporaryDirectory(prefix="shard_smoke_") as tmp:
@@ -145,6 +174,7 @@ def run_smoke(backend):
             home = _spread_check(url)
             _coalesce_check(url)
             _failover_check(url, cluster, home)
+            _health_summary(url)
 
 
 def main(argv=None):

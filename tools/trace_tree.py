@@ -1,0 +1,198 @@
+"""Reconstruct and pretty-print span trees from JSON-lines trace logs.
+
+The tracing layer (``repro.obs``) emits spans as flat JSON records —
+one per line when logging runs with ``--log-format json --log-level
+debug`` — each carrying ``trace_id``/``span_id``/``parent_id`` and a
+monotonic ``duration_seconds``.  This tool reads one or more such logs
+(or stdin), groups the spans by trace, stitches each trace back into a
+tree via the parent ids, and prints it indented::
+
+    PYTHONPATH=src python tools/trace_tree.py shard-logs/*.jsonl
+
+    trace 8f3a... (5 spans, 0.312s)
+    └─ http.request method=POST path=/run 0.310s
+       └─ router.relay shard=s1 0.305s
+          └─ http.request method=POST path=/run 0.301s
+             ├─ job.queue_wait 0.001s
+             └─ job.execute experiment_id=e01 0.290s
+
+CI gating: ``--require name1,name2,...`` exits non-zero unless at
+least one trace contains *every* required span name — the obs-smoke
+job uses it to assert that a routed ``POST /run`` produced the full
+router-relay → queue-wait → execute → persist chain.  ``--trace ID``
+restricts output to one trace; spans whose parent never reached the
+log print as additional roots rather than being dropped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterable, List, Optional
+
+_SKIP_FIELDS = {
+    "event",
+    "name",
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "ts",
+    "duration_seconds",
+    "level",
+    "logger",
+}
+
+
+def read_spans(lines: Iterable[str]) -> List[dict]:
+    """Span records out of JSON-lines input; non-span lines are skipped."""
+    spans = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        if record.get("event") != "span":
+            continue
+        if "trace_id" not in record or "span_id" not in record:
+            continue
+        spans.append(record)
+    return spans
+
+
+def group_traces(spans: List[dict]) -> Dict[str, List[dict]]:
+    """Spans bucketed by trace id, preserving input order."""
+    traces: Dict[str, List[dict]] = {}
+    for span in spans:
+        traces.setdefault(str(span["trace_id"]), []).append(span)
+    return traces
+
+
+def _children_index(spans: List[dict]) -> Dict[Optional[str], List[dict]]:
+    ids = {span["span_id"] for span in spans}
+    children: Dict[Optional[str], List[dict]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        # a parent that never made the log (lost line, pruned level)
+        # would orphan the subtree: promote it to a root instead
+        key = parent if parent in ids else None
+        children.setdefault(key, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: span.get("ts") or 0)
+    return children
+
+
+def _describe(span: dict) -> str:
+    fields = " ".join(
+        f"{key}={value}"
+        for key, value in span.items()
+        if key not in _SKIP_FIELDS and value is not None
+    )
+    duration = span.get("duration_seconds")
+    tail = f" {float(duration):.3f}s" if duration is not None else ""
+    return f"{span.get('name', '<unnamed>')}" + (
+        f" {fields}" if fields else ""
+    ) + tail
+
+
+def render_trace(trace_id: str, spans: List[dict]) -> str:
+    """One trace as an indented tree."""
+    children = _children_index(spans)
+    total = sum(float(span.get("duration_seconds") or 0) for span in spans)
+    root_duration = max(
+        (float(span.get("duration_seconds") or 0) for span in spans),
+        default=0.0,
+    )
+    lines = [
+        f"trace {trace_id} ({len(spans)} spans, {root_duration:.3f}s "
+        f"longest, {total:.3f}s summed)"
+    ]
+
+    def walk(span: dict, prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + _describe(span))
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = children.get(span["span_id"], [])
+        for index, child in enumerate(kids):
+            walk(child, child_prefix, index == len(kids) - 1)
+
+    roots = children.get(None, [])
+    for index, root in enumerate(roots):
+        walk(root, "", index == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="reconstruct span trees from JSON-lines trace logs "
+        "(repro.obs span events)"
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="JSON-lines log files (default: stdin)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="ID",
+        help="print only the trace with this id",
+    )
+    parser.add_argument(
+        "--require",
+        metavar="NAMES",
+        help="comma-separated span names; exit 1 unless at least one "
+        "trace contains every one of them (the CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    spans: List[dict] = []
+    if args.files:
+        for path in args.files:
+            with open(path, "r", encoding="utf-8") as handle:
+                spans.extend(read_spans(handle))
+    else:
+        spans.extend(read_spans(sys.stdin))
+
+    traces = group_traces(spans)
+    if args.trace is not None:
+        traces = {
+            trace_id: trace_spans
+            for trace_id, trace_spans in traces.items()
+            if trace_id == args.trace
+        }
+
+    for trace_id, trace_spans in traces.items():
+        print(render_trace(trace_id, trace_spans))
+        print()
+
+    if args.require:
+        required = {
+            name.strip() for name in args.require.split(",") if name.strip()
+        }
+        satisfied = any(
+            required
+            <= {str(span.get("name")) for span in trace_spans}
+            for trace_spans in traces.values()
+        )
+        if not satisfied:
+            print(
+                f"FAIL: no trace contains all required spans "
+                f"{sorted(required)} across {len(traces)} trace(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"require ok: {sorted(required)} found in one trace")
+    if not traces:
+        print("no spans found", file=sys.stderr)
+        return 1 if args.require else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
