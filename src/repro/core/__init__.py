@@ -19,6 +19,7 @@ from .el import ELModel
 from .lm import LMModel
 from .tested import SuiteMoments, TestedPopulationView, cross_suite_moments
 from .regimes import (
+    CoverageAwareRegime,
     ForcedTestingDiversity,
     IndependentSuites,
     SameSuite,
@@ -49,6 +50,7 @@ __all__ = [
     "IndependentSuites",
     "SameSuite",
     "ForcedTestingDiversity",
+    "CoverageAwareRegime",
     "JointFailureDecomposition",
     "joint_failure_probability",
     "MarginalDecomposition",

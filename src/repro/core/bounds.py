@@ -365,11 +365,15 @@ def back_to_back_envelope(
     """
     from ..mc.batch import back_to_back_envelope_batch, back_to_back_supported
 
-    if engine not in ("auto", "batch", "compiled", "scalar"):
+    if engine not in ("auto", "batch", "compiled", "fastest", "scalar"):
         raise ModelError(
-            "engine must be one of ('auto', 'batch', 'compiled', 'scalar'), "
-            f"got {engine!r}"
+            "engine must be one of ('auto', 'batch', 'compiled', 'fastest', "
+            f"'scalar'), got {engine!r}"
         )
+    if engine == "fastest":
+        from ..mc.experiments import resolve_fastest
+
+        engine = resolve_fastest()
     if engine == "compiled":
         from ..mc.kernels import back_to_back_envelope_compiled, require_compiled
 

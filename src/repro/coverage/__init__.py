@@ -1,0 +1,74 @@
+"""Component-structured programs, coverage matrices and fault localization.
+
+The paper's testing regimes pick demands blindly and repair whichever
+fault was hit.  Real debugging is structural: programs decompose into
+*components*, test suites cover subsets of them, and fix effort goes to
+the most-suspicious component first.  This package layers that structure
+on the existing fault-population machinery:
+
+* :mod:`repro.coverage.components` — K components over a fault universe
+  (per-fault component assignment, per-component contribution to the
+  demand-space fault regions);
+* :mod:`repro.coverage.matrix` — tests × components coverage matrices:
+  seeded synthetic generators (density / bandwidth / overlap knobs) and
+  an empirical constructor grounded in the committed mutation-campaign
+  kill records;
+* :mod:`repro.coverage.detection` — per-fault detection probability
+  derived from coverage (a test can only detect faults in components it
+  covers), packaged as a matched oracle/fixing pair the batch engine
+  (:mod:`repro.mc.batch`) vectorizes;
+* :mod:`repro.coverage.sbfl` — spectrum-based fault localization
+  (Ochiai / Tarantula / DStar suspiciousness with deterministic
+  tie-breaking);
+* :mod:`repro.coverage.workload` — the reliability-growth workload under
+  SBFL-guided vs random fixing that the ``c*`` experiments run.
+
+See ``docs/localization.md`` for the model and the experiment family.
+"""
+
+from .components import ComponentModel
+from .detection import (
+    CoverageFixing,
+    CoverageOracle,
+    coverage_testing_pair,
+    fault_detection_probs,
+)
+from .matrix import (
+    CoverageMatrix,
+    empirical_coverage,
+    measured_component_assignment,
+    synthetic_coverage,
+)
+from .sbfl import (
+    SBFL_METRICS,
+    dstar,
+    ochiai,
+    rank_components,
+    spectrum_counts,
+    suspiciousness,
+    tarantula,
+    top_component,
+)
+from .workload import LocalizedGrowthResult, simulate_localized_growth
+
+__all__ = [
+    "ComponentModel",
+    "CoverageFixing",
+    "CoverageMatrix",
+    "CoverageOracle",
+    "LocalizedGrowthResult",
+    "SBFL_METRICS",
+    "coverage_testing_pair",
+    "dstar",
+    "empirical_coverage",
+    "fault_detection_probs",
+    "measured_component_assignment",
+    "ochiai",
+    "rank_components",
+    "simulate_localized_growth",
+    "spectrum_counts",
+    "suspiciousness",
+    "synthetic_coverage",
+    "tarantula",
+    "top_component",
+]

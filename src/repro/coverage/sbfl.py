@@ -1,0 +1,152 @@
+"""Spectrum-based fault localization (SBFL) suspiciousness metrics.
+
+From a pass/fail *spectrum* — which tests failed, and which components
+each test covers — SBFL scores every component by how strongly its
+coverage correlates with failure.  The classic quadruple per component
+``c``::
+
+    n_cf  failing tests that cover c      n_uf  failing tests that miss c
+    n_cs  passing tests that cover c      n_us  passing tests that miss c
+
+All metrics here are pure functions of that quadruple (hence invariant
+under any permutation of the tests), vectorized over arbitrary leading
+batch dimensions, and guaranteed **finite** on degenerate spectra
+(all-pass, all-fail, never-covered).  Ranking ties break deterministically
+toward the lowest component id.
+
+Formulas (D* uses the standard exponent 2):
+
+* Ochiai:    ``n_cf / sqrt((n_cf + n_uf) * (n_cf + n_cs))``
+* Tarantula: ``(n_cf/F) / (n_cf/F + n_cs/P)`` with ``F``/``P`` the
+  failing/passing totals
+* DStar:     ``n_cf**2 / (n_cs + n_uf)``, with a zero denominator (no
+  counter-evidence at all) scored as ``n_cf**2`` — maximal yet finite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+__all__ = [
+    "SBFL_METRICS",
+    "dstar",
+    "ochiai",
+    "rank_components",
+    "spectrum_counts",
+    "suspiciousness",
+    "tarantula",
+    "top_component",
+]
+
+#: metric names accepted by :func:`suspiciousness` (and the ``c*`` knobs)
+SBFL_METRICS = ("ochiai", "tarantula", "dstar")
+
+
+def spectrum_counts(failing: np.ndarray, covered: np.ndarray):
+    """Reduce a spectrum to the per-component SBFL quadruple.
+
+    ``failing`` is boolean with tests on the last axis (leading axes are
+    batch dimensions); ``covered`` is the boolean
+    ``(n_tests, n_components)`` coverage.  Returns float64 arrays
+    ``(n_cf, n_cs, n_uf, n_us)`` shaped ``failing.shape[:-1] + (K,)``.
+    """
+    failing = np.asarray(failing, dtype=bool)
+    covered = np.asarray(covered, dtype=bool)
+    if covered.ndim != 2:
+        raise ModelError(
+            f"coverage must be 2-d (tests x components), got shape "
+            f"{covered.shape}"
+        )
+    if failing.shape[-1] != covered.shape[0]:
+        raise ModelError(
+            f"spectrum has {failing.shape[-1]} tests but coverage has "
+            f"{covered.shape[0]} rows"
+        )
+    cover = covered.astype(np.float64)
+    fails = failing.astype(np.float64)
+    n_cf = fails @ cover
+    n_cs = (1.0 - fails) @ cover
+    total_f = fails.sum(axis=-1, keepdims=True)
+    total_p = fails.shape[-1] - total_f
+    return n_cf, n_cs, total_f - n_cf, total_p - n_cs
+
+
+def ochiai(n_cf, n_cs, n_uf, n_us) -> np.ndarray:
+    """Ochiai suspiciousness; 0 wherever the denominator vanishes."""
+    n_cf = np.asarray(n_cf, dtype=np.float64)
+    denom = np.sqrt(
+        (n_cf + np.asarray(n_uf, dtype=np.float64))
+        * (n_cf + np.asarray(n_cs, dtype=np.float64))
+    )
+    return np.divide(
+        n_cf, denom, out=np.zeros_like(n_cf), where=denom > 0.0
+    )
+
+
+def tarantula(n_cf, n_cs, n_uf, n_us) -> np.ndarray:
+    """Tarantula suspiciousness; degenerate spectra score 0 or 1, never NaN."""
+    n_cf = np.asarray(n_cf, dtype=np.float64)
+    n_cs = np.asarray(n_cs, dtype=np.float64)
+    total_f = n_cf + np.asarray(n_uf, dtype=np.float64)
+    total_p = n_cs + np.asarray(n_us, dtype=np.float64)
+    fail_frac = np.divide(
+        n_cf, total_f, out=np.zeros_like(n_cf), where=total_f > 0.0
+    )
+    pass_frac = np.divide(
+        n_cs, total_p, out=np.zeros_like(n_cs), where=total_p > 0.0
+    )
+    denom = fail_frac + pass_frac
+    return np.divide(
+        fail_frac, denom, out=np.zeros_like(fail_frac), where=denom > 0.0
+    )
+
+
+def dstar(n_cf, n_cs, n_uf, n_us) -> np.ndarray:
+    """DStar (exponent 2); a zero denominator scores ``n_cf**2`` — finite."""
+    n_cf = np.asarray(n_cf, dtype=np.float64)
+    denom = np.asarray(n_cs, dtype=np.float64) + np.asarray(
+        n_uf, dtype=np.float64
+    )
+    squared = np.square(n_cf)
+    return np.divide(squared, denom, out=squared, where=denom > 0.0)
+
+
+_METRIC_FUNCTIONS = {
+    "ochiai": ochiai,
+    "tarantula": tarantula,
+    "dstar": dstar,
+}
+
+
+def suspiciousness(metric: str, n_cf, n_cs, n_uf, n_us) -> np.ndarray:
+    """Dispatch one metric by name over a (batched) quadruple."""
+    try:
+        function = _METRIC_FUNCTIONS[metric]
+    except KeyError:
+        raise ModelError(
+            f"metric must be one of {SBFL_METRICS}, got {metric!r}"
+        ) from None
+    return function(n_cf, n_cs, n_uf, n_us)
+
+
+def rank_components(scores: np.ndarray) -> np.ndarray:
+    """Component ids, most suspicious first; ties break to the lowest id.
+
+    1-d input only (rank one spectrum at a time); use
+    :func:`top_component` for the batched winner.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ModelError(
+            f"rank_components expects a 1-d score vector, got shape "
+            f"{scores.shape}"
+        )
+    return np.lexsort((np.arange(scores.shape[0]), -scores))
+
+
+def top_component(scores: np.ndarray) -> np.ndarray:
+    """Most-suspicious component per batch row (lowest id on ties)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    return np.argmax(scores, axis=-1)

@@ -53,6 +53,9 @@ from . import (  # noqa: F401  (registration side effect)
     a4_constant_difficulty,
     a5_variance_extreme,
     a6_n_version_sweep,
+    c1_localized_growth,
+    c2_coverage_structure,
+    c3_measured_coverage,
     m1_measured_growth,
     m2_detection_distribution,
     m3_campaign_summary,

@@ -88,13 +88,15 @@ def validate_ids(ids: List[str]) -> None:
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        choices=("auto", "batch", "compiled", "scalar"),
+        choices=("auto", "batch", "compiled", "fastest", "scalar"),
         default="auto",
         help="Monte-Carlo engine for simulation-driven experiments: "
         "'auto' (default) vectorizes whenever the testing process "
         "supports it, 'batch' fails loudly when it cannot, 'compiled' "
         "runs the native counter-RNG kernels (needs the [compiled] "
-        "extra), 'scalar' forces the per-replication reference loops",
+        "extra), 'fastest' picks compiled when numba is importable and "
+        "batch otherwise (recording the choice in the result's extra), "
+        "'scalar' forces the per-replication reference loops",
     )
     parser.add_argument(
         "--n-jobs",

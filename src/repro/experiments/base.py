@@ -37,8 +37,11 @@ class EngineConfig:
     engine:
         ``"auto"`` (default — batch whenever the testing process supports
         it), ``"batch"`` (fail loudly if it cannot), ``"compiled"`` (the
-        native counter-RNG kernels; needs the ``[compiled]`` extra), or
-        ``"scalar"`` (the reference per-replication loops).
+        native counter-RNG kernels; needs the ``[compiled]`` extra),
+        ``"fastest"`` (alias: compiled when numba is importable, else
+        batch — trades cross-machine bit-stability for speed; the run's
+        result carries a provenance note in ``extra``), or ``"scalar"``
+        (the reference per-replication loops).
     n_jobs:
         Worker processes for chunk sharding on the batch/compiled paths.
     """
@@ -47,10 +50,10 @@ class EngineConfig:
     n_jobs: int = 1
 
     def __post_init__(self) -> None:
-        if self.engine not in ("auto", "batch", "compiled", "scalar"):
+        if self.engine not in ("auto", "batch", "compiled", "fastest", "scalar"):
             raise ModelError(
                 "engine must be one of ('auto', 'batch', 'compiled', "
-                f"'scalar'), got {self.engine!r}"
+                f"'fastest', 'scalar'), got {self.engine!r}"
             )
         if self.n_jobs < 1:
             raise ModelError(f"n_jobs must be >= 1, got {self.n_jobs}")

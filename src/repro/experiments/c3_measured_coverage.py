@@ -1,0 +1,145 @@
+"""C3 — measured kill-record coverage versus a density-matched synthetic.
+
+Does the *structure* of real coverage matter, or only its density?  For
+one measured target, the localized-growth race (SBFL vs random fixing)
+runs twice on the same population and component model: once with the
+empirical tests × components matrix from the committed mutation
+campaign's kill records, once with a synthetic matrix of the same shape
+whose cell probability is corrected so the realised densities match.
+SBFL guidance survives the swap — it beats random fixing under both
+matrices — and the measured matrix's fix effort stays close to the
+synthetic stand-in's, validating synthetic coverage as a sweep proxy
+(``c2``) while the direction of the residual gap is the target's own
+coverage-structure signature.
+"""
+
+from __future__ import annotations
+
+from ..coverage.matrix import synthetic_coverage
+from ._localization import measured_setup, run_policy_pair
+from .base import Claim, ExperimentResult
+from .registry import register
+
+
+@register("c3")
+def run(
+    seed: int = 0,
+    fast: bool = True,
+    target: str = "triangle",
+    n_components: int = 5,
+    rounds: int = 10,
+    target_fraction: float = 0.5,
+    presence_prob: float = 0.35,
+    metric: str = "ochiai",
+) -> ExperimentResult:
+    """Run C3 and return its result table and claims."""
+    n_replications = 200 if fast else 800
+    population, profile, model, empirical = measured_setup(
+        target, n_components, presence_prob, seed
+    )
+    # the generator guarantees one focus cell per test, so its realised
+    # density is cell_prob + (1 - cell_prob)/K; invert that to match the
+    # empirical density
+    cell_prob = max(
+        0.0,
+        (empirical.density - 1.0 / n_components)
+        / (1.0 - 1.0 / n_components),
+    )
+    synthetic = synthetic_coverage(
+        empirical.n_tests, n_components, density=cell_prob, rng=seed
+    )
+
+    rows = []
+    results = {}
+    for kind, matrix in (("empirical", empirical), ("synthetic", synthetic)):
+        sbfl, random = run_policy_pair(
+            population,
+            profile,
+            matrix,
+            model,
+            seed,
+            metric=metric,
+            rounds=rounds,
+            target_fraction=target_fraction,
+            n_replications=n_replications,
+        )
+        results[kind] = {"sbfl": sbfl, "random": random}
+        for policy, result in (("sbfl", sbfl), ("random", random)):
+            rows.append(
+                [
+                    kind,
+                    policy,
+                    matrix.density,
+                    result.initial_pfd,
+                    result.final_pfd,
+                    result.mean_rounds_to_target,
+                    result.reached_fraction,
+                ]
+            )
+
+    density_gap = abs(empirical.density - synthetic.density)
+    empirical_effort = results["empirical"]["sbfl"].mean_rounds_to_target
+    synthetic_effort = results["synthetic"]["sbfl"].mean_rounds_to_target
+    relative_gap = abs(empirical_effort - synthetic_effort) / max(
+        empirical_effort, synthetic_effort
+    )
+    claims = [
+        Claim(
+            "the synthetic matrix is density-matched to the measured one",
+            density_gap < 0.05,
+            f"empirical {empirical.density:.3f} vs synthetic "
+            f"{synthetic.density:.3f}",
+        ),
+        Claim(
+            "SBFL guidance beats random fixing under the measured "
+            "kill-record coverage",
+            results["empirical"]["sbfl"].mean_rounds_to_target
+            < results["empirical"]["random"].mean_rounds_to_target,
+        ),
+        Claim(
+            "SBFL guidance also beats random fixing under the "
+            "density-matched synthetic coverage",
+            results["synthetic"]["sbfl"].mean_rounds_to_target
+            < results["synthetic"]["random"].mean_rounds_to_target,
+        ),
+        Claim(
+            "at matched density, the synthetic stand-in's guided fix "
+            "effort lands within 25% of the measured matrix's",
+            relative_gap < 0.25,
+            f"empirical {empirical_effort:.3f} vs synthetic "
+            f"{synthetic_effort:.3f} ({relative_gap:.1%} apart)",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="c3",
+        title="Measured vs density-matched synthetic coverage",
+        paper_reference=(
+            "empirical grounding of coverage structure (mutation "
+            "campaigns, arXiv:2406.04360) against the synthetic sweep "
+            "models of c2"
+        ),
+        columns=[
+            "matrix",
+            "policy",
+            "density",
+            "initial pfd",
+            "final pfd",
+            "fix effort",
+            "reached fraction",
+        ],
+        rows=rows,
+        claims=claims,
+        notes=(
+            f"target {target!r}: {len(population.universe)} mutants x "
+            f"{empirical.n_tests} tests, {n_components} line-band "
+            f"components; {rounds} rounds to reach "
+            f"{target_fraction:.0%} of initial pfd, metric {metric!r}, "
+            f"{n_replications} replications, presence prob "
+            f"{presence_prob}; same population and components under both "
+            "matrices"
+        ),
+        extra={
+            "empirical_density": empirical.density,
+            "synthetic_density": synthetic.density,
+        },
+    )

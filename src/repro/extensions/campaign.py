@@ -508,10 +508,15 @@ class DevelopmentCampaign(object):
         entire replication block at once.  ``"scalar"`` (or any custom
         activity in the plan) keeps the per-pair trajectory loop.
         """
-        if engine not in ("auto", "batch", "scalar"):
+        if engine not in ("auto", "batch", "fastest", "scalar"):
             raise ModelError(
-                f"engine must be one of ('auto', 'batch', 'scalar'), got {engine!r}"
+                "engine must be one of ('auto', 'batch', 'fastest', "
+                f"'scalar'), got {engine!r}"
             )
+        if engine == "fastest":
+            # the campaign layer has no compiled kernels; the alias means
+            # "the fastest path this plan supports", which is exactly auto
+            engine = "auto"
         if engine == "batch" and not self.supports_batch:
             unsupported = [
                 activity.kind

@@ -16,6 +16,7 @@ from .experiments import (
 )
 from .batch import (
     apply_blind_testing_batch,
+    apply_coverage_testing_batch,
     apply_imperfect_testing_batch,
     apply_testing_batch,
     back_to_back_batch,
@@ -49,6 +50,7 @@ __all__ = [
     "apply_testing_batch",
     "apply_imperfect_testing_batch",
     "apply_blind_testing_batch",
+    "apply_coverage_testing_batch",
     "back_to_back_batch",
     "back_to_back_envelope_batch",
     "back_to_back_supported",

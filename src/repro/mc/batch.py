@@ -90,6 +90,7 @@ __all__ = [
     "apply_testing_batch",
     "apply_imperfect_testing_batch",
     "apply_blind_testing_batch",
+    "apply_coverage_testing_batch",
     "back_to_back_batch",
     "back_to_back_envelope_batch",
     "back_to_back_supported",
@@ -107,6 +108,7 @@ _DEFAULT_CHUNK = 8192
 _PERFECT = "perfect"
 _BERNOULLI = "bernoulli"
 _BLIND = "blind"
+_COVERAGE = "coverage"
 
 
 def _testing_plan(
@@ -114,17 +116,21 @@ def _testing_plan(
 ) -> tuple | None:
     """Resolve an (oracle, fixing) pair to a batch execution plan.
 
-    Returns ``(kind, detection_p, fix_p, blind_ids)`` where ``kind`` is one
+    Returns ``(kind, detection_p, fix_p, extra)`` where ``kind`` is one
     of ``"perfect"`` (set-wise mask closure), ``"bernoulli"`` (the §4.1
-    binomial-detection kernel) or ``"blind"`` (perfect closure restricted to
-    faults outside a shared blind spot), or ``None`` when the pair is a
-    custom policy the engine cannot model.
+    binomial-detection kernel), ``"blind"`` (perfect closure restricted to
+    faults outside a shared blind spot) or ``"coverage"`` (per-fault
+    detection probabilities derived from a coverage matrix — see
+    :mod:`repro.coverage.detection`), or ``None`` when the pair is a
+    custom policy the engine cannot model.  ``extra`` carries the blind
+    fault ids or the per-fault probability tuple for those two kinds.
 
-    Blind-spot pairs are recognised structurally — both members expose the
-    same ``blind_fault_ids`` — so :mod:`repro.extensions.mistakes` does not
-    need to be imported here.  The pair is only vectorizable *together*: a
-    blind oracle with ordinary perfect fixing removes blind faults whenever
-    a visible fault reveals the demand, which is order-dependent.
+    Blind-spot and coverage pairs are recognised structurally — both
+    members expose the same ``blind_fault_ids`` (resp.
+    ``fault_detection_probs``) — so neither :mod:`repro.extensions.mistakes`
+    nor :mod:`repro.coverage` needs to be imported here.  Each pair is only
+    vectorizable *together*: a half-supplied or mismatched pair falls back
+    to the scalar path.
     """
     blind_oracle = getattr(oracle, "blind_fault_ids", None)
     blind_fixing = getattr(fixing, "blind_fault_ids", None)
@@ -135,6 +141,15 @@ def _testing_plan(
         if ids != tuple(int(i) for i in blind_fixing):
             return None
         return (_BLIND, 1.0, 1.0, ids)
+    coverage_oracle = getattr(oracle, "fault_detection_probs", None)
+    coverage_fixing = getattr(fixing, "fault_detection_probs", None)
+    if coverage_oracle is not None or coverage_fixing is not None:
+        if coverage_oracle is None or coverage_fixing is None:
+            return None
+        probs = tuple(float(p) for p in coverage_oracle)
+        if probs != tuple(float(p) for p in coverage_fixing):
+            return None
+        return (_COVERAGE, 1.0, 1.0, probs)
     # exact type matches only: a *subclass* may override the per-demand
     # behaviour arbitrarily, so it must take the scalar path
     if oracle is None or type(oracle) is PerfectOracle:
@@ -163,10 +178,13 @@ def batch_supported(
     product), the §4.1 :class:`~repro.testing.ImperfectOracle` /
     :class:`~repro.testing.ImperfectFixing` relaxations (binomial detection
     counts + Bernoulli survival masks — see the module docstring for why
-    that matches the demand-ordered scalar process in distribution), and
+    that matches the demand-ordered scalar process in distribution),
     matched blind-spot oracle/fixing pairs from
-    :mod:`repro.extensions.mistakes`.  Only custom policy classes, whose
-    per-demand dynamics the engine cannot introspect, return False.
+    :mod:`repro.extensions.mistakes`, and matched coverage pairs from
+    :mod:`repro.coverage.detection` (per-fault Bernoulli survival under
+    coverage-derived detection probabilities).  Only custom policy
+    classes, whose per-demand dynamics the engine cannot introspect,
+    return False.
     """
     return _testing_plan(oracle, fixing) is not None
 
@@ -180,8 +198,8 @@ def _require_plan(
             "the batch engine cannot model custom oracle/fixing policies "
             f"({type(oracle).__name__}/{type(fixing).__name__}); supported: "
             "Perfect/Imperfect oracles and fixing, and matched blind-spot "
-            "pairs.  Use engine='scalar' (or engine='auto' for automatic "
-            "fallback) for custom policies"
+            "or coverage pairs.  Use engine='scalar' (or engine='auto' for "
+            "automatic fallback) for custom policies"
         )
     return plan
 
@@ -275,6 +293,54 @@ def apply_imperfect_testing_batch(
         # 0 ** 0 == 1: untouched faults survive, any chance removes
         return fault_matrix & (chances < 0.5)
     survival = (1.0 - fix_probability) ** chances
+    return fault_matrix & (generator.random(fault_matrix.shape) < survival)
+
+
+def apply_coverage_testing_batch(
+    fault_matrix: np.ndarray,
+    suite_counts: np.ndarray,
+    universe,
+    fault_detection_probs,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Coverage-limited testing closure over a block — per-fault Bernoulli.
+
+    The heterogeneous twin of :func:`apply_imperfect_testing_batch`:
+    failure observation is perfect (every execution of a covering demand
+    is a diagnosis chance), but fault ``f`` is diagnosed-and-removed per
+    chance only with its coverage-derived probability ``q_f``
+    (:func:`repro.coverage.fault_detection_probs`), so it survives with
+    probability ``(1 - q_f) ** chances``.  Matches the demand-ordered
+    scalar :class:`~repro.coverage.CoverageOracle` /
+    :class:`~repro.coverage.CoverageFixing` process in distribution by
+    the same memoryless-geometric argument as §4.1 — each fault's removal
+    depends only on its own independent per-execution draws.
+    """
+    fault_matrix = np.asarray(fault_matrix, dtype=bool)
+    counts = np.asarray(suite_counts)
+    if counts.ndim != 2 or counts.shape[1] != universe.space.size:
+        raise ModelError(
+            f"suite count block of shape {counts.shape} does not match "
+            f"demand space size {universe.space.size}"
+        )
+    if fault_matrix.shape != (counts.shape[0], len(universe)):
+        raise ModelError(
+            f"fault matrix {fault_matrix.shape} and suite count block "
+            f"{counts.shape} have mismatched replication counts or universes"
+        )
+    probs = np.asarray(fault_detection_probs, dtype=np.float64)
+    if probs.shape != (len(universe),):
+        raise ModelError(
+            f"fault_detection_probs of shape {probs.shape} does not match "
+            f"universe size {len(universe)}"
+        )
+    if not len(universe):
+        return fault_matrix.copy()
+    generator = as_generator(rng)
+    chances = counts.astype(np.float64) @ universe.coverage.T.astype(np.float64)
+    # 0 ** 0 == 1: an untouched fault always survives, a q_f == 1 fault
+    # is removed by its first chance
+    survival = (1.0 - probs[None, :]) ** chances
     return fault_matrix & (generator.random(fault_matrix.shape) < survival)
 
 
@@ -421,14 +487,18 @@ def _apply_plan_batch(
     """Dispatch one channel's testing closure according to its plan.
 
     ``suite_block`` is a mask block for the perfect/blind kinds and a count
-    block for the bernoulli kind (see :func:`_plan_needs_counts`).
+    block for the bernoulli/coverage kinds (see :func:`_plan_needs_counts`).
     """
-    kind, detection_p, fix_p, blind_ids = plan
+    kind, detection_p, fix_p, extra = plan
     if kind == _PERFECT:
         return apply_testing_batch(fault_matrix, suite_block, universe)
     if kind == _BLIND:
         return apply_blind_testing_batch(
-            fault_matrix, suite_block, universe, blind_ids
+            fault_matrix, suite_block, universe, extra
+        )
+    if kind == _COVERAGE:
+        return apply_coverage_testing_batch(
+            fault_matrix, suite_block, universe, extra, rng
         )
     return apply_imperfect_testing_batch(
         fault_matrix, suite_block, universe, detection_p, fix_p, rng
@@ -436,7 +506,7 @@ def _apply_plan_batch(
 
 
 def _plan_needs_counts(plan: tuple) -> bool:
-    return plan[0] == _BERNOULLI
+    return plan[0] in (_BERNOULLI, _COVERAGE)
 
 
 # ---------------------------------------------------------------------------
@@ -840,6 +910,7 @@ def simulate_joint_on_demand_batch(
     closure) and scores the fixed demand.  Custom policies raise
     :class:`~repro.errors.ModelError`; use ``engine="scalar"`` for those.
     """
+    oracle, fixing = _scalar._regime_policies(regime, oracle, fixing)
     plan = _require_plan(oracle, fixing)
     _scalar._check_replications(n_replications)
     population_b = population_b if population_b is not None else population_a
@@ -877,6 +948,7 @@ def simulate_marginal_system_pfd_batch(
     §4.1 binomial-detection kernel; custom policies raise
     :class:`~repro.errors.ModelError`.
     """
+    oracle, fixing = _scalar._regime_policies(regime, oracle, fixing)
     plan = _require_plan(oracle, fixing)
     _scalar._check_replications(n_replications)
     population_b = population_b if population_b is not None else population_a

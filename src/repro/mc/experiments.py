@@ -66,7 +66,24 @@ __all__ = [
 ]
 
 _DEFAULT_REPLICATIONS = 2000
-_ENGINES = ("auto", "batch", "compiled", "scalar")
+_ENGINES = ("auto", "batch", "compiled", "fastest", "scalar")
+
+
+def resolve_fastest(
+    oracle: Oracle | None = None, fixing: FixingPolicy | None = None
+) -> str:
+    """Resolve the ``"fastest"`` alias to a concrete engine for one call.
+
+    The compiled backend when numba is importable *and* the testing pair
+    has compiled kernels, else the batch path.  Unlike ``"auto"``, the
+    alias trades bit-stability across machines for speed: the same call
+    can run different backends depending on what is installed.
+    """
+    from .kernels import HAVE_NUMBA, compiled_supported
+
+    if HAVE_NUMBA and compiled_supported(oracle, fixing):
+        return "compiled"
+    return "batch"
 
 
 def _check_replications(n_replications: int) -> None:
@@ -102,6 +119,8 @@ def _engine_choice(
     """
     if engine not in _ENGINES:
         raise ModelError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "fastest":
+        engine = resolve_fastest(oracle, fixing)
     if engine == "compiled":
         from .kernels import require_compiled
 
@@ -118,6 +137,10 @@ def _use_batch(
     """Resolve the engine choice for one call."""
     if engine not in _ENGINES:
         raise ModelError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "fastest":
+        # never resolves to scalar: the alias fails as loudly as "batch"
+        # on pairs the vectorized engines cannot model
+        engine = "batch"
     if engine == "scalar":
         return False
     from .batch import batch_supported
@@ -129,11 +152,31 @@ def _use_batch(
                 "engine='batch' cannot model custom oracle/fixing policies "
                 f"({type(oracle).__name__}/{type(fixing).__name__}); "
                 "supported: Perfect/Imperfect oracles and fixing, and "
-                "matched blind-spot pairs.  Use engine='auto' for automatic "
-                "scalar fallback or engine='scalar'"
+                "matched blind-spot or coverage pairs.  Use engine='auto' "
+                "for automatic scalar fallback or engine='scalar'"
             )
         return True
     return supported
+
+
+def _regime_policies(
+    regime: TestingRegime,
+    oracle: Oracle | None,
+    fixing: FixingPolicy | None,
+) -> tuple:
+    """Resolve the effective (oracle, fixing) pair for one simulate call.
+
+    A :class:`~repro.core.regimes.CoverageAwareRegime` carries its matched
+    coverage pair as the experiment's default testing policies; explicit
+    ``oracle=``/``fixing=`` arguments always win (even half-supplied —
+    overriding one half of a matched pair is a deliberate, scalar-path
+    choice).
+    """
+    if oracle is None and fixing is None:
+        policies = getattr(regime, "testing_policies", None)
+        if policies is not None:
+            return policies
+    return oracle, fixing
 
 
 def simulate_untested_joint_on_demand(
@@ -225,6 +268,7 @@ def simulate_joint_on_demand(
     or fixing policy is supplied), then score both tested versions on the
     fixed demand.
     """
+    oracle, fixing = _regime_policies(regime, oracle, fixing)
     target = _coerce_precision(precision, engine)
     if target is not None:
         from ..adaptive.controller import adaptive_joint_on_demand
@@ -317,6 +361,7 @@ def simulate_marginal_system_pfd(
     conditioning argument).  Set it to ``False`` to simulate the raw 0/1
     outcome on a drawn demand instead.
     """
+    oracle, fixing = _regime_policies(regime, oracle, fixing)
     target = _coerce_precision(precision, engine)
     if target is not None:
         if not rao_blackwell:

@@ -69,6 +69,7 @@ from ..types import SeedLike
 from .batch import (
     _BERNOULLI,
     _BLIND,
+    _COVERAGE,
     _DEFAULT_CHUNK,
     _identical_cause_rows,
     _require_plan,
@@ -634,7 +635,8 @@ def compiled_supported(
     """True iff every supplied model piece runs on the compiled backend."""
     from .batch import _testing_plan
 
-    if _testing_plan(oracle, fixing) is None:
+    plan = _testing_plan(oracle, fixing)
+    if plan is None or plan[0] == _COVERAGE:
         return False
     for population in populations:
         if _bernoulli_probs(population) is None:
@@ -757,6 +759,11 @@ def _pair_spec(regime, population_a, population_b, oracle, fixing) -> dict:
     """
     plan = _require_plan(oracle, fixing)
     kind, detection_p, fix_p, _blind_ids = plan
+    if kind == _COVERAGE:
+        raise ModelError(
+            "the compiled backend does not support coverage-aware testing "
+            "pairs; use engine='batch'"
+        )
     probs_a = _require_probs(population_a, "population_a")
     probs_b = _require_probs(population_b, "population_b")
     law_a, law_b, shared = _require_regime_laws(regime)
@@ -1059,6 +1066,11 @@ def simulate_version_pfd_compiled(
     population.space.require_same(profile.space)
     plan = _require_plan(oracle, fixing)
     kind, detection_p, fix_p, _blind_ids = plan
+    if kind == _COVERAGE:
+        raise ModelError(
+            "the compiled backend does not support coverage-aware testing "
+            "pairs; use engine='batch'"
+        )
     probs = _require_probs(population, "population")
     law = _require_law(generator, "generator")
     universe, cov = _universe_spec(population)

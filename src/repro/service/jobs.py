@@ -88,7 +88,7 @@ DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
 
-_ENGINES = ("auto", "batch", "compiled", "scalar")
+_ENGINES = ("auto", "batch", "compiled", "fastest", "scalar")
 
 #: finished jobs kept in the history index for ``GET /jobs/<id>``
 _MAX_FINISHED = 4096

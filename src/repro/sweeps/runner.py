@@ -226,10 +226,10 @@ class Sweep:
         engine: str = "auto",
         n_jobs: int = 1,
     ) -> None:
-        if engine not in ("auto", "batch", "compiled", "scalar"):
+        if engine not in ("auto", "batch", "compiled", "fastest", "scalar"):
             raise ModelError(
                 "engine must be one of ('auto', 'batch', 'compiled', "
-                f"'scalar'), got {engine!r}"
+                f"'fastest', 'scalar'), got {engine!r}"
             )
         if n_jobs < 1:
             raise ModelError(f"n_jobs must be >= 1, got {n_jobs}")

@@ -1,0 +1,117 @@
+"""Tests for the synthetic and empirical coverage-matrix constructors."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import (
+    CoverageMatrix,
+    empirical_coverage,
+    measured_component_assignment,
+    synthetic_coverage,
+)
+from repro.errors import ModelError
+from repro.mutation.measured import MEASURED, measured_target_names
+
+
+def test_matrix_validation_and_properties():
+    matrix = CoverageMatrix([[True, False], [True, True], [False, True]])
+    assert matrix.n_tests == 3
+    assert matrix.n_components == 2
+    assert matrix.density == pytest.approx(4 / 6)
+    np.testing.assert_allclose(
+        matrix.component_densities(), [2 / 3, 2 / 3]
+    )
+    with pytest.raises(ModelError):
+        CoverageMatrix(np.ones(3, dtype=bool))
+    with pytest.raises(ModelError):
+        CoverageMatrix(np.ones((0, 2), dtype=bool))
+
+
+def test_matrix_is_read_only_and_copies_input():
+    source = np.ones((2, 2), dtype=bool)
+    matrix = CoverageMatrix(source)
+    source[0, 0] = False
+    assert matrix.covered[0, 0]
+    with pytest.raises(ValueError):
+        matrix.covered[0, 0] = False
+
+
+def test_synthetic_is_seed_deterministic():
+    first = synthetic_coverage(12, 6, density=0.4, rng=11)
+    second = synthetic_coverage(12, 6, density=0.4, rng=11)
+    third = synthetic_coverage(12, 6, density=0.4, rng=12)
+    np.testing.assert_array_equal(first.covered, second.covered)
+    assert not np.array_equal(first.covered, third.covered)
+
+
+def test_synthetic_density_extremes():
+    full = synthetic_coverage(8, 5, density=1.0, rng=0)
+    assert full.density == 1.0
+    # density 0 keeps only the guaranteed focus diagonal
+    sparse = synthetic_coverage(8, 5, density=0.0, rng=0)
+    assert sparse.covered.sum() == 8
+    assert np.all(sparse.covered.sum(axis=1) == 1)
+
+
+def test_synthetic_every_test_and_component_covered():
+    matrix = synthetic_coverage(10, 5, density=0.2, bandwidth=2, rng=3)
+    assert np.all(matrix.covered.sum(axis=1) >= 1)
+    # n_tests >= n_components: the focus centres sweep every component
+    assert np.all(matrix.covered.sum(axis=0) >= 1)
+
+
+def test_synthetic_bandwidth_confines_coverage():
+    matrix = synthetic_coverage(9, 9, density=1.0, bandwidth=3, overlap=0.0, rng=1)
+    rows, cols = np.nonzero(matrix.covered)
+    assert np.all(np.abs(rows - cols) <= 2)
+
+
+def test_synthetic_overlap_leaks_outside_the_band():
+    rng = 17
+    confined = synthetic_coverage(30, 10, density=0.9, bandwidth=2, overlap=0.0, rng=rng)
+    leaky = synthetic_coverage(30, 10, density=0.9, bandwidth=2, overlap=0.8, rng=rng)
+    assert leaky.covered.sum() > confined.covered.sum()
+
+
+def test_synthetic_validation():
+    with pytest.raises(ModelError):
+        synthetic_coverage(0, 4)
+    with pytest.raises(ModelError):
+        synthetic_coverage(4, 4, density=1.5)
+    with pytest.raises(ModelError):
+        synthetic_coverage(4, 4, overlap=-0.1)
+    with pytest.raises(ModelError):
+        synthetic_coverage(4, 4, bandwidth=0)
+
+
+def test_measured_assignment_matches_mutant_order():
+    for target in measured_target_names():
+        entry = MEASURED[target]
+        assignment = measured_component_assignment(target, 5)
+        assert assignment.shape == (len(entry["mutants"]),)
+        assert assignment.min() >= 0 and assignment.max() < 5
+        # assignment is monotone in source line (contiguous bands)
+        lines = np.asarray([m["line"] for m in entry["mutants"]])
+        order = np.argsort(lines, kind="stable")
+        assert np.all(np.diff(assignment[order]) >= 0)
+
+
+def test_empirical_coverage_reflects_kill_records():
+    target = measured_target_names()[0]
+    entry = MEASURED[target]
+    matrix = empirical_coverage(target, 5)
+    assert matrix.n_tests == entry["n_tests"]
+    assert matrix.n_components == 5
+    assignment = measured_component_assignment(target, 5)
+    expected = np.zeros((entry["n_tests"], 5), dtype=bool)
+    for mutant, component in zip(entry["mutants"], assignment):
+        for test_index in mutant["kills"]:
+            expected[test_index, component] = True
+    np.testing.assert_array_equal(matrix.covered, expected)
+
+
+def test_empirical_coverage_unknown_target():
+    with pytest.raises(ModelError, match="known:"):
+        empirical_coverage("no_such_target", 3)
+    with pytest.raises(ModelError):
+        measured_component_assignment("triangle", 0)

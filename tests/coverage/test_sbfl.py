@@ -1,0 +1,113 @@
+"""Unit tests for the SBFL suspiciousness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import (
+    SBFL_METRICS,
+    dstar,
+    ochiai,
+    rank_components,
+    spectrum_counts,
+    suspiciousness,
+    tarantula,
+    top_component,
+)
+from repro.errors import ModelError
+
+
+@pytest.fixture
+def spectrum():
+    # 4 tests x 3 components; tests 0 and 2 fail
+    covered = np.array(
+        [
+            [True, True, False],
+            [True, False, False],
+            [False, True, True],
+            [False, False, True],
+        ]
+    )
+    failing = np.array([True, False, True, False])
+    return failing, covered
+
+
+def test_spectrum_counts_quadruple(spectrum):
+    failing, covered = spectrum
+    n_cf, n_cs, n_uf, n_us = spectrum_counts(failing, covered)
+    np.testing.assert_allclose(n_cf, [1.0, 2.0, 1.0])
+    np.testing.assert_allclose(n_cs, [1.0, 0.0, 1.0])
+    np.testing.assert_allclose(n_uf, [1.0, 0.0, 1.0])
+    np.testing.assert_allclose(n_us, [1.0, 2.0, 1.0])
+    # the quadruple always sums to the number of tests
+    np.testing.assert_allclose(n_cf + n_cs + n_uf + n_us, 4.0)
+
+
+def test_spectrum_counts_batched(spectrum):
+    failing, covered = spectrum
+    stacked = np.stack([failing, ~failing])
+    n_cf, n_cs, n_uf, n_us = spectrum_counts(stacked, covered)
+    assert n_cf.shape == (2, 3)
+    single = spectrum_counts(failing, covered)
+    np.testing.assert_allclose(n_cf[0], single[0])
+
+
+def test_spectrum_counts_validation(spectrum):
+    failing, covered = spectrum
+    with pytest.raises(ModelError):
+        spectrum_counts(failing, covered[:, 0])
+    with pytest.raises(ModelError):
+        spectrum_counts(failing[:3], covered)
+
+
+def test_ochiai_values(spectrum):
+    scores = ochiai(*spectrum_counts(*spectrum))
+    np.testing.assert_allclose(
+        scores, [1 / np.sqrt(4.0), 2 / np.sqrt(4.0), 1 / np.sqrt(4.0)]
+    )
+
+
+def test_tarantula_values(spectrum):
+    scores = tarantula(*spectrum_counts(*spectrum))
+    np.testing.assert_allclose(scores, [0.5, 1.0, 0.5])
+
+
+def test_dstar_values(spectrum):
+    scores = dstar(*spectrum_counts(*spectrum))
+    # component 1 has no counter-evidence: scored n_cf**2, finite maximal
+    np.testing.assert_allclose(scores, [0.5, 4.0, 0.5])
+
+
+@pytest.mark.parametrize("metric", SBFL_METRICS)
+def test_degenerate_spectra_are_finite(metric):
+    covered = np.array([[True, False], [True, True]])
+    for failing in ([False, False], [True, True]):
+        scores = suspiciousness(
+            metric, *spectrum_counts(np.array(failing), covered)
+        )
+        assert np.all(np.isfinite(scores))
+    # a never-covered component is also finite (and never preferred)
+    covered = np.array([[True, False], [True, False]])
+    scores = suspiciousness(
+        metric, *spectrum_counts(np.array([True, False]), covered)
+    )
+    assert np.all(np.isfinite(scores))
+    assert scores[1] <= scores[0]
+
+
+def test_suspiciousness_rejects_unknown_metric():
+    with pytest.raises(ModelError, match="metric must be one of"):
+        suspiciousness("jaccard", 1.0, 1.0, 1.0, 1.0)
+
+
+def test_rank_components_ties_break_to_lowest_id():
+    ranking = rank_components(np.array([0.5, 0.9, 0.5, 0.9]))
+    assert ranking.tolist() == [1, 3, 0, 2]
+    with pytest.raises(ModelError):
+        rank_components(np.zeros((2, 2)))
+
+
+def test_top_component_matches_ranking_head():
+    scores = np.array([[0.1, 0.7, 0.7], [0.9, 0.0, 0.2]])
+    np.testing.assert_array_equal(top_component(scores), [1, 0])
+    for row in scores:
+        assert top_component(row) == rank_components(row)[0]

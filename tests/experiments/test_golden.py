@@ -49,6 +49,8 @@ CHEAP_IDS = {
     "e01", "e02", "e13", "a1", "a2", "a3", "a4", "a5", "a6", "x1",
     # m* read committed campaign measurements — exact, no simulation
     "m1", "m2", "m3",
+    # c* localization workloads are small (counter-RNG vectorized rounds)
+    "c1", "c2", "c3",
 }
 
 ALL_IDS = all_experiment_ids()

@@ -11,7 +11,7 @@ from repro.experiments import all_experiment_ids, format_result, run_experiment
 
 CHEAP_IDS = [
     "e01", "e02", "e13", "a1", "a2", "a3", "a4", "a5", "a6",
-    "m1", "m2", "m3", "x1",
+    "c1", "c2", "c3", "m1", "m2", "m3", "x1",
 ]
 SIMULATION_IDS = [
     "e03",

@@ -1,0 +1,99 @@
+"""The ``engine="fastest"`` alias: one knob for "the quickest backend".
+
+Resolution contract: ``compiled`` when numba is importable *and* the
+testing pair has compiled kernels, else ``batch`` (never ``scalar`` —
+the alias fails as loudly as ``"batch"`` on pairs the vectorized
+engines cannot model).  Because the resolution depends on what is
+installed, any run configured with the alias records what it resolved
+to in ``ExperimentResult.extra["engine_provenance"]``.
+"""
+
+import pytest
+
+import repro.mc.kernels as kernels
+from repro.coverage import ComponentModel, coverage_testing_pair, synthetic_coverage
+from repro.demand import DemandSpace, zipf_profile
+from repro.errors import ModelError
+from repro.experiments import run_experiment
+from repro.experiments.base import EngineConfig, set_engine_config
+from repro.faults import clustered_universe
+from repro.mc import simulate_untested_joint_on_demand
+from repro.mc.experiments import resolve_fastest
+from repro.populations import BernoulliFaultPopulation
+from repro.testing import OperationalSuiteGenerator
+
+
+@pytest.fixture
+def model():
+    space = DemandSpace(40)
+    profile = zipf_profile(space, exponent=0.7)
+    universe = clustered_universe(space, n_faults=10, region_size=4, rng=3)
+    population = BernoulliFaultPopulation.uniform(universe, 0.35)
+    generator = OperationalSuiteGenerator(profile, 12)
+    return space, profile, universe, population, generator
+
+
+class TestResolution:
+    def test_without_numba_resolves_to_batch(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", False)
+        assert resolve_fastest() == "batch"
+
+    def test_with_numba_resolves_to_compiled(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", True)
+        assert resolve_fastest() == "compiled"
+
+    def test_coverage_pair_never_resolves_to_compiled(self, model, monkeypatch):
+        """Even on a numba host the alias avoids the compiled backend for
+        pairs it has no kernels for (coverage-aware testing)."""
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", True)
+        _space, _profile, universe, _population, _generator = model
+        matrix = synthetic_coverage(8, 5, density=0.5, rng=1)
+        oracle, fixing = coverage_testing_pair(
+            ComponentModel.round_robin(universe, 5), matrix
+        )
+        assert resolve_fastest(oracle, fixing) == "batch"
+
+    def test_engine_config_accepts_fastest(self):
+        assert EngineConfig(engine="fastest").engine == "fastest"
+
+    def test_unknown_engine_error_names_fastest(self, model):
+        _space, _profile, _universe, population, _generator = model
+        with pytest.raises(ModelError, match="fastest"):
+            simulate_untested_joint_on_demand(
+                population, 2, n_replications=10, rng=1, engine="gpu"
+            )
+
+
+class TestSimulation:
+    def test_fastest_matches_batch_without_numba(self, model, monkeypatch):
+        """On a numba-less host the alias is exactly the batch engine —
+        identical counts, not merely close."""
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", False)
+        _space, _profile, _universe, population, _generator = model
+        fastest = simulate_untested_joint_on_demand(
+            population, 2, n_replications=300, rng=7, engine="fastest"
+        )
+        batch = simulate_untested_joint_on_demand(
+            population, 2, n_replications=300, rng=7, engine="batch"
+        )
+        assert fastest.counts == batch.counts
+
+
+class TestProvenance:
+    def _run_with_engine(self, engine):
+        previous = set_engine_config(engine=engine, n_jobs=1)
+        try:
+            return run_experiment("a4", seed=0, fast=True)
+        finally:
+            set_engine_config(engine=previous.engine, n_jobs=previous.n_jobs)
+
+    def test_fastest_run_records_resolution(self):
+        result = self._run_with_engine("fastest")
+        note = result.extra["engine_provenance"]
+        assert "engine='fastest' resolved to" in note
+        resolved = resolve_fastest()
+        assert f"{resolved!r}" in note
+
+    def test_concrete_engines_leave_extra_untouched(self):
+        result = self._run_with_engine("auto")
+        assert "engine_provenance" not in result.extra

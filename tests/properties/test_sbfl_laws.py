@@ -1,0 +1,142 @@
+"""Property-based tests (hypothesis) for the SBFL metric laws.
+
+The suspiciousness metrics are pure functions of the per-component
+spectrum quadruple, so a handful of algebraic laws must hold for *every*
+spectrum, not just the experiment scenarios:
+
+* permutation invariance — shuffling the tests never changes any score
+  or the resulting ranking;
+* single-fault agreement — when exactly the tests covering one component
+  fail (and no other component is covered by a failing test), Ochiai and
+  DStar both rank that component first;
+* degenerate spectra — all-pass, all-fail and never-covered spectra
+  produce finite scores for every metric;
+* deterministic tie-break — equal scores rank by ascending component id,
+  so a ranking is a pure function of the spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.sbfl import (
+    SBFL_METRICS,
+    rank_components,
+    spectrum_counts,
+    suspiciousness,
+    top_component,
+)
+
+
+@st.composite
+def spectra(draw):
+    """A random (failing, covered) spectrum: T tests over K components."""
+    n_tests = draw(st.integers(min_value=1, max_value=12))
+    n_components = draw(st.integers(min_value=1, max_value=6))
+    failing = draw(
+        st.lists(st.booleans(), min_size=n_tests, max_size=n_tests)
+    )
+    covered = draw(
+        st.lists(
+            st.lists(
+                st.booleans(), min_size=n_components, max_size=n_components
+            ),
+            min_size=n_tests,
+            max_size=n_tests,
+        )
+    )
+    return np.array(failing, dtype=bool), np.array(covered, dtype=bool)
+
+
+@settings(max_examples=200, deadline=None)
+@given(spectra(), st.sampled_from(SBFL_METRICS), st.randoms(use_true_random=False))
+def test_ranking_is_permutation_invariant(spectrum, metric, random):
+    """Scores and rankings depend on the spectrum *set*, not test order."""
+    failing, covered = spectrum
+    order = list(range(len(failing)))
+    random.shuffle(order)
+    baseline = suspiciousness(metric, *spectrum_counts(failing, covered))
+    shuffled = suspiciousness(
+        metric, *spectrum_counts(failing[order], covered[order])
+    )
+    np.testing.assert_allclose(shuffled, baseline, rtol=1e-12, atol=0.0)
+    assert np.array_equal(
+        rank_components(shuffled), rank_components(baseline)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=4),
+)
+def test_ochiai_and_dstar_agree_on_single_fault_spectra(
+    n_components, n_failing, n_passing
+):
+    """One component covered by every failing test and by no passing
+    test (all other components only ever covered by passing tests):
+    both metrics must put the faulty component first."""
+    faulty = 0
+    n_tests = n_failing + n_passing
+    failing = np.arange(n_tests) < n_failing
+    covered = np.zeros((n_tests, n_components), dtype=bool)
+    covered[:n_failing, faulty] = True
+    covered[n_failing:, 1:] = True
+    counts = spectrum_counts(failing, covered)
+    ochiai_rank = rank_components(suspiciousness("ochiai", *counts))
+    dstar_rank = rank_components(suspiciousness("dstar", *counts))
+    assert ochiai_rank[0] == faulty
+    assert dstar_rank[0] == faulty
+    assert top_component(suspiciousness("ochiai", *counts)) == faulty
+
+
+@settings(max_examples=200, deadline=None)
+@given(spectra(), st.sampled_from(SBFL_METRICS))
+def test_scores_are_always_finite_and_nonnegative(spectrum, metric):
+    failing, covered = spectrum
+    scores = suspiciousness(metric, *spectrum_counts(failing, covered))
+    assert np.all(np.isfinite(scores))
+    assert np.all(scores >= 0.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from(SBFL_METRICS),
+    st.sampled_from(["all_pass", "all_fail", "never_covered"]),
+)
+def test_degenerate_spectra_stay_finite(n_tests, n_components, metric, kind):
+    """The documented edge cases: no failing tests, no passing tests, a
+    coverage matrix that never exercises anything."""
+    failing = {
+        "all_pass": np.zeros(n_tests, dtype=bool),
+        "all_fail": np.ones(n_tests, dtype=bool),
+        "never_covered": np.ones(n_tests, dtype=bool),
+    }[kind]
+    covered = (
+        np.zeros((n_tests, n_components), dtype=bool)
+        if kind == "never_covered"
+        else np.ones((n_tests, n_components), dtype=bool)
+    )
+    scores = suspiciousness(metric, *spectrum_counts(failing, covered))
+    assert np.all(np.isfinite(scores))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from([0.0, 0.25, 0.5, 1.0]), min_size=1, max_size=8
+    )
+)
+def test_ties_break_to_the_lowest_component_id(scores):
+    """Equal scores must rank by ascending id — the ranking is a pure
+    function of the scores, with no hidden randomness."""
+    ranking = rank_components(np.array(scores))
+    assert sorted(ranking) == list(range(len(scores)))
+    for left, right in zip(ranking, ranking[1:]):
+        assert (scores[left], -left) > (scores[right], -right)
+    assert top_component(np.array(scores)) == ranking[0]

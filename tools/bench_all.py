@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Run the benchmark suites: ``BENCH_adaptive.json`` + ``BENCH_service.json``
-+ ``BENCH_mutation.json`` + ``BENCH_kernels.json``.
++ ``BENCH_mutation.json`` + ``BENCH_kernels.json`` +
+``BENCH_localization.json``.
 
-Four suites, selectable with ``--suites`` (default: all):
+Five suites, selectable with ``--suites`` (default: all):
 
 * **adaptive** — the precision engine's headline numbers are *replication
   counts*: how many replications each estimand needs to reach a relative
@@ -19,7 +20,11 @@ Four suites, selectable with ``--suites`` (default: all):
 * **kernels** — the compiled backend (``benchmarks/bench_kernels.py``):
   njit scored kernels vs their numpy reference twins, with a >= 5x
   speedup gate when numba is installed (the record states honestly when
-  it is not and no gate applies).
+  it is not and no gate applies);
+* **localization** — the SBFL localized-growth workload
+  (``benchmarks/bench_localization.py``): vectorized counter-RNG rounds
+  vs the per-replication reference path, with a >= 10x speedup gate
+  (pure numpy on both sides, so it applies on every host).
 
 ::
 
@@ -28,6 +33,7 @@ Four suites, selectable with ``--suites`` (default: all):
     PYTHONPATH=src python tools/bench_all.py --suites service --service-smoke
     PYTHONPATH=src python tools/bench_all.py --suites mutation
     PYTHONPATH=src python tools/bench_all.py --suites kernels
+    PYTHONPATH=src python tools/bench_all.py --suites localization
 
 ``--full`` additionally runs the whole pytest-benchmark suite
 (``benchmarks/``) with ``--benchmark-json`` and folds each benchmark's
@@ -52,7 +58,8 @@ DEFAULT_OUT = ROOT / "BENCH_adaptive.json"
 DEFAULT_SERVICE_OUT = ROOT / "BENCH_service.json"
 DEFAULT_MUTATION_OUT = ROOT / "BENCH_mutation.json"
 DEFAULT_KERNELS_OUT = ROOT / "BENCH_kernels.json"
-SUITES = ("adaptive", "service", "mutation", "kernels")
+DEFAULT_LOCALIZATION_OUT = ROOT / "BENCH_localization.json"
+SUITES = ("adaptive", "service", "mutation", "kernels", "localization")
 
 
 def _load_bench(name: str):
@@ -144,10 +151,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suites",
-        default="adaptive,service,mutation,kernels",
+        default="adaptive,service,mutation,kernels,localization",
         metavar="LIST",
         help="comma-separated suites to run "
-        "(default: adaptive,service,mutation,kernels)",
+        "(default: adaptive,service,mutation,kernels,localization)",
     )
     parser.add_argument(
         "--service-out",
@@ -179,6 +186,18 @@ def main(argv=None) -> int:
         "--kernels-smoke",
         action="store_true",
         help="smaller kernel arrays, fewer timing repeats",
+    )
+    parser.add_argument(
+        "--localization-out",
+        default=str(DEFAULT_LOCALIZATION_OUT),
+        metavar="FILE",
+        help="localization-suite output path "
+        f"(default {DEFAULT_LOCALIZATION_OUT.name} at the repo root)",
+    )
+    parser.add_argument(
+        "--localization-smoke",
+        action="store_true",
+        help="fewer workload replications and timing repeats",
     )
     args = parser.parse_args(argv)
 
@@ -233,6 +252,12 @@ def main(argv=None) -> int:
         if args.kernels_smoke:
             kernels_argv.append("--smoke")
         exit_code = max(exit_code, bench_kernels.main(kernels_argv))
+    if "localization" in suites:
+        bench_localization = _load_bench("bench_localization")
+        localization_argv = ["--out", args.localization_out]
+        if args.localization_smoke:
+            localization_argv.append("--smoke")
+        exit_code = max(exit_code, bench_localization.main(localization_argv))
     return exit_code
 
 

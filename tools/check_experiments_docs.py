@@ -115,6 +115,45 @@ def check_kernels_doc() -> list:
     return problems
 
 
+LOCALIZATION_DOC = _DOCS / "localization.md"
+
+
+def check_localization_doc() -> list:
+    """Problems with docs/localization.md, as printable strings.
+
+    The page must mention (backticked) every public name exported from
+    ``repro.coverage`` and every SBFL metric name the code accepts, so
+    the subsystem page can never silently lag an API rename or a new
+    metric.
+    """
+    import repro.coverage
+    from repro.coverage.sbfl import SBFL_METRICS
+
+    if not LOCALIZATION_DOC.exists():
+        return [f"missing localization page: {LOCALIZATION_DOC}"]
+    text = LOCALIZATION_DOC.read_text()
+    problems = []
+    # a name counts as mentioned backticked either bare (`name`) or with a
+    # call signature (`name(...)`)
+    unmentioned = [
+        name
+        for name in repro.coverage.__all__
+        if not re.search(rf"`{re.escape(name)}[(`]", text)
+    ]
+    if unmentioned:
+        problems.append(
+            f"names exported from repro.coverage but not mentioned in "
+            f"docs/localization.md: {unmentioned}"
+        )
+    unlisted = [name for name in SBFL_METRICS if f"`{name}`" not in text]
+    if unlisted:
+        problems.append(
+            f"SBFL metrics accepted by the code but missing from "
+            f"docs/localization.md: {unlisted}"
+        )
+    return problems
+
+
 OBS_DOC = _DOCS / "observability.md"
 _SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
@@ -212,6 +251,7 @@ def main() -> int:
     )
     kernel_problems = check_kernels_doc()
     obs_problems = check_observability_doc()
+    localization_problems = check_localization_doc()
     if not (
         missing
         or extra
@@ -221,12 +261,19 @@ def main() -> int:
         or missing_knobs
         or kernel_problems
         or obs_problems
+        or localization_problems
     ):
         print(
             f"docs/experiments.md in sync: {len(registered)} experiment "
             f"ids, {len(capable)} precision-capable"
         )
         print("docs/kernels.md in sync: engine matrix and compiled drivers")
+        import repro.coverage
+
+        print(
+            f"docs/localization.md in sync: "
+            f"{len(repro.coverage.__all__)} repro.coverage exports"
+        )
         print(
             f"docs/observability.md in sync: "
             f"{len(registered_metric_families())} metric families, "
@@ -259,6 +306,8 @@ def main() -> int:
     for problem in kernel_problems:
         print(problem, file=sys.stderr)
     for problem in obs_problems:
+        print(problem, file=sys.stderr)
+    for problem in localization_problems:
         print(problem, file=sys.stderr)
     return 1
 

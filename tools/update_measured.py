@@ -49,12 +49,17 @@ corpus program or its tests change without re-measuring.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from ..errors import ModelError
 from .estimators import DetectionData
 
-__all__ = ["MEASURED", "measured_detection_data", "measured_target_names"]
+__all__ = [
+    "MEASURED",
+    "measured_detection_data",
+    "measured_kills",
+    "measured_target_names",
+]
 
 # target name -> campaign measurement (populated by tools/update_measured.py)
 '''
@@ -81,6 +86,24 @@ def measured_detection_data(target: str) -> DetectionData:
         n_tests=int(entry["n_tests"]),
         labels=tuple(str(m["id"]) for m in mutants),
     )
+
+
+def measured_kills(target: str) -> Tuple[Tuple[int, ...], ...]:
+    """Per-mutant killing-test indices for one bundled target.
+
+    One tuple per mutant (in ``MEASURED`` order) holding the sorted
+    indices — into the target's sorted baseline nodeid list — of the
+    tests that detected the mutant.  Timeout/error mutants count every
+    test, matching how ``detected`` is tallied by the campaign.
+    """
+    try:
+        entry = MEASURED[target]
+    except KeyError:
+        known = ", ".join(measured_target_names()) or "<none>"
+        raise ModelError(
+            f"no committed measurement for target {target!r} (known: {known})"
+        ) from None
+    return tuple(tuple(m["kills"]) for m in entry["mutants"])
 '''
 
 
@@ -94,13 +117,17 @@ def _render_measured(entries: dict) -> str:
         lines.append(f"        \"tests_sha\": {entry['tests_sha']!r},")
         lines.append("        \"mutants\": [")
         for mutant in entry["mutants"]:
+            kills = "(" + ", ".join(str(i) for i in mutant["kills"]) + (
+                ",)" if len(mutant["kills"]) == 1 else ")"
+            )
             lines.append(
                 "            {"
                 f"\"id\": {mutant['id']!r}, "
                 f"\"op\": {mutant['op']!r}, "
                 f"\"line\": {mutant['line']}, "
                 f"\"count\": {mutant['count']}, "
-                f"\"status\": {mutant['status']!r}"
+                f"\"status\": {mutant['status']!r}, "
+                f"\"kills\": {kills}"
                 "},"
             )
         lines.append("        ],")
@@ -146,6 +173,7 @@ def run_campaigns(names) -> int:
         if not outcomes:
             print(f"{name}: no stored outcomes; skipping", file=sys.stderr)
             continue
+        nodeids = sorted(outcomes[0].tests)
         entries[name] = {
             "n_tests": outcomes[0].n_tests,
             "program_sha": target.source_sha,
@@ -157,6 +185,11 @@ def run_campaigns(names) -> int:
                     "line": outcome.lineno,
                     "count": outcome.detected,
                     "status": outcome.status,
+                    "kills": tuple(
+                        index
+                        for index, nodeid in enumerate(nodeids)
+                        if outcome.tests.get(nodeid, "missing") != "passed"
+                    ),
                 }
                 for outcome in outcomes
             ],
